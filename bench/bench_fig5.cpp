@@ -1,0 +1,97 @@
+// Figure 5 reproduction: CDF of the windowed-mAP gain over Edge-Only for
+// Cloud-Only, Shoggoth, AMS and Prompt, across all evaluation windows.
+//
+// Paper shape: Cloud-Only dominates; Shoggoth beats AMS on ~73% of frames;
+// Prompt only matches-or-beats Edge-Only ~78% of the time; Shoggoth even
+// beats Cloud-Only on ~20% of frames.
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+using namespace shog;
+
+namespace {
+
+void print_cdf_row(const char* name, const std::vector<double>& gains) {
+    if (gains.empty()) {
+        return;
+    }
+    Ecdf cdf{gains};
+    std::cout << "  " << name << ": ";
+    for (double g : {-0.10, -0.05, 0.0, 0.05, 0.10, 0.20, 0.30}) {
+        std::cout << "P(gain<=" << g << ")=" << Text_table::num(cdf.at(g), 2) << "  ";
+    }
+    std::cout << "\n";
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    double duration = 240.0;
+    std::uint64_t seed = 2023;
+    if (argc > 1) {
+        duration = std::atof(argv[1]);
+    }
+    if (argc > 2) {
+        seed = static_cast<std::uint64_t>(std::atoll(argv[2]));
+    }
+
+    std::cout << "=== Figure 5: CDF of windowed mAP gain vs Edge-Only (UA-DETRAC-like) ===\n"
+              << "(duration " << duration << " s, seed " << seed << ", window 20 s)\n\n";
+
+    benchutil::Testbed tb = benchutil::make_testbed("ua_detrac", seed, duration);
+
+    const sim::Run_result edge = benchutil::run_edge_only(tb);
+    const sim::Run_result cloud = benchutil::run_cloud_only(tb);
+    const sim::Run_result prompt = benchutil::run_prompt(tb);
+    const sim::Run_result ams = benchutil::run_ams(tb);
+    const sim::Run_result shoggoth = benchutil::run_shoggoth(tb);
+
+    const std::vector<double> g_cloud = sim::windowed_gain(cloud, edge);
+    const std::vector<double> g_prompt = sim::windowed_gain(prompt, edge);
+    const std::vector<double> g_ams = sim::windowed_gain(ams, edge);
+    const std::vector<double> g_shog = sim::windowed_gain(shoggoth, edge);
+
+    print_cdf_row("Cloud-Only", g_cloud);
+    print_cdf_row("Shoggoth  ", g_shog);
+    print_cdf_row("AMS       ", g_ams);
+    print_cdf_row("Prompt    ", g_prompt);
+
+    // Paper-style summary statistics.
+    auto frac = [](const std::vector<double>& a, const std::vector<double>& b,
+                   auto&& predicate) {
+        std::size_t hit = 0;
+        const std::size_t n = std::min(a.size(), b.size());
+        for (std::size_t i = 0; i < n; ++i) {
+            hit += predicate(a[i], b[i]) ? 1 : 0;
+        }
+        return n > 0 ? static_cast<double>(hit) / static_cast<double>(n) : 0.0;
+    };
+
+    std::cout << "\nSummary (fractions of windows):\n";
+    std::cout << "  Shoggoth >= Edge-Only:    "
+              << Text_table::num(100.0 * frac(g_shog, g_shog,
+                                              [](double g, double) { return g >= 0.0; }),
+                                 0)
+              << "%\n";
+    std::cout << "  Prompt   >= Edge-Only:    "
+              << Text_table::num(100.0 * frac(g_prompt, g_prompt,
+                                              [](double g, double) { return g >= 0.0; }),
+                                 0)
+              << "%\n";
+    std::cout << "  Shoggoth >  AMS:          "
+              << Text_table::num(
+                     100.0 * frac(g_shog, g_ams, [](double s, double a) { return s > a; }), 0)
+              << "%  (paper: 73%)\n";
+    std::cout << "  Shoggoth >  Cloud-Only:   "
+              << Text_table::num(
+                     100.0 * frac(g_shog, g_cloud, [](double s, double c) { return s > c; }),
+                     0)
+              << "%  (paper: ~20%)\n";
+    std::cout << std::flush;
+    return 0;
+}

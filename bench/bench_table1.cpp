@@ -1,0 +1,68 @@
+// Table I reproduction: Up/Down bandwidth (Kbps) and mAP@0.5 (%) for the
+// five strategies on the three dataset presets.
+//
+// Paper reference values (UA-DETRAC / KITTI / Waymo):
+//   Edge-Only  : 0/0 Kbps,       34.2 / 56.8 / 47.5 mAP
+//   Cloud-Only : ~3257/3539 etc, 58.9 / 78.0 / 64.7 mAP (best accuracy)
+//   Prompt     : 303/22 etc,     48.3 / 71.4 / 61.5 mAP
+//   AMS        : 151/226 etc,    51.6 / 72.8 / 59.1 mAP (downlink heavy)
+//   Shoggoth   : 135/10 etc,     53.5 / 74.7 / 61.9 mAP
+// The harness reproduces the *shape*: ordering, gain over Edge-Only,
+// bandwidth ratios.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+int main(int argc, char** argv) {
+    using namespace shog;
+
+    double duration = 240.0;
+    std::uint64_t seed = 2023;
+    std::vector<const char*> presets = {"ua_detrac", "kitti", "waymo"};
+    if (argc > 1) {
+        duration = std::atof(argv[1]);
+    }
+    if (argc > 2) {
+        seed = static_cast<std::uint64_t>(std::atoll(argv[2]));
+    }
+    if (argc > 3) {
+        presets = {argv[3]};
+    }
+
+    std::cout << "=== Table I: strategy comparison on three datasets ===\n"
+              << "(duration " << duration << " s per stream, seed " << seed << ")\n\n";
+
+    Text_table table{{"Dataset", "Metric", "Edge-Only", "Cloud-Only", "Prompt", "AMS",
+                      "Shoggoth"}};
+
+    for (const char* preset : presets) {
+        benchutil::Testbed tb = benchutil::make_testbed(preset, seed, duration);
+
+        const sim::Run_result edge = benchutil::run_edge_only(tb);
+        benchutil::print_result_line(edge);
+        const sim::Run_result cloud = benchutil::run_cloud_only(tb);
+        benchutil::print_result_line(cloud);
+        const sim::Run_result prompt = benchutil::run_prompt(tb);
+        benchutil::print_result_line(prompt);
+        const sim::Run_result ams = benchutil::run_ams(tb);
+        benchutil::print_result_line(ams);
+        const sim::Run_result shoggoth = benchutil::run_shoggoth(tb);
+        benchutil::print_result_line(shoggoth);
+
+        auto bw = [](const sim::Run_result& r) {
+            return Text_table::num(r.up_kbps, 0) + "/" + Text_table::num(r.down_kbps, 0);
+        };
+        auto map = [](const sim::Run_result& r) { return Text_table::num(r.map * 100.0, 1); };
+
+        table.add_row({preset, "Up/Down Bandwidth (Kbps)", bw(edge), bw(cloud), bw(prompt),
+                       bw(ams), bw(shoggoth)});
+        table.add_row({preset, "mAP@0.5 (%)", map(edge), map(cloud), map(prompt), map(ams),
+                       map(shoggoth)});
+    }
+
+    std::cout << "\n" << table.str() << std::flush;
+    return 0;
+}

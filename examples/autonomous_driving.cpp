@@ -1,0 +1,74 @@
+// Autonomous-driving scenario: a KITTI-like ego-motion dashcam (single
+// "car" class, day-only weather drift) — the stream where rain, not night,
+// is the enemy. Compares all five strategies on the same drive.
+//
+//   ./autonomous_driving [duration_seconds] [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "baselines/ams.hpp"
+#include "baselines/cloud_only.hpp"
+#include "baselines/edge_only.hpp"
+#include "core/shoggoth.hpp"
+#include "models/pretrain.hpp"
+#include "sim/harness.hpp"
+#include "video/presets.hpp"
+
+int main(int argc, char** argv) {
+    using namespace shog;
+
+    const double duration = argc > 1 ? std::atof(argv[1]) : 420.0;
+    const std::uint64_t seed = argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 13;
+
+    const video::Dataset_preset preset = video::kitti_like(seed, duration);
+    video::Video_stream stream{preset.stream, preset.world, preset.schedule};
+    std::cout << "KITTI-like drive: " << duration << " s, ego-motion "
+              << stream.config().ego_motion << ", car-only detection\n\n";
+
+    auto pristine = models::make_student(stream.world(), seed);
+    auto teacher = models::make_teacher(stream.world(), seed);
+    sim::Harness_config harness;
+
+    std::printf("%-12s %8s %9s %10s %6s %9s %10s\n", "strategy", "mAP@0.5", "up Kbps",
+                "down Kbps", "fps", "sessions", "cloud GPU");
+    auto report = [](const char* name, const sim::Run_result& r) {
+        std::printf("%-12s %7.1f%% %9.1f %10.1f %6.1f %9zu %9.1fs\n", name, r.map * 100.0,
+                    r.up_kbps, r.down_kbps, r.average_fps, r.training_sessions,
+                    r.cloud_gpu_seconds);
+    };
+
+    {
+        auto student = pristine->clone();
+        baselines::Edge_only_strategy s{*student};
+        report("Edge-Only", sim::run_strategy(s, stream, harness));
+    }
+    {
+        baselines::Cloud_only_strategy s{*teacher, device::v100()};
+        report("Cloud-Only", sim::run_strategy(s, stream, harness));
+    }
+    {
+        auto student = pristine->clone();
+        core::Shoggoth_config cfg;
+        cfg.adaptive_sampling = false;
+        cfg.fixed_rate = 2.0;
+        core::Shoggoth_strategy s{*student, *teacher, std::move(cfg),
+                                  models::Deployed_profile::yolov4_resnet18(),
+                                  device::jetson_tx2(), device::v100()};
+        report("Prompt", sim::run_strategy(s, stream, harness));
+    }
+    {
+        auto student = pristine->clone();
+        baselines::Ams_strategy s{*student, *teacher, baselines::Ams_config{},
+                                  models::Deployed_profile::yolov4_resnet18(),
+                                  device::v100()};
+        report("AMS", sim::run_strategy(s, stream, harness));
+    }
+    {
+        auto student = pristine->clone();
+        core::Shoggoth_strategy s{*student, *teacher, core::Shoggoth_config{},
+                                  models::Deployed_profile::yolov4_resnet18(),
+                                  device::jetson_tx2(), device::v100()};
+        report("Shoggoth", sim::run_strategy(s, stream, harness));
+    }
+    return 0;
+}

@@ -1,0 +1,65 @@
+// Quickstart: the smallest end-to-end Shoggoth deployment.
+//
+// Builds a drifting synthetic traffic stream, pre-trains a lightweight
+// student (daytime only) and a golden teacher (all conditions), runs the
+// full edge-cloud collaborative system for five simulated minutes, and
+// prints the accuracy/bandwidth/fps summary next to the Edge-Only baseline.
+//
+//   ./quickstart [duration_seconds] [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "baselines/edge_only.hpp"
+#include "core/shoggoth.hpp"
+#include "models/pretrain.hpp"
+#include "sim/harness.hpp"
+#include "video/presets.hpp"
+
+int main(int argc, char** argv) {
+    using namespace shog;
+
+    const double duration = argc > 1 ? std::atof(argv[1]) : 300.0;
+    const std::uint64_t seed = argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 7;
+
+    // 1. A drifting video stream: UA-DETRAC-like traffic surveillance that
+    //    cycles through sunny / cloudy / rain / dusk / night.
+    const video::Dataset_preset preset = video::ua_detrac_like(seed, duration);
+    video::Video_stream stream{preset.stream, preset.world, preset.schedule};
+    std::cout << "stream: " << stream.frame_count() << " frames at " << stream.fps()
+              << " fps, " << stream.num_classes() << " classes, "
+              << stream.track_count() << " vehicle tracks\n";
+
+    // 2. Detectors: the lightweight edge student (pre-trained on daytime
+    //    only — vulnerable to drift) and the cloud teacher (golden model).
+    auto student = models::make_student(stream.world(), seed);
+    auto teacher = models::make_teacher(stream.world(), seed);
+
+    // 3. Baseline: the same student with no adaptation.
+    sim::Harness_config harness;
+    auto baseline_student = student->clone();
+    baselines::Edge_only_strategy edge_only{*baseline_student};
+    const sim::Run_result edge = sim::run_strategy(edge_only, stream, harness);
+
+    // 4. Shoggoth: decoupled knowledge distillation with adaptive online
+    //    learning (defaults reproduce the paper's configuration).
+    core::Shoggoth_strategy shoggoth{*student,
+                                     *teacher,
+                                     core::Shoggoth_config{},
+                                     models::Deployed_profile::yolov4_resnet18(),
+                                     device::jetson_tx2(),
+                                     device::v100()};
+    const sim::Run_result result = sim::run_strategy(shoggoth, stream, harness);
+
+    // 5. Summary.
+    std::cout << "\n               mAP@0.5   up Kbps  down Kbps   fps   sessions\n";
+    auto row = [](const char* name, const sim::Run_result& r) {
+        std::printf("%-12s %8.1f%% %9.1f %10.1f %5.1f %10zu\n", name, r.map * 100.0,
+                    r.up_kbps, r.down_kbps, r.average_fps, r.training_sessions);
+    };
+    row("Edge-Only", edge);
+    row("Shoggoth", result);
+    std::cout << "\nadaptive online learning gained "
+              << (result.map - edge.map) * 100.0
+              << " mAP points over the non-adaptive edge model.\n";
+    return 0;
+}

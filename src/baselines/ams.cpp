@@ -1,0 +1,194 @@
+#include "baselines/ams.hpp"
+
+#include "models/pretrain.hpp"
+
+namespace shog::baselines {
+
+Ams_strategy::Ams_strategy(models::Detector& student, models::Detector& teacher,
+                           Ams_config config, models::Deployed_profile profile,
+                           device::Compute_model cloud_device)
+    : student_{student},
+      cloud_copy_{student.clone()},
+      config_{std::move(config)},
+      profile_{profile},
+      labeler_{teacher, config_.labeler},
+      controller_{config_.controller, config_.initial_rate},
+      resource_monitor_{1.0},
+      cloud_device_{std::move(cloud_device)},
+      teacher_infer_gflops_{
+          models::Deployed_profile::mask_rcnn_resnext101().inference_gflops()} {
+    cloud_trainer_ = std::make_unique<core::Adaptive_trainer>(*cloud_copy_, config_.trainer,
+                                                              profile_, cloud_device_);
+}
+
+void Ams_strategy::start(sim::Runtime& rt) {
+    if (config_.warm_replay && cloud_trainer_->memory().enabled()) {
+        models::Pretrain_config warm_cfg;
+        warm_cfg.domains = models::daytime_domains();
+        warm_cfg.samples = config_.warm_samples;
+        warm_cfg.seed = config_.trainer.seed ^ 0xab;
+        cloud_trainer_->warm_start(
+            models::synth_dataset(rt.stream().world(), student_.config(), warm_cfg));
+    }
+    schedule_next_sample(rt);
+}
+
+void Ams_strategy::schedule_next_sample(sim::Runtime& rt) {
+    const Seconds gap = 1.0 / controller_.rate();
+    if (rt.now() + gap >= rt.stream().duration()) {
+        return;
+    }
+    rt.schedule(gap, [this, &rt] { on_sample_tick(rt); });
+}
+
+void Ams_strategy::on_sample_tick(sim::Runtime& rt) {
+    if (sample_buffer_.empty()) {
+        first_buffered_at_ = rt.now();
+    }
+    sample_buffer_.push_back(rt.stream().index_at(rt.now()));
+    if (sample_buffer_.size() >= config_.upload_batch_frames ||
+        rt.now() - first_buffered_at_ >= config_.upload_max_wait) {
+        upload_buffer(rt);
+    }
+    schedule_next_sample(rt);
+}
+
+void Ams_strategy::upload_buffer(sim::Runtime& rt) {
+    if (sample_buffer_.empty()) {
+        return;
+    }
+    std::vector<std::size_t> frames = std::move(sample_buffer_);
+    sample_buffer_.clear();
+
+    double complexity = 0.0;
+    double motion = 0.0;
+    for (std::size_t idx : frames) {
+        const video::Frame f = rt.stream().frame_at(idx);
+        complexity += f.complexity;
+        motion += f.motion_level;
+    }
+    complexity /= static_cast<double>(frames.size());
+    motion /= static_cast<double>(frames.size());
+
+    const Seconds gap = 1.0 / controller_.rate();
+    const double res = config_.upload_resolution;
+    const Bytes payload = rt.h264().batch_bytes(frames.size(), res, res, complexity, motion,
+                                                gap);
+    const Seconds encode = rt.h264().encode_seconds(frames.size(), res, res);
+    const Seconds up_delay = rt.link().send_up(rt.now(), payload);
+    rt.schedule(encode + up_delay, [this, &rt, frames = std::move(frames)]() mutable {
+        cloud_label_batch(rt, std::move(frames));
+    });
+}
+
+void Ams_strategy::cloud_label_batch(sim::Runtime& rt, std::vector<std::size_t> frames) {
+    const video::World_model& world = rt.stream().world();
+    double agreement_sum = 0.0;
+    for (std::size_t idx : frames) {
+        const video::Frame frame = rt.stream().frame_at(idx);
+        const std::vector<models::Proposal> proposals = student_.propose(frame, world);
+        core::Labeled_frame labeled = labeler_.label(frame, world, proposals, label_rng_);
+        rt.add_cloud_gpu_seconds(cloud_device_.seconds_for_gflops(teacher_infer_gflops_));
+        if (have_last_teacher_output_) {
+            controller_.observe_phi(
+                core::phi_between(labeled.teacher_detections, last_teacher_output_));
+        }
+        last_teacher_output_ = labeled.teacher_detections;
+        have_last_teacher_output_ = true;
+        agreement_sum += core::detection_agreement(student_.detect_on(proposals),
+                                                   labeled.teacher_detections);
+        pending_.push_back(Pending_batch{std::move(labeled.samples), 1, rt.now()});
+        ++pending_frames_;
+    }
+
+    // Telemetry + control round (same adaptive sampling as Shoggoth).
+    (void)rt.link().send_up(rt.now(), rt.message_sizes().telemetry_bytes);
+    (void)drain_alpha();
+    const double alpha =
+        frames.empty() ? 1.0 : agreement_sum / static_cast<double>(frames.size());
+    const double lambda = resource_monitor_.drain_average();
+    (void)controller_.update(alpha, lambda);
+    (void)rt.link().send_down(rt.now(), rt.message_sizes().rate_command_bytes);
+
+    maybe_train_in_cloud(rt);
+}
+
+void Ams_strategy::maybe_train_in_cloud(sim::Runtime& rt) {
+    while (!pending_.empty() && rt.now() - pending_.front().at > config_.sample_horizon) {
+        pending_frames_ -= pending_.front().frames;
+        pending_.pop_front();
+    }
+    if (cloud_training_busy_ || pending_frames_ < config_.frames_per_session ||
+        pending_.empty()) {
+        return;
+    }
+    std::vector<models::Labeled_sample> batch;
+    while (!pending_.empty()) {
+        for (models::Labeled_sample& s : pending_.front().samples) {
+            batch.push_back(std::move(s));
+        }
+        pending_.pop_front();
+    }
+    pending_frames_ = 0;
+    if (batch.empty()) {
+        return;
+    }
+    cloud_training_busy_ = true;
+    rt.count_training_session();
+
+    // Train the cloud copy now (the edge model is untouched until the update
+    // lands); account the V100 time and ship the new weights after it.
+    const core::Training_report report = cloud_trainer_->train(batch);
+    rt.add_cloud_gpu_seconds(report.overall_seconds());
+    const Seconds train_delay = report.overall_seconds();
+
+    rt.schedule(train_delay, [this, &rt] {
+        const Bytes update = profile_.update_bytes();
+        const Seconds down_delay = rt.link().send_down(rt.now(), update);
+        std::vector<double> state = cloud_copy_->net().state_vector();
+        ++updates_sent_;
+        rt.schedule(down_delay, [this, &rt, state = std::move(state)] {
+            // Edge installs the update: brief inference stall.
+            student_.net().load_state_vector(state);
+            rt.set_training_active(true);
+            rt.schedule(config_.swap_seconds, [this, &rt] {
+                rt.set_training_active(false);
+                cloud_training_busy_ = false;
+                maybe_train_in_cloud(rt);
+            });
+        });
+    });
+}
+
+double Ams_strategy::drain_alpha() {
+    const double alpha = predictions_seen_ > 0
+                             ? static_cast<double>(predictions_accurate_) /
+                                   static_cast<double>(predictions_seen_)
+                             : 1.0;
+    predictions_seen_ = 0;
+    predictions_accurate_ = 0;
+    return alpha;
+}
+
+std::vector<detect::Detection> Ams_strategy::infer(sim::Runtime& rt,
+                                                   const video::Frame& frame) {
+    return student_.detect(frame, rt.stream().world());
+}
+
+void Ams_strategy::on_inference(sim::Runtime& rt, const video::Frame& frame,
+                                const std::vector<detect::Detection>& detections) {
+    (void)frame;
+    if (detections.empty()) {
+        ++predictions_seen_; // blind frame counts as inaccurate (see Shoggoth)
+    }
+    for (const detect::Detection& det : detections) {
+        ++predictions_seen_;
+        if (det.confidence > config_.alpha_threshold) {
+            ++predictions_accurate_;
+        }
+    }
+    resource_monitor_.record_until(
+        rt.now(), rt.edge_compute().utilization(rt.stream().fps(), rt.training_active()));
+}
+
+} // namespace shog::baselines

@@ -1,0 +1,102 @@
+// Adaptive Model Streaming (AMS, Khani et al. ICCV'21) baseline.
+//
+// Same adaptive frame sampling and online labeling as Shoggoth, but the
+// *entire* knowledge-distillation loop runs in the cloud: a copy of the
+// student is fine-tuned end-to-end (no latent replay, no frozen front —
+// this is the whole-network fine-tune the paper's Table II "Input" row
+// characterizes) on a V100, and the updated weights are streamed back to
+// the edge. Consequences the paper reports and this model reproduces:
+//  - downlink dominated by model updates (vs. Shoggoth's tiny label traffic)
+//  - cloud GPU time spent on training, limiting edges-per-GPU scalability
+//  - edge fps stays near the video rate (no on-device training), minus a
+//    brief dip when a model update is swapped in
+//  - accuracy slightly below Shoggoth (update staleness + full-model
+//    fine-tune on small correlated batches).
+#pragma once
+
+#include <deque>
+#include <memory>
+
+#include "core/adaptive_trainer.hpp"
+#include "core/controller.hpp"
+#include "core/labeling.hpp"
+#include "device/monitor.hpp"
+#include "sim/strategy.hpp"
+
+namespace shog::baselines {
+
+struct Ams_config {
+    core::Trainer_config trainer = core::input_replay_config();
+    core::Controller_config controller;
+    core::Labeler_config labeler;
+    double initial_rate = 1.0;
+    std::size_t upload_batch_frames = 8;
+    Seconds upload_max_wait = 15.0;
+    /// Cloud fine-tune triggers after this many labeled frames (same frame-
+    /// denominated cadence as Shoggoth).
+    std::size_t frames_per_session = 60;
+    Seconds sample_horizon = 150.0;
+    bool warm_replay = true;
+    std::size_t warm_samples = 1200;
+    double upload_resolution = 512.0;
+    double alpha_threshold = 0.5;
+    /// Edge-side model swap pause (fps dips while weights are installed).
+    Seconds swap_seconds = 0.4;
+};
+
+class Ams_strategy final : public sim::Strategy {
+public:
+    Ams_strategy(models::Detector& student, models::Detector& teacher, Ams_config config,
+                 models::Deployed_profile profile, device::Compute_model cloud_device);
+
+    [[nodiscard]] std::string name() const override { return "AMS"; }
+    void start(sim::Runtime& rt) override;
+    [[nodiscard]] std::vector<detect::Detection> infer(sim::Runtime& rt,
+                                                       const video::Frame& frame) override;
+    void on_inference(sim::Runtime& rt, const video::Frame& frame,
+                      const std::vector<detect::Detection>& detections) override;
+
+    [[nodiscard]] std::size_t model_updates_sent() const noexcept { return updates_sent_; }
+    [[nodiscard]] const core::Sampling_controller& controller() const noexcept {
+        return controller_;
+    }
+
+private:
+    models::Detector& student_;
+    std::unique_ptr<models::Detector> cloud_copy_;
+    Ams_config config_;
+    models::Deployed_profile profile_;
+    std::unique_ptr<core::Adaptive_trainer> cloud_trainer_;
+    core::Online_labeler labeler_;
+    core::Sampling_controller controller_;
+    device::Resource_monitor resource_monitor_;
+    device::Compute_model cloud_device_;
+    double teacher_infer_gflops_;
+    Rng label_rng_{0xa3a3};
+
+    std::vector<std::size_t> sample_buffer_;
+    Seconds first_buffered_at_ = 0.0;
+    struct Pending_batch {
+        std::vector<models::Labeled_sample> samples;
+        std::size_t frames = 0;
+        Seconds at = 0.0;
+    };
+    std::deque<Pending_batch> pending_;
+    std::size_t pending_frames_ = 0;
+    bool cloud_training_busy_ = false;
+    std::size_t updates_sent_ = 0;
+
+    std::size_t predictions_seen_ = 0;
+    std::size_t predictions_accurate_ = 0;
+    std::vector<detect::Detection> last_teacher_output_;
+    bool have_last_teacher_output_ = false;
+
+    void schedule_next_sample(sim::Runtime& rt);
+    void on_sample_tick(sim::Runtime& rt);
+    void upload_buffer(sim::Runtime& rt);
+    void cloud_label_batch(sim::Runtime& rt, std::vector<std::size_t> frames);
+    void maybe_train_in_cloud(sim::Runtime& rt);
+    [[nodiscard]] double drain_alpha();
+};
+
+} // namespace shog::baselines

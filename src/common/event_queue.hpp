@@ -1,0 +1,80 @@
+// Discrete-event simulation primitives: a simulation clock plus a
+// time-ordered event queue with stable FIFO ordering for simultaneous
+// events (required for deterministic replays).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/require.hpp"
+#include "common/units.hpp"
+
+namespace shog {
+
+/// A scheduled callback. Events at equal times fire in insertion order.
+class Event_queue {
+public:
+    using Action = std::function<void()>;
+
+    void schedule(Seconds at, Action action) {
+        SHOG_REQUIRE(at >= now_, "cannot schedule an event in the past");
+        heap_.push(Entry{at, sequence_++, std::move(action)});
+    }
+
+    void schedule_in(Seconds delay, Action action) { schedule(now_ + delay, std::move(action)); }
+
+    [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+    [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+    [[nodiscard]] Seconds now() const noexcept { return now_; }
+    [[nodiscard]] Seconds next_time() const {
+        SHOG_REQUIRE(!heap_.empty(), "no pending events");
+        return heap_.top().at;
+    }
+
+    /// Pop and run the earliest event; advances the clock to its time.
+    void step() {
+        SHOG_REQUIRE(!heap_.empty(), "no pending events");
+        // std::priority_queue::top() returns const&; we must copy the action
+        // out before pop. Entries are cheap (one std::function).
+        Entry entry = heap_.top();
+        heap_.pop();
+        now_ = entry.at;
+        entry.action();
+    }
+
+    /// Run events until the queue drains or the clock passes `until`.
+    /// Returns the number of events executed.
+    std::size_t run_until(Seconds until) {
+        std::size_t executed = 0;
+        while (!heap_.empty() && heap_.top().at <= until) {
+            step();
+            ++executed;
+        }
+        now_ = std::max(now_, until);
+        return executed;
+    }
+
+private:
+    struct Entry {
+        Seconds at;
+        std::uint64_t seq;
+        Action action;
+    };
+    struct Later {
+        bool operator()(const Entry& a, const Entry& b) const noexcept {
+            if (a.at != b.at) {
+                return a.at > b.at;
+            }
+            return a.seq > b.seq; // stable FIFO for equal times
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::uint64_t sequence_ = 0;
+    Seconds now_ = 0.0;
+};
+
+} // namespace shog

@@ -1,0 +1,52 @@
+// Error handling helpers for the shoggoth library.
+//
+// Two levels, per the house rules:
+//  - SHOG_REQUIRE: validates caller-supplied input on public API
+//    boundaries; throws std::invalid_argument with context on failure.
+//  - SHOG_CHECK:   validates internal invariants / states that indicate a
+//    library bug; throws shog::Internal_error (so tests can catch it)
+//    rather than aborting, keeping the library usable as a long-running
+//    service component.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace shog {
+
+/// Thrown when an internal invariant of the library is violated.
+class Internal_error : public std::logic_error {
+public:
+    using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_requirement(const char* expr, const char* file, int line,
+                                           const std::string& what) {
+    throw std::invalid_argument(std::string{"requirement failed: "} + expr + " at " + file + ":" +
+                                std::to_string(line) + (what.empty() ? "" : (": " + what)));
+}
+
+[[noreturn]] inline void throw_internal(const char* expr, const char* file, int line,
+                                        const std::string& what) {
+    throw Internal_error(std::string{"internal invariant failed: "} + expr + " at " + file + ":" +
+                         std::to_string(line) + (what.empty() ? "" : (": " + what)));
+}
+
+} // namespace detail
+} // namespace shog
+
+#define SHOG_REQUIRE(expr, msg)                                                   \
+    do {                                                                          \
+        if (!(expr)) {                                                            \
+            ::shog::detail::throw_requirement(#expr, __FILE__, __LINE__, (msg));  \
+        }                                                                         \
+    } while (false)
+
+#define SHOG_CHECK(expr, msg)                                                     \
+    do {                                                                          \
+        if (!(expr)) {                                                            \
+            ::shog::detail::throw_internal(#expr, __FILE__, __LINE__, (msg));     \
+        }                                                                         \
+    } while (false)

@@ -1,0 +1,67 @@
+// Fixed-capacity ring buffer keeping the most recent N items. Used for the
+// recent-frame horizons in the sampling controller and fps tracking.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/require.hpp"
+
+namespace shog {
+
+template <typename T>
+class Ring_buffer {
+public:
+    explicit Ring_buffer(std::size_t capacity) : capacity_{capacity} {
+        SHOG_REQUIRE(capacity > 0, "ring buffer capacity must be positive");
+        items_.reserve(capacity);
+    }
+
+    void push(T item) {
+        if (items_.size() < capacity_) {
+            items_.push_back(std::move(item));
+        } else {
+            items_[head_] = std::move(item);
+            head_ = (head_ + 1) % capacity_;
+        }
+    }
+
+    [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
+    [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+    [[nodiscard]] bool empty() const noexcept { return items_.empty(); }
+    [[nodiscard]] bool full() const noexcept { return items_.size() == capacity_; }
+
+    /// Oldest-first access: at(0) is the oldest retained item.
+    [[nodiscard]] const T& at(std::size_t i) const {
+        SHOG_REQUIRE(i < items_.size(), "ring buffer index out of range");
+        return items_[(head_ + i) % items_.size()];
+    }
+
+    /// Newest item.
+    [[nodiscard]] const T& back() const {
+        SHOG_REQUIRE(!items_.empty(), "ring buffer is empty");
+        return at(items_.size() - 1);
+    }
+
+    void clear() noexcept {
+        items_.clear();
+        head_ = 0;
+    }
+
+    /// Snapshot oldest-first.
+    [[nodiscard]] std::vector<T> to_vector() const {
+        std::vector<T> out;
+        out.reserve(items_.size());
+        for (std::size_t i = 0; i < items_.size(); ++i) {
+            out.push_back(at(i));
+        }
+        return out;
+    }
+
+private:
+    std::size_t capacity_;
+    std::size_t head_ = 0;
+    std::vector<T> items_;
+};
+
+} // namespace shog

@@ -1,0 +1,90 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "common/require.hpp"
+
+namespace shog {
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+    if (s.empty()) {
+        return false;
+    }
+    bool digit_seen = false;
+    for (char c : s) {
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            digit_seen = true;
+        } else if (c != '.' && c != '-' && c != '+' && c != '/' && c != '%' && c != 'e') {
+            return false;
+        }
+    }
+    return digit_seen;
+}
+
+} // namespace
+
+Text_table::Text_table(std::vector<std::string> header) : header_{std::move(header)} {
+    SHOG_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+void Text_table::add_row(std::vector<std::string> cells) {
+    SHOG_REQUIRE(cells.size() == header_.size(), "row width must match header");
+    rows_.push_back(std::move(cells));
+}
+
+std::string Text_table::num(double value, int precision) {
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(precision);
+    os << value;
+    return os.str();
+}
+
+std::string Text_table::str() const {
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+        widths[c] = header_[c].size();
+    }
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+
+    std::ostringstream os;
+    auto emit_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << "| ";
+            const std::size_t pad = widths[c] - row[c].size();
+            if (looks_numeric(row[c])) {
+                os << std::string(pad, ' ') << row[c];
+            } else {
+                os << row[c] << std::string(pad, ' ');
+            }
+            os << ' ';
+        }
+        os << "|\n";
+    };
+
+    auto emit_rule = [&] {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            os << '+' << std::string(widths[c] + 2, '-');
+        }
+        os << "+\n";
+    };
+
+    emit_rule();
+    emit_row(header_);
+    emit_rule();
+    for (const auto& row : rows_) {
+        emit_row(row);
+    }
+    emit_rule();
+    return os.str();
+}
+
+} // namespace shog

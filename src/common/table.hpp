@@ -1,0 +1,30 @@
+// Plain-text table rendering for the benchmark harnesses: every bench
+// binary prints the same rows the paper's tables report, via this helper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace shog {
+
+class Text_table {
+public:
+    explicit Text_table(std::vector<std::string> header);
+
+    void add_row(std::vector<std::string> cells);
+
+    /// Render with column-aligned plain text. Numeric-looking cells are
+    /// right-aligned, text cells left-aligned.
+    [[nodiscard]] std::string str() const;
+
+    [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+    /// Format helper: fixed-precision double.
+    [[nodiscard]] static std::string num(double value, int precision = 1);
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace shog

@@ -1,0 +1,41 @@
+// Thin strong-ish unit helpers. We keep plain doubles for arithmetic speed
+// but centralize all unit conversions here so Kbps/bytes/seconds math is
+// written once and named at the call site.
+#pragma once
+
+#include <cstdint>
+
+namespace shog {
+
+/// Simulation time is seconds since stream start, as double.
+using Seconds = double;
+
+/// Payload sizes are bytes, as double (fractional bytes appear in rate math).
+using Bytes = double;
+
+constexpr double k_bits_per_byte = 8.0;
+
+/// bytes transferred over a duration -> kilobits per second.
+[[nodiscard]] constexpr double bytes_to_kbps(Bytes bytes, Seconds duration) noexcept {
+    return duration > 0.0 ? (bytes * k_bits_per_byte / 1000.0) / duration : 0.0;
+}
+
+/// kilobits per second sustained for a duration -> bytes.
+[[nodiscard]] constexpr Bytes kbps_to_bytes(double kbps, Seconds duration) noexcept {
+    return kbps * 1000.0 / k_bits_per_byte * duration;
+}
+
+[[nodiscard]] constexpr Bytes kib(double n) noexcept { return n * 1024.0; }
+[[nodiscard]] constexpr Bytes mib(double n) noexcept { return n * 1024.0 * 1024.0; }
+
+/// Transmission delay of a payload over a link of `mbps` megabits/second.
+[[nodiscard]] constexpr Seconds transmit_seconds(Bytes bytes, double mbps) noexcept {
+    return mbps > 0.0 ? (bytes * k_bits_per_byte) / (mbps * 1e6) : 0.0;
+}
+
+/// Clamp helper mirroring the paper's [.]^rmax_rmin notation.
+[[nodiscard]] constexpr double clamp(double x, double lo, double hi) noexcept {
+    return x < lo ? lo : (x > hi ? hi : x);
+}
+
+} // namespace shog

@@ -1,0 +1,56 @@
+#include "core/controller.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace shog::core {
+
+Sampling_controller::Sampling_controller(Controller_config config, double initial_rate)
+    : config_{config}, rate_{initial_rate}, phi_window_{config.phi_horizon} {
+    SHOG_REQUIRE(config_.r_min > 0.0 && config_.r_max > config_.r_min,
+                 "rate bounds must satisfy 0 < r_min < r_max");
+    SHOG_REQUIRE(config_.eta_r >= 0.0 && config_.eta_alpha >= 0.0,
+                 "step sizes must be non-negative");
+    SHOG_REQUIRE(config_.phi_horizon >= 1, "phi horizon must be positive");
+    rate_ = clamp(rate_, config_.r_min, config_.r_max);
+}
+
+void Sampling_controller::observe_phi(double phi) {
+    SHOG_REQUIRE(phi >= 0.0 && phi <= 1.0, "phi must lie in [0, 1]");
+    phi_window_.add(phi);
+}
+
+double Sampling_controller::r_phi() const noexcept {
+    return config_.eta_r * (phi_window_.mean() - config_.phi_target);
+}
+
+double Sampling_controller::effective_alpha_target() const noexcept {
+    if (!config_.adaptive_alpha_target || alpha_peak_ <= 0.0) {
+        return config_.alpha_target;
+    }
+    return clamp(config_.alpha_target_fraction * alpha_peak_, 0.35, 0.85);
+}
+
+double Sampling_controller::r_alpha(double alpha) const noexcept {
+    return config_.eta_alpha * std::max(0.0, effective_alpha_target() - alpha);
+}
+
+double Sampling_controller::r_lambda(double lambda) const noexcept {
+    const double previous = lambda_seen_ ? last_lambda_ : lambda;
+    return (1.0 + lambda - previous) * rate_;
+}
+
+double Sampling_controller::update(double alpha, double lambda) {
+    SHOG_REQUIRE(alpha >= 0.0 && alpha <= 1.0, "alpha must lie in [0, 1]");
+    SHOG_REQUIRE(lambda >= 0.0 && lambda <= 1.0, "lambda must lie in [0, 1]");
+    alpha_peak_ = std::max(alpha, alpha_peak_ * config_.alpha_peak_decay);
+    const double next = r_phi() + r_alpha(alpha) + r_lambda(lambda);
+    last_lambda_ = lambda;
+    lambda_seen_ = true;
+    rate_ = clamp(next, config_.r_min, config_.r_max);
+    ++updates_;
+    return rate_;
+}
+
+} // namespace shog::core

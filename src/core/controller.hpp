@@ -1,0 +1,77 @@
+// Adaptive frame-sampling rate controller (paper §III-C, Eq. 2-3).
+//
+//   r_{t+1} = [ R(phi) + R(alpha) + R(lambda) ]^{r_max}_{r_min}
+//   R(phi)    = eta_r     * (phi_bar_t - phi_target)
+//   R(alpha)  = eta_alpha * max(0, alpha_target - alpha_t)
+//   R(lambda) = (1 + lambda_bar_{t+1} - lambda_bar_t) * r_t
+//
+// The lambda term carries the current rate forward (scaled by the change in
+// edge resource usage); the phi and alpha terms push it up when the scene
+// changes fast or estimated accuracy sags, and let it decay toward r_min on
+// stationary video. The paper uses r_min = 0.1 fps, r_max = 2 fps.
+#pragma once
+
+#include <cstddef>
+
+#include "common/stats.hpp"
+#include "common/units.hpp"
+
+namespace shog::core {
+
+struct Controller_config {
+    double phi_target = 0.18;
+    /// Target for the estimated-accuracy signal. With the agreement-based
+    /// alpha (student-vs-teacher F1), a healthy student sits near 0.65, so
+    /// the target is set just below that; with the paper's posterior alpha,
+    /// 0.8 is the natural choice.
+    double alpha_target = 0.60;
+    /// When true, the target self-calibrates to `alpha_target_fraction` of
+    /// the best alpha recently achieved — different streams (class counts,
+    /// densities) have different healthy-agreement levels, and a fixed
+    /// target either never fires or never rests.
+    bool adaptive_alpha_target = true;
+    double alpha_target_fraction = 0.90;
+    double alpha_peak_decay = 0.995; ///< per update; lets the peak track regime changes
+    double eta_r = 1.6;      ///< step size for the phi term
+    double eta_alpha = 2.0;  ///< step size for the alpha term
+    double r_min = 0.1;      ///< fps
+    double r_max = 2.0;      ///< fps
+    std::size_t phi_horizon = 6; ///< recent labeled frames averaged for phi_bar
+};
+
+class Sampling_controller {
+public:
+    explicit Sampling_controller(Controller_config config = {}, double initial_rate = 1.0);
+
+    /// Feed one phi observation (per newly labeled frame pair).
+    void observe_phi(double phi);
+
+    /// Apply Eq. 2 with the latest accuracy estimate and resource usage;
+    /// returns (and stores) the new sampling rate.
+    double update(double alpha, double lambda);
+
+    [[nodiscard]] double rate() const noexcept { return rate_; }
+    [[nodiscard]] double phi_bar() const noexcept { return phi_window_.mean(); }
+    [[nodiscard]] std::size_t updates() const noexcept { return updates_; }
+
+    /// The alpha target currently in force (self-calibrated or static).
+    [[nodiscard]] double effective_alpha_target() const noexcept;
+
+    // Individual R terms, exposed for white-box tests.
+    [[nodiscard]] double r_phi() const noexcept;
+    [[nodiscard]] double r_alpha(double alpha) const noexcept;
+    [[nodiscard]] double r_lambda(double lambda) const noexcept;
+
+    [[nodiscard]] const Controller_config& config() const noexcept { return config_; }
+
+private:
+    Controller_config config_;
+    double rate_;
+    Moving_average phi_window_;
+    double last_lambda_ = 0.0;
+    bool lambda_seen_ = false;
+    double alpha_peak_ = 0.0;
+    std::size_t updates_ = 0;
+};
+
+} // namespace shog::core

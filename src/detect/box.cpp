@@ -1,0 +1,99 @@
+#include "detect/box.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace shog::detect {
+
+Box Box::clipped(double image_w, double image_h) const noexcept {
+    Box b = *this;
+    b.x1 = std::max(0.0, std::min(b.x1, image_w));
+    b.x2 = std::max(0.0, std::min(b.x2, image_w));
+    b.y1 = std::max(0.0, std::min(b.y1, image_h));
+    b.y2 = std::max(0.0, std::min(b.y2, image_h));
+    return b;
+}
+
+double iou(const Box& a, const Box& b) noexcept {
+    const double ix1 = std::max(a.x1, b.x1);
+    const double iy1 = std::max(a.y1, b.y1);
+    const double ix2 = std::min(a.x2, b.x2);
+    const double iy2 = std::min(a.y2, b.y2);
+    const double iw = ix2 - ix1;
+    const double ih = iy2 - iy1;
+    if (iw <= 0.0 || ih <= 0.0) {
+        return 0.0;
+    }
+    const double inter = iw * ih;
+    const double uni = a.area() + b.area() - inter;
+    return uni > 0.0 ? inter / uni : 0.0;
+}
+
+std::vector<Detection> nms(std::vector<Detection> detections, double iou_threshold) {
+    std::sort(detections.begin(), detections.end(),
+              [](const Detection& a, const Detection& b) { return a.confidence > b.confidence; });
+    std::vector<Detection> kept;
+    kept.reserve(detections.size());
+    std::vector<bool> suppressed(detections.size(), false);
+    for (std::size_t i = 0; i < detections.size(); ++i) {
+        if (suppressed[i]) {
+            continue;
+        }
+        kept.push_back(detections[i]);
+        for (std::size_t j = i + 1; j < detections.size(); ++j) {
+            if (suppressed[j] || detections[j].class_id != detections[i].class_id) {
+                continue;
+            }
+            if (iou(detections[i].box, detections[j].box) > iou_threshold) {
+                suppressed[j] = true;
+            }
+        }
+    }
+    return kept;
+}
+
+Match_result match_detections(const std::vector<Detection>& detections,
+                              const std::vector<Ground_truth>& ground_truth,
+                              double iou_threshold) {
+    Match_result result;
+    result.detection_to_gt.assign(detections.size(), Match_result::npos);
+    result.matched_iou.assign(detections.size(), 0.0);
+
+    // Confidence-ordered detection indices.
+    std::vector<std::size_t> order(detections.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        order[i] = i;
+    }
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return detections[a].confidence > detections[b].confidence;
+    });
+
+    std::vector<bool> gt_taken(ground_truth.size(), false);
+    for (std::size_t oi : order) {
+        const Detection& det = detections[oi];
+        double best_iou = iou_threshold;
+        std::size_t best_gt = Match_result::npos;
+        for (std::size_t g = 0; g < ground_truth.size(); ++g) {
+            if (gt_taken[g] || ground_truth[g].class_id != det.class_id) {
+                continue;
+            }
+            const double overlap = iou(det.box, ground_truth[g].box);
+            if (overlap >= best_iou) {
+                best_iou = overlap;
+                best_gt = g;
+            }
+        }
+        if (best_gt != Match_result::npos) {
+            gt_taken[best_gt] = true;
+            result.detection_to_gt[oi] = best_gt;
+            result.matched_iou[oi] = best_iou;
+            ++result.true_positives;
+        } else {
+            ++result.false_positives;
+        }
+    }
+    result.false_negatives = ground_truth.size() - result.true_positives;
+    return result;
+}
+
+} // namespace shog::detect

@@ -1,0 +1,79 @@
+// Axis-aligned boxes, IoU, non-maximum suppression, and greedy matching —
+// the geometry layer under every detection metric in the paper (mAP@0.5 in
+// Tables I/II, average IoU in Table III, the CDF of Fig. 5).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace shog::detect {
+
+/// Axis-aligned box in pixel coordinates, corner form.
+struct Box {
+    double x1 = 0.0;
+    double y1 = 0.0;
+    double x2 = 0.0;
+    double y2 = 0.0;
+
+    [[nodiscard]] double width() const noexcept { return x2 - x1; }
+    [[nodiscard]] double height() const noexcept { return y2 - y1; }
+    [[nodiscard]] double area() const noexcept {
+        const double w = width();
+        const double h = height();
+        return (w > 0.0 && h > 0.0) ? w * h : 0.0;
+    }
+    [[nodiscard]] double center_x() const noexcept { return 0.5 * (x1 + x2); }
+    [[nodiscard]] double center_y() const noexcept { return 0.5 * (y1 + y2); }
+    [[nodiscard]] bool valid() const noexcept { return x2 > x1 && y2 > y1; }
+
+    /// Build from center/size form.
+    [[nodiscard]] static Box from_center(double cx, double cy, double w, double h) noexcept {
+        return Box{cx - w / 2.0, cy - h / 2.0, cx + w / 2.0, cy + h / 2.0};
+    }
+
+    /// Clip to an image of the given size.
+    [[nodiscard]] Box clipped(double image_w, double image_h) const noexcept;
+};
+
+/// Intersection-over-union of two boxes; 0 when either is degenerate.
+[[nodiscard]] double iou(const Box& a, const Box& b) noexcept;
+
+/// One detector output.
+struct Detection {
+    Box box;
+    std::size_t class_id = 0; ///< 1-based object classes; 0 is background
+    double confidence = 0.0;  ///< model posterior in [0, 1]
+};
+
+/// One annotated object.
+struct Ground_truth {
+    Box box;
+    std::size_t class_id = 0;
+};
+
+/// Class-aware greedy NMS: detections sorted by confidence suppress
+/// same-class boxes with IoU above `iou_threshold`. Returns survivors in
+/// descending-confidence order.
+[[nodiscard]] std::vector<Detection> nms(std::vector<Detection> detections,
+                                         double iou_threshold);
+
+/// Result of greedily matching detections to ground truth at an IoU gate.
+struct Match_result {
+    /// match[i] = index into ground truth for detection i, or npos.
+    std::vector<std::size_t> detection_to_gt;
+    /// IoU of each matched detection (0 for unmatched).
+    std::vector<double> matched_iou;
+    std::size_t true_positives = 0;
+    std::size_t false_positives = 0;
+    std::size_t false_negatives = 0;
+
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+};
+
+/// Greedy confidence-ordered one-to-one matching with class agreement and
+/// IoU >= `iou_threshold` (the standard VOC/COCO evaluation protocol).
+[[nodiscard]] Match_result match_detections(const std::vector<Detection>& detections,
+                                            const std::vector<Ground_truth>& ground_truth,
+                                            double iou_threshold);
+
+} // namespace shog::detect

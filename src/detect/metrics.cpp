@@ -1,0 +1,160 @@
+#include "detect/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace shog::detect {
+
+namespace {
+
+struct Scored_hit {
+    double confidence;
+    bool true_positive;
+};
+
+/// Collect confidence-scored TP/FP flags for one class across frames,
+/// matching per frame (class-restricted).
+std::pair<std::vector<Scored_hit>, std::size_t> scored_hits(
+    const std::vector<Frame_eval>& frames, std::size_t class_id, double iou_threshold) {
+    std::vector<Scored_hit> hits;
+    std::size_t total_gt = 0;
+    for (const Frame_eval& frame : frames) {
+        std::vector<Detection> dets;
+        for (const Detection& d : frame.detections) {
+            if (d.class_id == class_id) {
+                dets.push_back(d);
+            }
+        }
+        std::vector<Ground_truth> gts;
+        for (const Ground_truth& g : frame.ground_truth) {
+            if (g.class_id == class_id) {
+                gts.push_back(g);
+            }
+        }
+        total_gt += gts.size();
+        const Match_result match = match_detections(dets, gts, iou_threshold);
+        for (std::size_t i = 0; i < dets.size(); ++i) {
+            hits.push_back(
+                Scored_hit{dets[i].confidence, match.detection_to_gt[i] != Match_result::npos});
+        }
+    }
+    return {std::move(hits), total_gt};
+}
+
+} // namespace
+
+std::optional<double> average_precision(const std::vector<Frame_eval>& frames,
+                                        std::size_t class_id, double iou_threshold) {
+    auto [hits, total_gt] = scored_hits(frames, class_id, iou_threshold);
+    if (total_gt == 0) {
+        return std::nullopt;
+    }
+    if (hits.empty()) {
+        return 0.0;
+    }
+    std::sort(hits.begin(), hits.end(),
+              [](const Scored_hit& a, const Scored_hit& b) { return a.confidence > b.confidence; });
+
+    // Precision/recall points.
+    std::vector<double> precision(hits.size());
+    std::vector<double> recall(hits.size());
+    std::size_t tp = 0;
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+        if (hits[i].true_positive) {
+            ++tp;
+        }
+        precision[i] = static_cast<double>(tp) / static_cast<double>(i + 1);
+        recall[i] = static_cast<double>(tp) / static_cast<double>(total_gt);
+    }
+
+    // Precision envelope (monotone non-increasing from the right).
+    for (std::size_t i = precision.size() - 1; i > 0; --i) {
+        precision[i - 1] = std::max(precision[i - 1], precision[i]);
+    }
+
+    // Area under the stepwise PR curve.
+    double ap = recall[0] * precision[0];
+    for (std::size_t i = 1; i < hits.size(); ++i) {
+        ap += (recall[i] - recall[i - 1]) * precision[i];
+    }
+    return ap;
+}
+
+double mean_average_precision(const std::vector<Frame_eval>& frames, std::size_t num_classes,
+                              double iou_threshold) {
+    SHOG_REQUIRE(num_classes > 0, "need at least one class");
+    double total = 0.0;
+    std::size_t counted = 0;
+    for (std::size_t c = 1; c <= num_classes; ++c) {
+        if (const auto ap = average_precision(frames, c, iou_threshold)) {
+            total += *ap;
+            ++counted;
+        }
+    }
+    return counted > 0 ? total / static_cast<double>(counted) : 0.0;
+}
+
+double mean_matched_iou(const std::vector<Frame_eval>& frames, double iou_threshold) {
+    double total = 0.0;
+    std::size_t count = 0;
+    for (const Frame_eval& frame : frames) {
+        const Match_result match =
+            match_detections(frame.detections, frame.ground_truth, iou_threshold);
+        for (std::size_t i = 0; i < frame.detections.size(); ++i) {
+            if (match.detection_to_gt[i] != Match_result::npos) {
+                total += match.matched_iou[i];
+                ++count;
+            }
+        }
+    }
+    return count > 0 ? total / static_cast<double>(count) : 0.0;
+}
+
+Stream_evaluator::Stream_evaluator(std::size_t num_classes, double iou_threshold)
+    : num_classes_{num_classes}, iou_threshold_{iou_threshold} {
+    SHOG_REQUIRE(num_classes > 0, "need at least one class");
+    SHOG_REQUIRE(iou_threshold > 0.0 && iou_threshold < 1.0, "IoU gate must lie in (0, 1)");
+}
+
+void Stream_evaluator::add_frame(double timestamp, Frame_eval frame) {
+    SHOG_REQUIRE(timestamps_.empty() || timestamp >= timestamps_.back(),
+                 "frames must arrive in time order");
+    timestamps_.push_back(timestamp);
+    frames_.push_back(std::move(frame));
+}
+
+double Stream_evaluator::map() const {
+    return mean_average_precision(frames_, num_classes_, iou_threshold_);
+}
+
+double Stream_evaluator::average_iou() const { return mean_matched_iou(frames_, iou_threshold_); }
+
+std::vector<std::pair<double, double>> Stream_evaluator::windowed_map(
+    double window_seconds) const {
+    SHOG_REQUIRE(window_seconds > 0.0, "window must be positive");
+    std::vector<std::pair<double, double>> out;
+    if (frames_.empty()) {
+        return out;
+    }
+    const double start = timestamps_.front();
+    std::size_t begin = 0;
+    while (begin < frames_.size()) {
+        const double window_start =
+            start + std::floor((timestamps_[begin] - start) / window_seconds) * window_seconds;
+        const double window_end = window_start + window_seconds;
+        std::size_t end = begin;
+        std::vector<Frame_eval> window_frames;
+        while (end < frames_.size() && timestamps_[end] < window_end) {
+            window_frames.push_back(frames_[end]);
+            ++end;
+        }
+        out.emplace_back(window_start,
+                         mean_average_precision(window_frames, num_classes_, iou_threshold_));
+        begin = end;
+    }
+    return out;
+}
+
+} // namespace shog::detect

@@ -1,0 +1,64 @@
+// Detection quality metrics: per-class average precision (all-point
+// interpolation), mAP@IoU, mean matched IoU, plus a frame-accumulating
+// evaluator with windowed reporting used for the Fig. 5 CDF.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "detect/box.hpp"
+
+namespace shog::detect {
+
+/// A frame's evaluation payload.
+struct Frame_eval {
+    std::vector<Detection> detections;
+    std::vector<Ground_truth> ground_truth;
+};
+
+/// Average precision for one class over a set of frames, using greedy
+/// per-frame matching at `iou_threshold` and all-point interpolation of the
+/// precision envelope. Returns nullopt when the class has no ground truth.
+[[nodiscard]] std::optional<double> average_precision(const std::vector<Frame_eval>& frames,
+                                                      std::size_t class_id,
+                                                      double iou_threshold);
+
+/// Mean AP over all classes that appear in the ground truth.
+[[nodiscard]] double mean_average_precision(const std::vector<Frame_eval>& frames,
+                                            std::size_t num_classes, double iou_threshold);
+
+/// Mean IoU of true-positive matches across frames (Table III's metric).
+[[nodiscard]] double mean_matched_iou(const std::vector<Frame_eval>& frames,
+                                      double iou_threshold);
+
+/// Accumulates frames over time and reports stream-level and windowed scores.
+class Stream_evaluator {
+public:
+    Stream_evaluator(std::size_t num_classes, double iou_threshold);
+
+    void add_frame(double timestamp, Frame_eval frame);
+
+    [[nodiscard]] std::size_t frame_count() const noexcept { return frames_.size(); }
+
+    /// mAP over the whole stream so far.
+    [[nodiscard]] double map() const;
+
+    /// Mean matched IoU over the whole stream so far.
+    [[nodiscard]] double average_iou() const;
+
+    /// mAP per fixed-duration window; returns {window start time, mAP}.
+    [[nodiscard]] std::vector<std::pair<double, double>> windowed_map(
+        double window_seconds) const;
+
+    [[nodiscard]] std::size_t num_classes() const noexcept { return num_classes_; }
+    [[nodiscard]] double iou_threshold() const noexcept { return iou_threshold_; }
+
+private:
+    std::size_t num_classes_;
+    double iou_threshold_;
+    std::vector<double> timestamps_;
+    std::vector<Frame_eval> frames_;
+};
+
+} // namespace shog::detect

@@ -1,0 +1,72 @@
+// Device compute cost models.
+//
+// Converts deployed-model FLOPs (models::Deployed_profile) into seconds on
+// a given accelerator, and models edge GPU contention: while an adaptive
+// training session runs, inference throughput drops (the paper's Fig. 4
+// shows 30 -> ~15 fps during sessions).
+#pragma once
+
+#include <string>
+
+#include "common/units.hpp"
+
+namespace shog::device {
+
+struct Compute_model {
+    std::string name;
+    /// Sustained effective throughput for this workload, TFLOP/s.
+    double effective_tflops = 1.0;
+
+    [[nodiscard]] Seconds seconds_for_gflops(double gflops) const noexcept {
+        return gflops / (effective_tflops * 1000.0);
+    }
+};
+
+/// NVIDIA Jetson TX2 (edge): ~1.3 TFLOPS fp16 peak; sustained efficiency on
+/// detection workloads lands near 0.18 TFLOP/s effective.
+[[nodiscard]] Compute_model jetson_tx2();
+
+/// NVIDIA V100 (cloud): ~7 TFLOP/s effective on this workload mix.
+[[nodiscard]] Compute_model v100();
+
+/// Edge GPU contention model.
+struct Edge_contention_config {
+    /// Fraction of device compute granted to a training session while one is
+    /// active (the remainder serves inference).
+    double training_share = 0.55;
+    /// Fixed per-frame overhead besides the network forward (pre/post
+    /// processing), in seconds.
+    Seconds per_frame_overhead = 0.004;
+};
+
+class Edge_compute {
+public:
+    Edge_compute(Compute_model model, Edge_contention_config config,
+                 double inference_gflops_per_frame);
+
+    /// Peak inference fps with no training running.
+    [[nodiscard]] double idle_fps() const noexcept;
+
+    /// Inference fps while a training session shares the device.
+    [[nodiscard]] double training_fps() const noexcept;
+
+    /// Achieved fps for a video of `video_fps` (can't exceed the source).
+    [[nodiscard]] double achieved_fps(double video_fps, bool training_active) const noexcept;
+
+    /// Wall-clock duration of a training session of `gflops` total work,
+    /// given that training only gets its share of the device.
+    [[nodiscard]] Seconds training_wall_seconds(double gflops) const noexcept;
+
+    /// GPU utilization in [0,1] for the lambda resource signal.
+    [[nodiscard]] double utilization(double video_fps, bool training_active) const noexcept;
+
+    [[nodiscard]] const Compute_model& model() const noexcept { return model_; }
+    [[nodiscard]] const Edge_contention_config& config() const noexcept { return config_; }
+
+private:
+    Compute_model model_;
+    Edge_contention_config config_;
+    double inference_gflops_;
+};
+
+} // namespace shog::device

@@ -1,0 +1,65 @@
+// Edge-side runtime telemetry: the fps timeline (Fig. 4) and the resource
+// usage signal lambda that the cloud's sampling-rate controller consumes
+// (paper §III-C: "only GPU or CPU resource usage in percent for every
+// second is monitored", with a configurable collection frequency).
+#pragma once
+
+#include <vector>
+
+#include "common/require.hpp"
+#include "common/units.hpp"
+
+namespace shog::device {
+
+/// Time-weighted fps timeline.
+class Fps_tracker {
+public:
+    /// Record that fps was `fps` from the last recorded time until `until`.
+    void record_until(Seconds until, double fps);
+
+    [[nodiscard]] double average_fps() const noexcept;
+
+    struct Sample {
+        Seconds from;
+        Seconds to;
+        double fps;
+    };
+    [[nodiscard]] const std::vector<Sample>& samples() const noexcept { return samples_; }
+
+    /// fps at a given time (0 if before the first record).
+    [[nodiscard]] double fps_at(Seconds t) const noexcept;
+
+private:
+    std::vector<Sample> samples_;
+    Seconds cursor_ = 0.0;
+};
+
+/// Periodic resource-usage collector.
+class Resource_monitor {
+public:
+    explicit Resource_monitor(Seconds collect_period = 1.0);
+
+    /// Record utilization (in [0,1]) covering the span since the last call.
+    void record_until(Seconds until, double utilization);
+
+    /// Mean utilization since the last drain (what gets sent to the cloud);
+    /// drains the accumulator.
+    [[nodiscard]] double drain_average();
+
+    /// Mean utilization over everything recorded so far (not drained).
+    [[nodiscard]] double lifetime_average() const noexcept;
+
+    [[nodiscard]] Seconds collect_period() const noexcept { return period_; }
+
+private:
+    Seconds period_;
+    Seconds cursor_ = 0.0;
+    // Pending (since last drain).
+    double pending_weighted_ = 0.0;
+    Seconds pending_span_ = 0.0;
+    // Lifetime.
+    double life_weighted_ = 0.0;
+    Seconds life_span_ = 0.0;
+};
+
+} // namespace shog::device

@@ -1,0 +1,36 @@
+#include "models/samples.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace shog::models {
+
+std::array<double, 4> encode_box_offsets(const detect::Box& proposal,
+                                         const detect::Box& target) {
+    SHOG_REQUIRE(proposal.valid(), "proposal box must be valid");
+    SHOG_REQUIRE(target.valid(), "target box must be valid");
+    const double pw = proposal.width();
+    const double ph = proposal.height();
+    return {
+        (target.center_x() - proposal.center_x()) / pw,
+        (target.center_y() - proposal.center_y()) / ph,
+        std::log(target.width() / pw),
+        std::log(target.height() / ph),
+    };
+}
+
+detect::Box apply_box_offsets(const detect::Box& proposal,
+                              const std::array<double, 4>& offsets) {
+    SHOG_REQUIRE(proposal.valid(), "proposal box must be valid");
+    const double pw = proposal.width();
+    const double ph = proposal.height();
+    const double cx = proposal.center_x() + offsets[0] * pw;
+    const double cy = proposal.center_y() + offsets[1] * ph;
+    const double w = pw * std::exp(offsets[2]);
+    const double h = ph * std::exp(offsets[3]);
+    return detect::Box::from_center(cx, cy, w, h);
+}
+
+} // namespace shog::models

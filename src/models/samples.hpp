@@ -1,0 +1,44 @@
+// Data records exchanged between the detector, the online labeler (cloud)
+// and the adaptive trainer (edge).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "detect/box.hpp"
+
+namespace shog::models {
+
+inline constexpr std::size_t k_no_gt = static_cast<std::size_t>(-1);
+
+/// A region proposal: a candidate box plus the feature vector the detector
+/// observes for it. Provenance fields are simulation-side bookkeeping (never
+/// shown to the model) used to build evaluation ground truth.
+struct Proposal {
+    detect::Box box;
+    std::vector<double> feature;
+    bool from_object = false;
+    std::size_t gt_index = k_no_gt; ///< index into the frame's object list
+};
+
+/// One training sample, per the paper's Eq. 1: X_i is a region (feature
+/// vector at the input layer), labeled positive with a class from the
+/// teacher detector or negative (class 0).
+struct Labeled_sample {
+    std::vector<double> feature;
+    std::size_t class_label = 0;                   ///< 0 = negative/background
+    std::array<double, 4> box_target{0, 0, 0, 0};  ///< offsets; valid when positive
+    double weight = 1.0;
+};
+
+/// Standard box-regression encoding of a target box relative to a proposal:
+/// (dx, dy, dw, dh) with dx/dy scaled by proposal size, dw/dh in log space.
+[[nodiscard]] std::array<double, 4> encode_box_offsets(const detect::Box& proposal,
+                                                       const detect::Box& target);
+
+/// Inverse of encode_box_offsets.
+[[nodiscard]] detect::Box apply_box_offsets(const detect::Box& proposal,
+                                            const std::array<double, 4>& offsets);
+
+} // namespace shog::models

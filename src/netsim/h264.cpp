@@ -1,0 +1,65 @@
+#include "netsim/h264.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace shog::netsim {
+
+H264_model::H264_model(H264_config config) : config_{config} {
+    SHOG_REQUIRE(config_.intra_bpp > 0.0, "intra bpp must be positive");
+    SHOG_REQUIRE(config_.p_floor > 0.0 && config_.p_floor < 1.0, "p_floor must lie in (0, 1)");
+    SHOG_REQUIRE(config_.redundancy_tau > 0.0, "tau must be positive");
+    SHOG_REQUIRE(config_.encode_mpix_per_second > 0.0, "encoder throughput must be positive");
+}
+
+double H264_model::pixel_term(double width, double height) const {
+    SHOG_REQUIRE(width > 0.0 && height > 0.0, "frame size must be positive");
+    // Normalize around a 512x512 frame so intra_bpp is directly the bpp there.
+    const double pixels = width * height;
+    const double reference = 512.0 * 512.0;
+    return reference * std::pow(pixels / reference, config_.resolution_exponent);
+}
+
+Bytes H264_model::intra_frame_bytes(double width, double height, double complexity) const {
+    const double c = clamp(complexity, 0.05, 1.0);
+    return pixel_term(width, height) * config_.intra_bpp * c / k_bits_per_byte;
+}
+
+Bytes H264_model::predicted_frame_bytes(double width, double height, double complexity,
+                                        double motion, Seconds gap_seconds) const {
+    SHOG_REQUIRE(gap_seconds >= 0.0, "gap must be non-negative");
+    const double m = clamp(motion, 0.0, 1.0);
+    const double tau = config_.redundancy_tau / (1.0 + config_.motion_tau_k * m);
+    const double novelty = 1.0 - std::exp(-gap_seconds / tau);
+    const double fraction = config_.p_floor + (1.0 - config_.p_floor) * novelty;
+    return intra_frame_bytes(width, height, complexity) * fraction;
+}
+
+Bytes H264_model::stream_frame_bytes(double width, double height, double complexity,
+                                     double motion, double fps, std::size_t gop) const {
+    SHOG_REQUIRE(fps > 0.0, "fps must be positive");
+    SHOG_REQUIRE(gop >= 1, "GOP must be at least 1");
+    const Bytes i_bytes = intra_frame_bytes(width, height, complexity);
+    const Bytes p_bytes = predicted_frame_bytes(width, height, complexity, motion, 1.0 / fps);
+    const double g = static_cast<double>(gop);
+    return (i_bytes + (g - 1.0) * p_bytes) / g;
+}
+
+Bytes H264_model::batch_bytes(std::size_t frames, double width, double height,
+                              double complexity, double motion, Seconds gap_seconds) const {
+    if (frames == 0) {
+        return 0.0;
+    }
+    const Bytes i_bytes = intra_frame_bytes(width, height, complexity);
+    const Bytes p_bytes =
+        predicted_frame_bytes(width, height, complexity, motion, gap_seconds);
+    return i_bytes + static_cast<double>(frames - 1) * p_bytes;
+}
+
+Seconds H264_model::encode_seconds(std::size_t frames, double width, double height) const {
+    const double mpix = static_cast<double>(frames) * width * height / 1e6;
+    return config_.encode_setup_seconds + mpix / config_.encode_mpix_per_second;
+}
+
+} // namespace shog::netsim

@@ -1,0 +1,72 @@
+// H.264 encoding cost model.
+//
+// Shoggoth never ships pixels in this reproduction; what the system needs
+// from a video codec is (a) how many bytes a frame costs given resolution,
+// scene complexity, motion, and the time gap to the previous encoded frame
+// (temporal redundancy), and (b) how long encoding a buffered batch takes
+// (the paper reports 1-3 s). The model is calibrated so that the paper's
+// operating points hold: a 30 fps stream lands near 3 Mbps at DETRAC-like
+// resolution, while sparsely sampled frames cost close to I-frame size.
+#pragma once
+
+#include <cstddef>
+
+#include "common/units.hpp"
+
+namespace shog::netsim {
+
+struct H264_config {
+    /// Bits per pixel of an intra frame at complexity 1.0.
+    double intra_bpp = 0.9;
+    /// Sub-linear resolution scaling (larger frames compress better per px).
+    double resolution_exponent = 0.85;
+    /// Fraction of I-frame cost that a fully-redundant P-frame still costs.
+    double p_floor = 0.40;
+    /// Temporal redundancy decay time constant at motion 0 (seconds).
+    double redundancy_tau = 1.6;
+    /// Motion shortens the redundancy window: tau_eff = tau / (1 + k*motion).
+    double motion_tau_k = 2.2;
+    /// Encoder throughput in megapixels per second (drives encode latency).
+    double encode_mpix_per_second = 9.0;
+    /// Fixed per-batch encode setup latency (seconds).
+    double encode_setup_seconds = 0.8;
+};
+
+class H264_model {
+public:
+    explicit H264_model(H264_config config = {});
+
+    [[nodiscard]] const H264_config& config() const noexcept { return config_; }
+
+    /// Bytes of an intra (I) frame.
+    [[nodiscard]] Bytes intra_frame_bytes(double width, double height,
+                                          double complexity) const;
+
+    /// Bytes of a predicted (P) frame encoded `gap_seconds` after the
+    /// previous frame in the same encode, under the given motion level.
+    [[nodiscard]] Bytes predicted_frame_bytes(double width, double height, double complexity,
+                                              double motion, Seconds gap_seconds) const;
+
+    /// Average per-frame bytes of a continuous stream at `fps` with an
+    /// I-frame every `gop` frames (Cloud-Only uplink).
+    [[nodiscard]] Bytes stream_frame_bytes(double width, double height, double complexity,
+                                           double motion, double fps,
+                                           std::size_t gop = 60) const;
+
+    /// Total bytes of a buffered sample batch: first frame is intra, the
+    /// rest predicted at the batch's inter-frame gap.
+    [[nodiscard]] Bytes batch_bytes(std::size_t frames, double width, double height,
+                                    double complexity, double motion,
+                                    Seconds gap_seconds) const;
+
+    /// Wall-clock encode latency for a batch (paper: 1-3 s).
+    [[nodiscard]] Seconds encode_seconds(std::size_t frames, double width,
+                                         double height) const;
+
+private:
+    H264_config config_;
+
+    [[nodiscard]] double pixel_term(double width, double height) const;
+};
+
+} // namespace shog::netsim

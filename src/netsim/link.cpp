@@ -1,0 +1,54 @@
+#include "netsim/link.hpp"
+
+#include <algorithm>
+
+namespace shog::netsim {
+
+void Bandwidth_meter::record(Seconds at, Bytes bytes) {
+    SHOG_REQUIRE(bytes >= 0.0, "cannot record negative bytes");
+    SHOG_REQUIRE(records_.empty() || at >= records_.back().at,
+                 "meter records must be time-ordered");
+    records_.push_back(Record{at, bytes});
+    total_ += bytes;
+    ++count_;
+}
+
+double Bandwidth_meter::windowed_kbps(Seconds from, Seconds to) const {
+    SHOG_REQUIRE(to > from, "empty metering window");
+    Bytes bytes = 0.0;
+    for (const Record& r : records_) {
+        if (r.at >= from && r.at < to) {
+            bytes += r.bytes;
+        }
+    }
+    return bytes_to_kbps(bytes, to - from);
+}
+
+void Bandwidth_meter::reset() noexcept {
+    records_.clear();
+    total_ = 0.0;
+    count_ = 0;
+}
+
+Link::Link(Link_config config) : config_{config} {
+    SHOG_REQUIRE(config_.uplink_mbps > 0.0, "uplink capacity must be positive");
+    SHOG_REQUIRE(config_.downlink_mbps > 0.0, "downlink capacity must be positive");
+    SHOG_REQUIRE(config_.propagation >= 0.0, "propagation must be non-negative");
+}
+
+Seconds Link::send_up(Seconds now, Bytes bytes) {
+    up_.record(now, bytes);
+    return config_.propagation + transmit_seconds(bytes, config_.uplink_mbps);
+}
+
+Seconds Link::send_down(Seconds now, Bytes bytes) {
+    down_.record(now, bytes);
+    return config_.propagation + transmit_seconds(bytes, config_.downlink_mbps);
+}
+
+void Link::reset_meters() noexcept {
+    up_.reset();
+    down_.reset();
+}
+
+} // namespace shog::netsim

@@ -1,0 +1,77 @@
+// Network link simulation and bandwidth accounting.
+//
+// Table I's Up/Down columns are *measured averages* over the experiment —
+// the meters here integrate actual message bytes over simulated time. The
+// Link adds transmission + propagation delay so staleness (e.g. AMS model
+// updates in flight) is physical rather than assumed.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/require.hpp"
+#include "common/units.hpp"
+
+namespace shog::netsim {
+
+/// Records transferred bytes over time; reports average rates.
+class Bandwidth_meter {
+public:
+    void record(Seconds at, Bytes bytes);
+
+    [[nodiscard]] Bytes total_bytes() const noexcept { return total_; }
+    [[nodiscard]] std::size_t message_count() const noexcept { return count_; }
+
+    /// Average rate in Kbps over an externally-known horizon.
+    [[nodiscard]] double average_kbps(Seconds horizon) const {
+        SHOG_REQUIRE(horizon > 0.0, "horizon must be positive");
+        return bytes_to_kbps(total_, horizon);
+    }
+
+    /// Average rate in Kbps within [from, to) using recorded timestamps.
+    [[nodiscard]] double windowed_kbps(Seconds from, Seconds to) const;
+
+    void reset() noexcept;
+
+private:
+    struct Record {
+        Seconds at;
+        Bytes bytes;
+    };
+    std::vector<Record> records_;
+    Bytes total_ = 0.0;
+    std::size_t count_ = 0;
+};
+
+struct Link_config {
+    double uplink_mbps = 12.0;    ///< edge -> cloud capacity
+    double downlink_mbps = 40.0;  ///< cloud -> edge capacity
+    Seconds propagation = 0.025;  ///< one-way propagation delay
+};
+
+/// Point-to-point link between one edge device and the cloud.
+class Link {
+public:
+    explicit Link(Link_config config = {});
+
+    [[nodiscard]] const Link_config& config() const noexcept { return config_; }
+
+    /// Delay to deliver a payload edge->cloud, metering the bytes at `now`.
+    [[nodiscard]] Seconds send_up(Seconds now, Bytes bytes);
+
+    /// Delay to deliver a payload cloud->edge, metering the bytes at `now`.
+    [[nodiscard]] Seconds send_down(Seconds now, Bytes bytes);
+
+    [[nodiscard]] const Bandwidth_meter& up_meter() const noexcept { return up_; }
+    [[nodiscard]] const Bandwidth_meter& down_meter() const noexcept { return down_; }
+
+    void reset_meters() noexcept;
+
+private:
+    Link_config config_;
+    Bandwidth_meter up_;
+    Bandwidth_meter down_;
+};
+
+} // namespace shog::netsim

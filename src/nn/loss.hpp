@@ -1,0 +1,34 @@
+// Loss functions used by the detector training: softmax cross-entropy for
+// the class head (background = class 0, matching Eq. 1's positive/negative
+// labeling), and smooth-L1 for the box-refinement head.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace shog::nn {
+
+struct Loss_result {
+    double value = 0.0; ///< mean loss over the batch
+    Tensor grad;        ///< gradient w.r.t. the loss input (already / batch)
+};
+
+/// Row-wise softmax of logits.
+[[nodiscard]] Tensor softmax(const Tensor& logits);
+
+/// Mean softmax cross-entropy of `logits` [batch x classes] against integer
+/// `labels`. Optional per-row weights (defaults to 1); weights rescale both
+/// the loss and the gradient.
+[[nodiscard]] Loss_result softmax_cross_entropy(const Tensor& logits,
+                                                const std::vector<std::size_t>& labels,
+                                                const std::vector<double>& row_weights = {});
+
+/// Mean smooth-L1 (Huber, delta=1) between predictions and targets
+/// [batch x dims], with a per-row mask (rows with mask 0 contribute nothing;
+/// typically background rows have no box target).
+[[nodiscard]] Loss_result smooth_l1(const Tensor& prediction, const Tensor& target,
+                                    const std::vector<double>& row_mask);
+
+} // namespace shog::nn

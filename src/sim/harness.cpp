@@ -1,0 +1,103 @@
+#include "sim/harness.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "device/monitor.hpp"
+
+namespace shog::sim {
+
+Runtime::Runtime(const video::Video_stream& stream, netsim::Link_config link_config,
+                 netsim::H264_config h264_config, device::Edge_compute edge_compute,
+                 std::uint64_t seed)
+    : stream_{stream},
+      link_{link_config},
+      h264_{h264_config},
+      edge_compute_{std::move(edge_compute)},
+      rng_{seed} {}
+
+Run_result run_strategy(Strategy& strategy, const video::Video_stream& stream,
+                        const Harness_config& config) {
+    SHOG_REQUIRE(config.eval_stride >= 1, "eval stride must be >= 1");
+
+    device::Edge_compute edge_compute{device::jetson_tx2(), config.contention,
+                                      config.edge_inference_gflops};
+    Runtime rt{stream, config.link, config.h264, edge_compute, config.seed};
+
+    detect::Stream_evaluator evaluator{stream.num_classes(), config.iou_threshold};
+    device::Fps_tracker fps_tracker;
+
+    const Seconds duration = stream.duration();
+
+    // Evaluation events: stride over frames, query the strategy, score.
+    for (std::size_t idx = 0; idx < stream.frame_count(); idx += config.eval_stride) {
+        const Seconds at = static_cast<double>(idx) / stream.fps();
+        rt.schedule(at, [&rt, &strategy, &evaluator, idx] {
+            const video::Frame frame = rt.stream().frame_at(idx);
+            std::vector<detect::Detection> detections = strategy.infer(rt, frame);
+            strategy.on_inference(rt, frame, detections);
+            evaluator.add_frame(frame.timestamp,
+                                detect::Frame_eval{std::move(detections),
+                                                   video::Video_stream::ground_truth(frame)});
+        });
+    }
+
+    // fps sampling ticks.
+    const double video_fps = stream.fps();
+    for (Seconds t = config.fps_tick; t <= duration; t += config.fps_tick) {
+        rt.schedule(t, [&rt, &fps_tracker, video_fps] {
+            const double fps = rt.fps_override() >= 0.0
+                                   ? rt.fps_override()
+                                   : rt.edge_compute().achieved_fps(video_fps,
+                                                                    rt.training_active());
+            fps_tracker.record_until(rt.now(), fps);
+        });
+    }
+
+    strategy.start(rt);
+    (void)rt.queue().run_until(duration);
+
+    Run_result result;
+    result.strategy = strategy.name();
+    result.duration = duration;
+    result.map_pooled = evaluator.map();
+    result.average_iou = evaluator.average_iou();
+    result.evaluated_frames = evaluator.frame_count();
+    result.up_kbps = rt.link().up_meter().average_kbps(duration);
+    result.down_kbps = rt.link().down_meter().average_kbps(duration);
+    result.average_fps = fps_tracker.average_fps();
+    result.training_sessions = rt.training_sessions();
+    result.cloud_gpu_seconds = rt.cloud_gpu_seconds();
+    for (const auto& s : fps_tracker.samples()) {
+        result.fps_timeline.emplace_back(s.from, s.fps);
+    }
+    result.windowed_map = evaluator.windowed_map(config.map_window);
+    if (!result.windowed_map.empty()) {
+        double total = 0.0;
+        for (const auto& [start, value] : result.windowed_map) {
+            total += value;
+        }
+        result.map = total / static_cast<double>(result.windowed_map.size());
+    } else {
+        result.map = result.map_pooled;
+    }
+    return result;
+}
+
+std::vector<double> windowed_gain(const Run_result& result, const Run_result& baseline) {
+    std::map<double, double> base;
+    for (const auto& [start, value] : baseline.windowed_map) {
+        base[start] = value;
+    }
+    std::vector<double> gains;
+    for (const auto& [start, value] : result.windowed_map) {
+        const auto it = base.find(start);
+        if (it != base.end()) {
+            gains.push_back(value - it->second);
+        }
+    }
+    return gains;
+}
+
+} // namespace shog::sim

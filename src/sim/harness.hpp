@@ -1,0 +1,67 @@
+// Simulation harness: runs one strategy over one stream and collects every
+// metric the paper's tables and figures report.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "detect/metrics.hpp"
+#include "device/compute.hpp"
+#include "netsim/h264.hpp"
+#include "netsim/link.hpp"
+#include "sim/strategy.hpp"
+#include "video/stream.hpp"
+
+namespace shog::sim {
+
+struct Harness_config {
+    /// Evaluate every Nth frame (bounds simulation cost; detection quality
+    /// statistics are unaffected by uniform striding).
+    std::size_t eval_stride = 9;
+    Seconds fps_tick = 1.0;
+    Seconds map_window = 20.0; ///< windowed mAP period for the Fig. 5 CDF
+    double iou_threshold = 0.5;
+    netsim::Link_config link;
+    netsim::H264_config h264;
+    device::Edge_contention_config contention;
+    /// Deployed inference cost per frame on the edge (GFLOPs); with the TX2
+    /// model this pins the idle fps near the paper's 30.
+    double edge_inference_gflops = 5.2;
+    std::uint64_t seed = 17;
+};
+
+struct Run_result {
+    std::string strategy;
+    std::string dataset;
+    /// Time-averaged mAP@IoU: mean of the windowed mAP series. This is the
+    /// headline accuracy metric (live video cares about accuracy *over
+    /// time*, not about a stream-global detection ranking).
+    double map = 0.0;
+    /// Stream-pooled mAP@IoU (all evaluated frames ranked together).
+    double map_pooled = 0.0;
+    double average_iou = 0.0;
+    double up_kbps = 0.0;
+    double down_kbps = 0.0;
+    double average_fps = 0.0;
+    Seconds duration = 0.0;
+    std::size_t evaluated_frames = 0;
+    std::size_t training_sessions = 0;
+    Seconds cloud_gpu_seconds = 0.0;
+    /// (time, fps) timeline samples at fps_tick resolution (Fig. 4 right).
+    std::vector<std::pair<double, double>> fps_timeline;
+    /// (window start, mAP) series (Fig. 5 input).
+    std::vector<std::pair<double, double>> windowed_map;
+};
+
+/// Run `strategy` over the stream and measure everything.
+[[nodiscard]] Run_result run_strategy(Strategy& strategy, const video::Video_stream& stream,
+                                      const Harness_config& config);
+
+/// Per-window mAP gains of `result` over `baseline` (windows aligned by
+/// start time); the Fig. 5 CDF is the distribution of these values.
+[[nodiscard]] std::vector<double> windowed_gain(const Run_result& result,
+                                                const Run_result& baseline);
+
+} // namespace shog::sim

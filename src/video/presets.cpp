@@ -1,0 +1,135 @@
+#include "video/presets.hpp"
+
+#include <cstring>
+
+#include "common/require.hpp"
+
+namespace shog::video {
+
+Dataset_preset ua_detrac_like(std::uint64_t seed, Seconds duration) {
+    Dataset_preset p{
+        "ua_detrac",
+        Stream_config{},
+        World_config{},
+        // Harsh cycle: sunny rush hour -> cloudy -> rain -> dusk -> night,
+        // short ramps, repeating so early domains recur (forgetting shows).
+        Domain_schedule{{
+                            {day_sunny(0.95), 30.0},
+                            {day_cloudy(0.7), 40.0},
+                            {day_rainy(0.8), 55.0},
+                            {dusk(0.6), 35.0},
+                            {night(0.55), 75.0},
+                        },
+                        12.0,
+                        /*cycle=*/true},
+    };
+    p.stream.seed = seed;
+    p.stream.duration = duration;
+    p.stream.image_width = 960.0;
+    p.stream.image_height = 540.0;
+    p.stream.spawn_rate = 2.2;
+    p.stream.mean_dwell = 8.0;
+    p.stream.ego_motion = 0.0;
+    p.stream.class_names = {"car", "van", "bus", "truck"};
+    p.stream.class_frequency = {0.62, 0.16, 0.10, 0.12};
+    p.stream.class_size_fraction = {0.055, 0.06, 0.11, 0.09};
+
+    p.world.seed = seed ^ 0x9d03;
+    p.world.num_classes = 4;
+    p.world.confusable_pairs = {{1, 2}}; // van pulled toward car (Fig. 1)
+    p.world.night_extra_noise = 0.7;
+    p.world.night_bias = 4.2;
+    p.world.weather_rotation = 0.28;
+    p.world.weather_bias = 1.1;
+    return p;
+}
+
+Dataset_preset kitti_like(std::uint64_t seed, Seconds duration) {
+    Dataset_preset p{
+        "kitti",
+        Stream_config{},
+        World_config{},
+        // Day-only drift (no night leg): weather is what moves, so the
+        // weather transform is strong for this preset.
+        Domain_schedule{{
+                            {day_sunny(0.5), 60.0},
+                            {day_cloudy(0.45), 75.0},
+                            {day_rainy(0.4), 80.0},
+                            {day_sunny(0.55), 55.0},
+                            {day_rainy(0.5), 60.0},
+                        },
+                        20.0,
+                        /*cycle=*/true},
+    };
+    p.stream.seed = seed;
+    p.stream.duration = duration;
+    p.stream.image_width = 1242.0;
+    p.stream.image_height = 375.0;
+    p.stream.spawn_rate = 1.3;
+    p.stream.mean_dwell = 6.5;
+    p.stream.ego_motion = 0.35; // dashcam
+    p.stream.class_names = {"car"};
+    p.stream.class_frequency = {1.0};
+    p.stream.class_size_fraction = {0.065};
+
+    p.world.seed = seed ^ 0x11a7;
+    p.world.num_classes = 1;
+    p.world.night_extra_noise = 0.6;
+    p.world.weather_rotation = 0.35;
+    p.world.weather_bias = 1.5;
+    p.world.base_noise = 0.16;
+    return p;
+}
+
+Dataset_preset waymo_like(std::uint64_t seed, Seconds duration) {
+    Dataset_preset p{
+        "waymo",
+        Stream_config{},
+        World_config{},
+        // Mixed suburban driving with a real night leg.
+        Domain_schedule{{
+                            {day_sunny(0.55), 45.0},
+                            {day_cloudy(0.5), 50.0},
+                            {dusk(0.45), 45.0},
+                            {night(0.4), 80.0},
+                            {day_cloudy(0.5), 45.0},
+                        },
+                        16.0,
+                        /*cycle=*/true},
+    };
+    p.stream.seed = seed;
+    p.stream.duration = duration;
+    p.stream.image_width = 1280.0;
+    p.stream.image_height = 720.0;
+    p.stream.spawn_rate = 1.7;
+    p.stream.mean_dwell = 7.0;
+    p.stream.ego_motion = 0.25;
+    p.stream.class_names = {"car", "pedestrian", "cyclist", "truck"};
+    p.stream.class_frequency = {0.55, 0.25, 0.08, 0.12};
+    p.stream.class_size_fraction = {0.065, 0.028, 0.036, 0.10};
+
+    p.world.seed = seed ^ 0x3a3a;
+    p.world.num_classes = 4;
+    p.world.night_extra_noise = 0.75;
+    p.world.night_bias = 4.0;
+    p.world.weather_rotation = 0.22;
+    p.world.weather_bias = 1.0;
+    return p;
+}
+
+Dataset_preset preset_by_name(const char* name, std::uint64_t seed, Seconds duration) {
+    SHOG_REQUIRE(name != nullptr, "preset name must not be null");
+    if (std::strcmp(name, "ua_detrac") == 0) {
+        return ua_detrac_like(seed, duration);
+    }
+    if (std::strcmp(name, "kitti") == 0) {
+        return kitti_like(seed, duration);
+    }
+    if (std::strcmp(name, "waymo") == 0) {
+        return waymo_like(seed, duration);
+    }
+    SHOG_REQUIRE(false, std::string{"unknown dataset preset '"} + name + "'");
+    return ua_detrac_like(seed, duration); // unreachable
+}
+
+} // namespace shog::video

@@ -1,0 +1,187 @@
+#include "video/world.hpp"
+
+#include <cmath>
+
+namespace shog::video {
+
+std::size_t World_model::weather_index(Weather w) noexcept {
+    return static_cast<std::size_t>(w);
+}
+
+World_model::World_model(World_config config) : config_{std::move(config)} {
+    SHOG_REQUIRE(config_.feature_dim >= 4, "feature_dim too small");
+    SHOG_REQUIRE(config_.num_classes >= 1, "need at least one class");
+    SHOG_REQUIRE(config_.illumination_floor > 0.0 && config_.illumination_floor <= 1.0,
+                 "illumination floor must lie in (0, 1]");
+
+    Rng rng{config_.seed};
+    const std::size_t d = config_.feature_dim;
+
+    // Class prototypes: random directions scaled to class_separation.
+    prototypes_.resize(config_.num_classes + 1); // index 0 unused
+    for (std::size_t c = 1; c <= config_.num_classes; ++c) {
+        std::vector<double> p(d);
+        double norm = 0.0;
+        for (double& v : p) {
+            v = rng.gaussian();
+            norm += v * v;
+        }
+        norm = std::sqrt(norm);
+        for (double& v : p) {
+            v = v / norm * config_.class_separation;
+        }
+        prototypes_[c] = std::move(p);
+    }
+    // Deliberate class confusion (e.g. van pulled toward car).
+    for (const auto& [anchor, follower] : config_.confusable_pairs) {
+        SHOG_REQUIRE(anchor >= 1 && anchor <= config_.num_classes &&
+                         follower >= 1 && follower <= config_.num_classes,
+                     "confusable pair class id out of range");
+        for (std::size_t i = 0; i < d; ++i) {
+            prototypes_[follower][i] = config_.confusable_mix * prototypes_[anchor][i] +
+                                       (1.0 - config_.confusable_mix) * prototypes_[follower][i];
+        }
+    }
+
+    // Weather transforms: W = I + rot * G with G ~ N(0, 1/sqrt(d)); sunny is
+    // identity so the pre-training domain is the canonical frame.
+    weather_matrix_.resize(3);
+    weather_offset_.resize(3);
+    for (std::size_t w = 0; w < 3; ++w) {
+        weather_matrix_[w].assign(d * d, 0.0);
+        weather_offset_[w].assign(d, 0.0);
+        const bool is_sunny = (w == weather_index(Weather::sunny));
+        const double rot = is_sunny ? 0.0 : config_.weather_rotation;
+        for (std::size_t i = 0; i < d; ++i) {
+            for (std::size_t j = 0; j < d; ++j) {
+                const double g = rng.gaussian() / std::sqrt(static_cast<double>(d));
+                weather_matrix_[w][i * d + j] = (i == j ? 1.0 : 0.0) + rot * g;
+            }
+        }
+        if (!is_sunny) {
+            double norm = 0.0;
+            for (double& v : weather_offset_[w]) {
+                v = rng.gaussian();
+                norm += v * v;
+            }
+            norm = std::sqrt(norm);
+            for (double& v : weather_offset_[w]) {
+                v = v / norm * config_.weather_bias;
+            }
+        }
+    }
+
+    // Night transform: a fixed offset direction plus a mixing perturbation,
+    // both scaled by (1 - illumination) at observation time.
+    night_offset_.assign(d, 0.0);
+    {
+        double norm = 0.0;
+        for (double& v : night_offset_) {
+            v = rng.gaussian();
+            norm += v * v;
+        }
+        norm = std::sqrt(norm);
+        for (double& v : night_offset_) {
+            v = v / norm * config_.night_bias;
+        }
+    }
+    night_matrix_.assign(d * d, 0.0);
+    for (double& v : night_matrix_) {
+        v = rng.gaussian() / std::sqrt(static_cast<double>(d));
+    }
+
+    background_center_.assign(d, 0.0);
+    for (double& v : background_center_) {
+        v = 0.25 * rng.gaussian();
+    }
+}
+
+const std::vector<double>& World_model::prototype(std::size_t class_id) const {
+    SHOG_REQUIRE(class_id >= 1 && class_id <= config_.num_classes, "class id out of range");
+    return prototypes_[class_id];
+}
+
+std::vector<double> World_model::sample_appearance(std::size_t class_id, Rng& rng) const {
+    const std::vector<double>& proto = prototype(class_id);
+    std::vector<double> a(proto.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        a[i] = proto[i] + config_.intra_class_spread * rng.gaussian();
+    }
+    return a;
+}
+
+double World_model::illumination_gain(double illumination) const noexcept {
+    const double il = clamp(illumination, 0.0, 1.0);
+    return config_.illumination_floor +
+           (1.0 - config_.illumination_floor) * std::pow(il, config_.illumination_gamma);
+}
+
+double World_model::noise_sigma(const Domain& domain, double sensor_noise,
+                                double robustness) const noexcept {
+    const double keep = 1.0 - clamp(robustness, 0.0, 0.99);
+    const double darkness = (1.0 - clamp(domain.illumination, 0.0, 1.0)) * keep;
+    double sigma = config_.base_noise + sensor_noise;
+    sigma *= 1.0 + config_.night_extra_noise * darkness;
+    if (domain.weather == Weather::rainy) {
+        sigma *= 1.0 + config_.rain_extra_noise * keep;
+    }
+    return sigma;
+}
+
+std::vector<double> World_model::observe(const std::vector<double>& appearance,
+                                         const Domain& domain, double sensor_noise,
+                                         double occlusion, Rng& rng, double robustness) const {
+    SHOG_REQUIRE(appearance.size() == config_.feature_dim, "appearance dimension mismatch");
+    const std::size_t d = config_.feature_dim;
+    const std::size_t w = weather_index(domain.weather);
+    const double keep = 1.0 - clamp(robustness, 0.0, 0.99);
+    const double darkness = (1.0 - clamp(domain.illumination, 0.0, 1.0)) * keep;
+    const double gain = illumination_gain(1.0 - darkness);
+    const double sigma = noise_sigma(domain, sensor_noise, robustness);
+
+    const double night_mix = config_.night_rotation * darkness;
+    std::vector<double> x(d, 0.0);
+    for (std::size_t i = 0; i < d; ++i) {
+        // Weather transform attenuated by robustness: W' = I + keep*(W - I).
+        double acc = keep * weather_offset_[w][i];
+        const double* wrow = weather_matrix_[w].data() + i * d;
+        const double* nrow = night_matrix_.data() + i * d;
+        for (std::size_t j = 0; j < d; ++j) {
+            const double identity = (i == j) ? 1.0 : 0.0;
+            const double wij = identity + keep * (wrow[j] - identity);
+            acc += (wij + night_mix * nrow[j]) * appearance[j];
+        }
+        x[i] = gain * acc + darkness * night_offset_[i] + sigma * rng.gaussian();
+    }
+
+    // Occlusion: damp ceil(occlusion * d) randomly-chosen dimensions.
+    const double occ = clamp(occlusion, 0.0, 1.0);
+    if (occ > 0.0) {
+        const auto n_occ = static_cast<std::size_t>(std::ceil(occ * static_cast<double>(d)));
+        for (std::size_t idx : rng.sample_without_replacement(d, n_occ)) {
+            x[idx] *= config_.occlusion_damping;
+        }
+    }
+    return x;
+}
+
+std::vector<double> World_model::background(const Domain& domain, double sensor_noise,
+                                            Rng& rng, double robustness) const {
+    const std::size_t d = config_.feature_dim;
+    const double keep = 1.0 - clamp(robustness, 0.0, 0.99);
+    const double darkness = (1.0 - clamp(domain.illumination, 0.0, 1.0)) * keep;
+    const double gain = illumination_gain(1.0 - darkness);
+    const double sigma = noise_sigma(domain, sensor_noise, robustness);
+    // Clutter widens the background distribution toward the object manifold;
+    // at night the same glare/gain offset applies, which is why clutter can
+    // resemble dim vehicles.
+    const double spread = 0.5 + 1.1 * domain.clutter;
+    std::vector<double> x(d);
+    for (std::size_t i = 0; i < d; ++i) {
+        x[i] = gain * (background_center_[i] + spread * rng.gaussian()) +
+               0.8 * darkness * night_offset_[i] + sigma * rng.gaussian();
+    }
+    return x;
+}
+
+} // namespace shog::video

@@ -1,0 +1,271 @@
+// Unit tests for the detection geometry and metrics: IoU oracles, NMS
+// post-conditions (parameterized over thresholds), greedy matching, AP/mAP
+// against hand-computed precision-recall curves.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "detect/box.hpp"
+#include "detect/metrics.hpp"
+
+namespace shog::detect {
+namespace {
+
+// ------------------------------------------------------------------ Box ----
+
+TEST(Box, AreaAndCenter) {
+    const Box b{10.0, 20.0, 30.0, 60.0};
+    EXPECT_DOUBLE_EQ(b.width(), 20.0);
+    EXPECT_DOUBLE_EQ(b.height(), 40.0);
+    EXPECT_DOUBLE_EQ(b.area(), 800.0);
+    EXPECT_DOUBLE_EQ(b.center_x(), 20.0);
+    EXPECT_DOUBLE_EQ(b.center_y(), 40.0);
+    EXPECT_TRUE(b.valid());
+}
+
+TEST(Box, DegenerateInvalid) {
+    const Box b{10.0, 10.0, 10.0, 20.0};
+    EXPECT_FALSE(b.valid());
+    EXPECT_DOUBLE_EQ(b.area(), 0.0);
+}
+
+TEST(Box, FromCenterRoundTrip) {
+    const Box b = Box::from_center(50.0, 60.0, 20.0, 10.0);
+    EXPECT_DOUBLE_EQ(b.x1, 40.0);
+    EXPECT_DOUBLE_EQ(b.y2, 65.0);
+    EXPECT_DOUBLE_EQ(b.center_x(), 50.0);
+}
+
+TEST(Box, ClippedToImage) {
+    const Box b{-10.0, -5.0, 110.0, 50.0};
+    const Box c = b.clipped(100.0, 40.0);
+    EXPECT_DOUBLE_EQ(c.x1, 0.0);
+    EXPECT_DOUBLE_EQ(c.y1, 0.0);
+    EXPECT_DOUBLE_EQ(c.x2, 100.0);
+    EXPECT_DOUBLE_EQ(c.y2, 40.0);
+}
+
+// ------------------------------------------------------------------ IoU ----
+
+TEST(Iou, Identical) {
+    const Box b{0.0, 0.0, 10.0, 10.0};
+    EXPECT_DOUBLE_EQ(iou(b, b), 1.0);
+}
+
+TEST(Iou, Disjoint) {
+    EXPECT_DOUBLE_EQ(iou(Box{0, 0, 10, 10}, Box{20, 20, 30, 30}), 0.0);
+}
+
+TEST(Iou, Touching) {
+    EXPECT_DOUBLE_EQ(iou(Box{0, 0, 10, 10}, Box{10, 0, 20, 10}), 0.0);
+}
+
+TEST(Iou, HalfOverlap) {
+    // [0,10]x[0,10] vs [5,15]x[0,10]: inter 50, union 150.
+    EXPECT_NEAR(iou(Box{0, 0, 10, 10}, Box{5, 0, 15, 10}), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Iou, Nested) {
+    // inner 25, outer 100 -> IoU 0.25.
+    EXPECT_DOUBLE_EQ(iou(Box{0, 0, 10, 10}, Box{2.5, 2.5, 7.5, 7.5}), 0.25);
+}
+
+TEST(Iou, Symmetric) {
+    Rng rng{1};
+    for (int i = 0; i < 100; ++i) {
+        const Box a = Box::from_center(rng.uniform(0, 100), rng.uniform(0, 100),
+                                       rng.uniform(5, 30), rng.uniform(5, 30));
+        const Box b = Box::from_center(rng.uniform(0, 100), rng.uniform(0, 100),
+                                       rng.uniform(5, 30), rng.uniform(5, 30));
+        EXPECT_DOUBLE_EQ(iou(a, b), iou(b, a));
+        EXPECT_GE(iou(a, b), 0.0);
+        EXPECT_LE(iou(a, b), 1.0);
+    }
+}
+
+// ------------------------------------------------------------------ NMS ----
+
+TEST(Nms, SuppressesLowerConfidenceOverlap) {
+    std::vector<Detection> dets{
+        {Box{0, 0, 10, 10}, 1, 0.9},
+        {Box{1, 1, 11, 11}, 1, 0.8}, // heavy overlap with the first
+        {Box{50, 50, 60, 60}, 1, 0.7},
+    };
+    const auto kept = nms(dets, 0.5);
+    ASSERT_EQ(kept.size(), 2u);
+    EXPECT_DOUBLE_EQ(kept[0].confidence, 0.9);
+    EXPECT_DOUBLE_EQ(kept[1].confidence, 0.7);
+}
+
+TEST(Nms, DifferentClassesNotSuppressed) {
+    std::vector<Detection> dets{
+        {Box{0, 0, 10, 10}, 1, 0.9},
+        {Box{0, 0, 10, 10}, 2, 0.8},
+    };
+    EXPECT_EQ(nms(dets, 0.5).size(), 2u);
+}
+
+TEST(Nms, EmptyInput) { EXPECT_TRUE(nms({}, 0.5).empty()); }
+
+class NmsThreshold : public ::testing::TestWithParam<double> {};
+
+TEST_P(NmsThreshold, PostConditions) {
+    const double threshold = GetParam();
+    Rng rng{7};
+    std::vector<Detection> dets;
+    for (int i = 0; i < 60; ++i) {
+        dets.push_back(Detection{
+            Box::from_center(rng.uniform(0, 200), rng.uniform(0, 200), rng.uniform(10, 40),
+                             rng.uniform(10, 40)),
+            1 + rng.index(3), rng.uniform()});
+    }
+    const auto kept = nms(dets, threshold);
+    // (1) descending confidence
+    for (std::size_t i = 1; i < kept.size(); ++i) {
+        EXPECT_GE(kept[i - 1].confidence, kept[i].confidence);
+    }
+    // (2) no same-class pair above the IoU threshold survives
+    for (std::size_t i = 0; i < kept.size(); ++i) {
+        for (std::size_t j = i + 1; j < kept.size(); ++j) {
+            if (kept[i].class_id == kept[j].class_id) {
+                EXPECT_LE(iou(kept[i].box, kept[j].box), threshold + 1e-12);
+            }
+        }
+    }
+    // (3) survivors are a subset of the input
+    EXPECT_LE(kept.size(), dets.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, NmsThreshold, ::testing::Values(0.1, 0.3, 0.5, 0.7, 0.9));
+
+// ------------------------------------------------------------- matching ----
+
+TEST(Match, OneToOneGreedy) {
+    std::vector<Detection> dets{
+        {Box{0, 0, 10, 10}, 1, 0.9},
+        {Box{0, 0, 10, 10}, 1, 0.8}, // duplicate: must become FP
+    };
+    std::vector<Ground_truth> gt{{Box{0, 0, 10, 10}, 1}};
+    const Match_result m = match_detections(dets, gt, 0.5);
+    EXPECT_EQ(m.true_positives, 1u);
+    EXPECT_EQ(m.false_positives, 1u);
+    EXPECT_EQ(m.false_negatives, 0u);
+    EXPECT_EQ(m.detection_to_gt[0], 0u); // higher confidence wins the match
+    EXPECT_EQ(m.detection_to_gt[1], Match_result::npos);
+}
+
+TEST(Match, ClassMustAgree) {
+    std::vector<Detection> dets{{Box{0, 0, 10, 10}, 2, 0.9}};
+    std::vector<Ground_truth> gt{{Box{0, 0, 10, 10}, 1}};
+    const Match_result m = match_detections(dets, gt, 0.5);
+    EXPECT_EQ(m.true_positives, 0u);
+    EXPECT_EQ(m.false_positives, 1u);
+    EXPECT_EQ(m.false_negatives, 1u);
+}
+
+TEST(Match, IouGateRespected) {
+    std::vector<Detection> dets{{Box{0, 0, 10, 10}, 1, 0.9}};
+    std::vector<Ground_truth> gt{{Box{8, 8, 18, 18}, 1}}; // IoU ~ 0.02
+    const Match_result m = match_detections(dets, gt, 0.5);
+    EXPECT_EQ(m.true_positives, 0u);
+}
+
+TEST(Match, MatchedIouRecorded) {
+    std::vector<Detection> dets{{Box{0, 0, 10, 10}, 1, 0.9}};
+    std::vector<Ground_truth> gt{{Box{0, 0, 10, 10}, 1}};
+    const Match_result m = match_detections(dets, gt, 0.5);
+    EXPECT_DOUBLE_EQ(m.matched_iou[0], 1.0);
+}
+
+// --------------------------------------------------------------- AP/mAP ----
+
+TEST(AveragePrecision, PerfectDetectorIsOne) {
+    std::vector<Frame_eval> frames(3);
+    for (auto& f : frames) {
+        f.ground_truth = {{Box{0, 0, 10, 10}, 1}, {Box{20, 20, 40, 40}, 1}};
+        f.detections = {{Box{0, 0, 10, 10}, 1, 0.9}, {Box{20, 20, 40, 40}, 1, 0.8}};
+    }
+    const auto ap = average_precision(frames, 1, 0.5);
+    ASSERT_TRUE(ap.has_value());
+    EXPECT_DOUBLE_EQ(*ap, 1.0);
+}
+
+TEST(AveragePrecision, NoDetectionsIsZero) {
+    std::vector<Frame_eval> frames(1);
+    frames[0].ground_truth = {{Box{0, 0, 10, 10}, 1}};
+    const auto ap = average_precision(frames, 1, 0.5);
+    ASSERT_TRUE(ap.has_value());
+    EXPECT_DOUBLE_EQ(*ap, 0.0);
+}
+
+TEST(AveragePrecision, NoGroundTruthIsNullopt) {
+    std::vector<Frame_eval> frames(1);
+    frames[0].detections = {{Box{0, 0, 10, 10}, 1, 0.9}};
+    EXPECT_FALSE(average_precision(frames, 1, 0.5).has_value());
+}
+
+TEST(AveragePrecision, HandComputedCurve) {
+    // One frame, 2 GT, 3 detections ranked: TP(0.9), FP(0.8), TP(0.7).
+    // precision at ranks: 1, 1/2, 2/3; recall: 1/2, 1/2, 1.
+    // envelope: [1, 2/3, 2/3]; AP = 0.5*1 + 0*(2/3) + 0.5*(2/3) = 5/6.
+    std::vector<Frame_eval> frames(1);
+    frames[0].ground_truth = {{Box{0, 0, 10, 10}, 1}, {Box{50, 50, 60, 60}, 1}};
+    frames[0].detections = {
+        {Box{0, 0, 10, 10}, 1, 0.9},     // TP
+        {Box{100, 100, 120, 120}, 1, 0.8}, // FP
+        {Box{50, 50, 60, 60}, 1, 0.7},   // TP
+    };
+    const auto ap = average_precision(frames, 1, 0.5);
+    ASSERT_TRUE(ap.has_value());
+    EXPECT_NEAR(*ap, 5.0 / 6.0, 1e-12);
+}
+
+TEST(MeanAp, AveragesPresentClassesOnly) {
+    std::vector<Frame_eval> frames(1);
+    frames[0].ground_truth = {{Box{0, 0, 10, 10}, 1}, {Box{30, 30, 40, 40}, 2}};
+    frames[0].detections = {{Box{0, 0, 10, 10}, 1, 0.9}}; // class 1 perfect, class 2 zero
+    // class 3 has no GT -> excluded from the mean.
+    EXPECT_NEAR(mean_average_precision(frames, 3, 0.5), 0.5, 1e-12);
+}
+
+TEST(MeanMatchedIou, AveragesTruePositives) {
+    std::vector<Frame_eval> frames(1);
+    frames[0].ground_truth = {{Box{0, 0, 10, 10}, 1}};
+    frames[0].detections = {{Box{0, 0, 10, 8}, 1, 0.9}}; // IoU 0.8
+    EXPECT_NEAR(mean_matched_iou(frames, 0.5), 0.8, 1e-12);
+}
+
+// ------------------------------------------------------ Stream_evaluator ---
+
+TEST(StreamEvaluator, AccumulatesAndWindows) {
+    Stream_evaluator eval{1, 0.5};
+    for (int i = 0; i < 40; ++i) {
+        Frame_eval f;
+        f.ground_truth = {{Box{0, 0, 10, 10}, 1}};
+        // First half perfect, second half blind.
+        if (i < 20) {
+            f.detections = {{Box{0, 0, 10, 10}, 1, 0.9}};
+        }
+        eval.add_frame(i * 1.0, std::move(f));
+    }
+    EXPECT_EQ(eval.frame_count(), 40u);
+    const auto windows = eval.windowed_map(10.0);
+    ASSERT_EQ(windows.size(), 4u);
+    EXPECT_DOUBLE_EQ(windows[0].second, 1.0);
+    EXPECT_DOUBLE_EQ(windows[3].second, 0.0);
+    EXPECT_GT(eval.map(), 0.4);
+    EXPECT_LT(eval.map(), 0.6);
+}
+
+TEST(StreamEvaluator, RejectsOutOfOrderFrames) {
+    Stream_evaluator eval{1, 0.5};
+    eval.add_frame(5.0, Frame_eval{});
+    EXPECT_THROW(eval.add_frame(4.0, Frame_eval{}), std::invalid_argument);
+}
+
+TEST(StreamEvaluator, ConfigValidation) {
+    EXPECT_THROW((Stream_evaluator{0, 0.5}), std::invalid_argument);
+    EXPECT_THROW((Stream_evaluator{1, 0.0}), std::invalid_argument);
+}
+
+} // namespace
+} // namespace shog::detect

@@ -1,0 +1,251 @@
+// Unit tests for the tensor substrate: shape algebra, linear algebra against
+// hand-computed oracles, and parameterized consistency sweeps.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace shog {
+namespace {
+
+TEST(Tensor, DefaultEmpty) {
+    Tensor t;
+    EXPECT_TRUE(t.empty());
+    EXPECT_EQ(t.rank(), 0u);
+    EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(Tensor, ShapeConstruction) {
+    Tensor t{3, 4};
+    EXPECT_EQ(t.rank(), 2u);
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_EQ(t.cols(), 4u);
+    EXPECT_EQ(t.size(), 12u);
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        EXPECT_EQ(t.at(i), 0.0);
+    }
+}
+
+TEST(Tensor, ZeroDimensionRejected) {
+    EXPECT_THROW(Tensor(std::vector<std::size_t>{3, 0}), std::invalid_argument);
+}
+
+TEST(Tensor, FromRowsLayout) {
+    const Tensor t = Tensor::from_rows({{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}});
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_EQ(t.cols(), 2u);
+    EXPECT_EQ(t.at(0, 0), 1.0);
+    EXPECT_EQ(t.at(2, 1), 6.0);
+    EXPECT_EQ(t.at(5), 6.0); // row-major flat access
+}
+
+TEST(Tensor, FromRowsRaggedRejected) {
+    EXPECT_THROW(Tensor::from_rows({{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Tensor, FromVectorRank1) {
+    const Tensor t = Tensor::from_vector({1.0, 2.0, 3.0});
+    EXPECT_EQ(t.rank(), 1u);
+    EXPECT_EQ(t.size(), 3u);
+    EXPECT_THROW((void)t.rows(), std::invalid_argument);
+}
+
+TEST(Tensor, FullFills) {
+    const Tensor t = Tensor::full({2, 2}, 7.5);
+    EXPECT_EQ(t.at(1, 1), 7.5);
+    EXPECT_EQ(t.sum(), 30.0);
+}
+
+TEST(Tensor, RandnIsSeeded) {
+    Rng r1{5};
+    Rng r2{5};
+    const Tensor a = Tensor::randn({4, 4}, r1);
+    const Tensor b = Tensor::randn({4, 4}, r2);
+    EXPECT_EQ(max_abs_diff(a, b), 0.0);
+}
+
+TEST(Tensor, Reshape) {
+    Tensor t = Tensor::from_rows({{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}});
+    const Tensor r = t.reshaped({3, 2});
+    EXPECT_EQ(r.at(0, 0), 1.0);
+    EXPECT_EQ(r.at(2, 1), 6.0);
+    EXPECT_THROW((void)t.reshaped({4, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, ElementwiseOps) {
+    Tensor a = Tensor::from_rows({{1.0, 2.0}, {3.0, 4.0}});
+    const Tensor b = Tensor::from_rows({{10.0, 20.0}, {30.0, 40.0}});
+    a += b;
+    EXPECT_EQ(a.at(1, 1), 44.0);
+    a -= b;
+    EXPECT_EQ(a.at(1, 1), 4.0);
+    a *= 2.0;
+    EXPECT_EQ(a.at(0, 0), 2.0);
+    a *= b; // Hadamard
+    EXPECT_EQ(a.at(0, 1), 80.0);
+}
+
+TEST(Tensor, ShapeMismatchThrows) {
+    Tensor a{2, 2};
+    Tensor b{2, 3};
+    EXPECT_THROW(a += b, std::invalid_argument);
+    EXPECT_THROW(a -= b, std::invalid_argument);
+    EXPECT_THROW(a *= b, std::invalid_argument);
+}
+
+TEST(Tensor, AddRowVector) {
+    Tensor a = Tensor::from_rows({{1.0, 2.0}, {3.0, 4.0}});
+    a.add_row_vector(Tensor::from_vector({10.0, 20.0}));
+    EXPECT_EQ(a.at(0, 0), 11.0);
+    EXPECT_EQ(a.at(1, 1), 24.0);
+    EXPECT_THROW(a.add_row_vector(Tensor::from_vector({1.0, 2.0, 3.0})),
+                 std::invalid_argument);
+}
+
+TEST(Tensor, ColumnReductions) {
+    const Tensor a = Tensor::from_rows({{1.0, 10.0}, {3.0, 30.0}});
+    const Tensor mean = a.column_mean();
+    EXPECT_EQ(mean.at(0), 2.0);
+    EXPECT_EQ(mean.at(1), 20.0);
+    const Tensor var = a.column_variance(mean);
+    EXPECT_EQ(var.at(0), 1.0);   // population variance
+    EXPECT_EQ(var.at(1), 100.0);
+    const Tensor sum = a.column_sum();
+    EXPECT_EQ(sum.at(0), 4.0);
+    EXPECT_EQ(sum.at(1), 40.0);
+}
+
+TEST(Tensor, RowAccessAndSet) {
+    Tensor a = Tensor::from_rows({{1.0, 2.0}, {3.0, 4.0}});
+    const Tensor r = a.row(1);
+    EXPECT_EQ(r.at(0), 3.0);
+    a.set_row(0, Tensor::from_vector({9.0, 8.0}));
+    EXPECT_EQ(a.at(0, 1), 8.0);
+}
+
+TEST(Tensor, SliceRows) {
+    const Tensor a = Tensor::from_rows({{1.0}, {2.0}, {3.0}, {4.0}});
+    const Tensor s = a.slice_rows(1, 3);
+    EXPECT_EQ(s.rows(), 2u);
+    EXPECT_EQ(s.at(0, 0), 2.0);
+    EXPECT_EQ(s.at(1, 0), 3.0);
+    EXPECT_THROW((void)a.slice_rows(2, 2), std::invalid_argument);
+    EXPECT_THROW((void)a.slice_rows(3, 5), std::invalid_argument);
+}
+
+TEST(Tensor, GatherRows) {
+    const Tensor a = Tensor::from_rows({{1.0}, {2.0}, {3.0}});
+    const Tensor g = a.gather_rows({2, 0, 2});
+    EXPECT_EQ(g.rows(), 3u);
+    EXPECT_EQ(g.at(0, 0), 3.0);
+    EXPECT_EQ(g.at(1, 0), 1.0);
+    EXPECT_EQ(g.at(2, 0), 3.0);
+    EXPECT_THROW((void)a.gather_rows({5}), std::invalid_argument);
+}
+
+TEST(Matmul, HandComputed) {
+    const Tensor a = Tensor::from_rows({{1.0, 2.0}, {3.0, 4.0}});
+    const Tensor b = Tensor::from_rows({{5.0, 6.0}, {7.0, 8.0}});
+    const Tensor c = matmul(a, b);
+    EXPECT_EQ(c.at(0, 0), 19.0);
+    EXPECT_EQ(c.at(0, 1), 22.0);
+    EXPECT_EQ(c.at(1, 0), 43.0);
+    EXPECT_EQ(c.at(1, 1), 50.0);
+}
+
+TEST(Matmul, InnerDimChecked) {
+    Tensor a{2, 3};
+    Tensor b{4, 2};
+    EXPECT_THROW((void)matmul(a, b), std::invalid_argument);
+}
+
+TEST(Matmul, IdentityPreserves) {
+    Rng rng{3};
+    const Tensor a = Tensor::randn({5, 5}, rng);
+    Tensor eye{5, 5};
+    for (std::size_t i = 0; i < 5; ++i) {
+        eye.at(i, i) = 1.0;
+    }
+    EXPECT_LT(max_abs_diff(matmul(a, eye), a), 1e-12);
+}
+
+TEST(Transpose, Involution) {
+    Rng rng{4};
+    const Tensor a = Tensor::randn({3, 7}, rng);
+    EXPECT_LT(max_abs_diff(transpose(transpose(a)), a), 1e-12);
+}
+
+struct Matmul_shape {
+    std::size_t m, k, n;
+};
+
+class MatmulVariants : public ::testing::TestWithParam<Matmul_shape> {};
+
+TEST_P(MatmulVariants, NtMatchesExplicitTranspose) {
+    const auto [m, k, n] = GetParam();
+    Rng rng{m * 100 + k * 10 + n};
+    const Tensor a = Tensor::randn({m, k}, rng);
+    const Tensor b = Tensor::randn({n, k}, rng);
+    EXPECT_LT(max_abs_diff(matmul_nt(a, b), matmul(a, transpose(b))), 1e-10);
+}
+
+TEST_P(MatmulVariants, TnMatchesExplicitTranspose) {
+    const auto [m, k, n] = GetParam();
+    Rng rng{m * 101 + k * 11 + n};
+    const Tensor a = Tensor::randn({k, m}, rng);
+    const Tensor b = Tensor::randn({k, n}, rng);
+    EXPECT_LT(max_abs_diff(matmul_tn(a, b), matmul(transpose(a), b)), 1e-10);
+}
+
+TEST_P(MatmulVariants, MatmulAgreesWithNaive) {
+    const auto [m, k, n] = GetParam();
+    Rng rng{m + k + n};
+    const Tensor a = Tensor::randn({m, k}, rng);
+    const Tensor b = Tensor::randn({k, n}, rng);
+    const Tensor c = matmul(a, b);
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            double acc = 0.0;
+            for (std::size_t p = 0; p < k; ++p) {
+                acc += a.at(i, p) * b.at(p, j);
+            }
+            EXPECT_NEAR(c.at(i, j), acc, 1e-10);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MatmulVariants,
+                         ::testing::Values(Matmul_shape{1, 1, 1}, Matmul_shape{2, 3, 4},
+                                           Matmul_shape{5, 1, 5}, Matmul_shape{7, 8, 3},
+                                           Matmul_shape{16, 16, 16}, Matmul_shape{1, 9, 2}));
+
+TEST(ConcatRows, StacksParts) {
+    const Tensor a = Tensor::from_rows({{1.0, 2.0}});
+    const Tensor b = Tensor::from_rows({{3.0, 4.0}, {5.0, 6.0}});
+    const Tensor c = concat_rows({a, b});
+    EXPECT_EQ(c.rows(), 3u);
+    EXPECT_EQ(c.at(2, 1), 6.0);
+}
+
+TEST(ConcatRows, SliceRoundTrip) {
+    Rng rng{8};
+    const Tensor x = Tensor::randn({6, 3}, rng);
+    const Tensor top = x.slice_rows(0, 2);
+    const Tensor bottom = x.slice_rows(2, 6);
+    EXPECT_LT(max_abs_diff(concat_rows({top, bottom}), x), 1e-15);
+}
+
+TEST(ConcatRows, ColumnMismatchRejected) {
+    Tensor a{1, 2};
+    Tensor b{1, 3};
+    EXPECT_THROW((void)concat_rows({a, b}), std::invalid_argument);
+}
+
+TEST(MaxAbsDiff, Basics) {
+    const Tensor a = Tensor::from_rows({{1.0, 2.0}});
+    const Tensor b = Tensor::from_rows({{1.5, 1.0}});
+    EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 1.0);
+}
+
+} // namespace
+} // namespace shog
