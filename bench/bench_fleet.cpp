@@ -1,0 +1,64 @@
+// Fleet-scaling bench: one JSON line per (strategy, fleet size) so future
+// PRs can track the devices-per-GPU scaling curve over time.
+//
+//   ./bench_fleet [duration_seconds] [seed] [max_devices]
+//
+// Output (one line per run):
+//   {"bench":"fleet","strategy":"Shoggoth","devices":4,"gpu_utilization":...,
+//    "gpu_seconds_per_device":...,"mean_label_latency_s":...,
+//    "p95_label_latency_s":...,"fleet_map":...,"map_per_device":[...]}
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "fleet/testbed.hpp"
+
+using namespace shog;
+
+namespace {
+
+void emit_json(const char* strategy, std::size_t devices, const sim::Cluster_result& r) {
+    std::string maps;
+    for (const sim::Run_result& d : r.devices) {
+        if (!maps.empty()) {
+            maps += ',';
+        }
+        char buffer[32];
+        std::snprintf(buffer, sizeof buffer, "%.4f", d.map);
+        maps += buffer;
+    }
+    std::printf("{\"bench\":\"fleet\",\"strategy\":\"%s\",\"devices\":%zu,"
+                "\"gpu_utilization\":%.4f,\"gpu_seconds_per_device\":%.2f,"
+                "\"mean_label_latency_s\":%.3f,\"p95_label_latency_s\":%.3f,"
+                "\"mean_label_wait_s\":%.3f,\"cloud_jobs\":%zu,"
+                "\"fleet_map\":%.4f,\"map_per_device\":[%s]}\n",
+                strategy, devices, r.gpu_utilization, r.gpu_seconds_per_device(),
+                r.mean_label_latency, r.p95_label_latency, r.mean_label_wait, r.cloud_jobs,
+                r.fleet_map, maps.c_str());
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const double duration = argc > 1 ? std::atof(argv[1]) : 180.0;
+    const std::uint64_t seed = argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 19;
+    const std::size_t max_devices =
+        argc > 3 ? static_cast<std::size_t>(std::atoll(argv[3])) : 8;
+    if (duration <= 0.0 || max_devices < 1) {
+        std::fprintf(stderr,
+                     "usage: bench_fleet [duration_seconds>0] [seed] [max_devices>=1]\n");
+        return 1;
+    }
+
+    const fleet::Testbed testbed = fleet::make_testbed("waymo", max_devices, seed, duration);
+    sim::Cluster_config config;
+    config.harness.seed = seed ^ 0x8888;
+
+    for (std::size_t n = 1; n <= max_devices; n *= 2) {
+        fleet::Fleet shoggoth = fleet::make_shoggoth_fleet(testbed, n);
+        emit_json("Shoggoth", n, sim::run_cluster(shoggoth.specs, config));
+        fleet::Fleet ams = fleet::make_ams_fleet(testbed, n);
+        emit_json("AMS", n, sim::run_cluster(ams.specs, config));
+    }
+    return 0;
+}

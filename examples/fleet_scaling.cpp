@@ -2,63 +2,97 @@
 //
 // The paper argues that because Shoggoth trains at the edge and the cloud
 // only labels, a single GPU serves more devices than under AMS (which also
-// fine-tunes every device's model in the cloud). This example runs one
-// device of each kind and extrapolates GPU occupancy to a fleet.
+// fine-tunes every device's model in the cloud). This example runs *real*
+// N-device clusters against one contended cloud GPU: every device has its
+// own video stream, strategy state and RNG substream, and GPU utilization,
+// queueing delay and label latency emerge from the shared scheduler.
 //
-//   ./fleet_scaling [duration_seconds] [seed]
+//   ./fleet_scaling [duration_seconds] [seed] [max_devices]
+#include <algorithm>
+#include <cstdio>
 #include <cstdlib>
-#include <iostream>
+#include <vector>
 
-#include "baselines/ams.hpp"
-#include "core/shoggoth.hpp"
-#include "models/pretrain.hpp"
-#include "sim/harness.hpp"
-#include "video/presets.hpp"
+#include "fleet/testbed.hpp"
+
+using namespace shog;
+
+namespace {
+
+struct Fleet_run {
+    std::size_t devices;
+    sim::Cluster_result result;
+};
+
+void print_run(const char* name, const Fleet_run& run) {
+    const sim::Cluster_result& r = run.result;
+    std::printf("  %-8s N=%2zu  gpu_util=%5.1f%%  gpu_s/dev=%6.1f  "
+                "label_lat mean=%5.2fs p95=%5.2fs  fleet_mAP=%.3f\n",
+                name, run.devices, 100.0 * r.gpu_utilization, r.gpu_seconds_per_device(),
+                r.mean_label_latency, r.p95_label_latency, r.fleet_map);
+}
+
+} // namespace
 
 int main(int argc, char** argv) {
-    using namespace shog;
-
-    const double duration = argc > 1 ? std::atof(argv[1]) : 420.0;
+    const double duration = argc > 1 ? std::atof(argv[1]) : 240.0;
     const std::uint64_t seed = argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 19;
-
-    const video::Dataset_preset preset = video::waymo_like(seed, duration);
-    video::Video_stream stream{preset.stream, preset.world, preset.schedule};
-    auto pristine = models::make_student(stream.world(), seed);
-    auto teacher = models::make_teacher(stream.world(), seed);
-    sim::Harness_config harness;
-
-    double shoggoth_gpu = 0.0;
-    double ams_gpu = 0.0;
-    {
-        auto student = pristine->clone();
-        core::Shoggoth_strategy s{*student, *teacher, core::Shoggoth_config{},
-                                  models::Deployed_profile::yolov4_resnet18(),
-                                  device::jetson_tx2(), device::v100()};
-        const sim::Run_result r = sim::run_strategy(s, stream, harness);
-        shoggoth_gpu = r.cloud_gpu_seconds;
-        std::printf("Shoggoth: one device used %.1f s of V100 time over %.0f s "
-                    "(labeling only)\n",
-                    r.cloud_gpu_seconds, duration);
-    }
-    {
-        auto student = pristine->clone();
-        baselines::Ams_strategy s{*student, *teacher, baselines::Ams_config{},
-                                  models::Deployed_profile::yolov4_resnet18(),
-                                  device::v100()};
-        const sim::Run_result r = sim::run_strategy(s, stream, harness);
-        ams_gpu = r.cloud_gpu_seconds;
-        std::printf("AMS:      one device used %.1f s of V100 time over %.0f s "
-                    "(labeling + cloud fine-tuning, %zu model updates)\n",
-                    r.cloud_gpu_seconds, duration, s.model_updates_sent());
+    const std::size_t max_devices =
+        argc > 3 ? static_cast<std::size_t>(std::atoll(argv[3])) : 8;
+    if (duration <= 0.0 || max_devices < 1) {
+        std::fprintf(stderr,
+                     "usage: fleet_scaling [duration_seconds>0] [seed] [max_devices>=1]\n");
+        return 1;
     }
 
-    const double shoggoth_fleet = duration / std::max(1.0, shoggoth_gpu);
-    const double ams_fleet = duration / std::max(1.0, ams_gpu);
-    std::printf("\nAt full GPU occupancy, one V100 supports roughly:\n");
-    std::printf("  Shoggoth: %4.0f edge devices\n", shoggoth_fleet);
-    std::printf("  AMS:      %4.0f edge devices\n", ams_fleet);
+    std::vector<std::size_t> fleet_sizes;
+    for (std::size_t n = 1; n <= max_devices; n *= 2) {
+        fleet_sizes.push_back(n);
+    }
+
+    const fleet::Testbed testbed = fleet::make_testbed("waymo", max_devices, seed, duration);
+    sim::Cluster_config config;
+    config.harness.seed = seed ^ 0x8888;
+
+    std::printf("Fleet scaling on one shared V100, %.0f s Waymo-like streams\n\n", duration);
+
+    std::vector<Fleet_run> shoggoth_runs;
+    std::vector<Fleet_run> ams_runs;
+    for (std::size_t n : fleet_sizes) {
+        fleet::Fleet shoggoth = fleet::make_shoggoth_fleet(testbed, n);
+        shoggoth_runs.push_back(Fleet_run{n, sim::run_cluster(shoggoth.specs, config)});
+        print_run("Shoggoth", shoggoth_runs.back());
+    }
+    std::printf("\n");
+    for (std::size_t n : fleet_sizes) {
+        fleet::Fleet ams = fleet::make_ams_fleet(testbed, n);
+        ams_runs.push_back(Fleet_run{n, sim::run_cluster(ams.specs, config)});
+        print_run("AMS", ams_runs.back());
+    }
+
+    // Devices-per-GPU at a target mAP: take the largest fleet that still
+    // holds (within 0.02 of) its single-device accuracy, and extrapolate
+    // from its measured GPU occupancy.
+    const auto capacity = [](const std::vector<Fleet_run>& runs) {
+        const double target = runs.front().result.fleet_map - 0.02;
+        const Fleet_run* best = &runs.front();
+        for (const Fleet_run& run : runs) {
+            if (run.result.fleet_map >= target && run.result.gpu_utilization < 1.0) {
+                best = &run;
+            }
+        }
+        const double util = std::max(1e-6, best->result.gpu_utilization);
+        return static_cast<double>(best->devices) / util;
+    };
+    const double shog_capacity = capacity(shoggoth_runs);
+    const double ams_capacity = capacity(ams_runs);
+    std::printf("\nAt the target mAP (single-device minus 0.02), one V100 supports "
+                "roughly:\n");
+    std::printf("  Shoggoth: %5.0f edge devices (labeling only)\n", shog_capacity);
+    std::printf("  AMS:      %5.0f edge devices (labeling + cloud fine-tuning)\n",
+                ams_capacity);
     std::printf("  -> decoupled distillation scales %.1fx further on the same cloud "
                 "hardware.\n",
-                shoggoth_fleet / std::max(1.0, ams_fleet));
+                shog_capacity / std::max(1.0, ams_capacity));
     return 0;
 }

@@ -21,7 +21,9 @@ Ams_strategy::Ams_strategy(models::Detector& student, models::Detector& teacher,
                                                               profile_, cloud_device_);
 }
 
-void Ams_strategy::start(sim::Runtime& rt) {
+void Ams_strategy::start(sim::Edge_runtime& rt) {
+    // Per-device labeling-noise substream (see Shoggoth_strategy::start).
+    label_rng_ = rt.rng().split(0x1abe1);
     if (config_.warm_replay && cloud_trainer_->memory().enabled()) {
         models::Pretrain_config warm_cfg;
         warm_cfg.domains = models::daytime_domains();
@@ -33,7 +35,7 @@ void Ams_strategy::start(sim::Runtime& rt) {
     schedule_next_sample(rt);
 }
 
-void Ams_strategy::schedule_next_sample(sim::Runtime& rt) {
+void Ams_strategy::schedule_next_sample(sim::Edge_runtime& rt) {
     const Seconds gap = 1.0 / controller_.rate();
     if (rt.now() + gap >= rt.stream().duration()) {
         return;
@@ -41,7 +43,7 @@ void Ams_strategy::schedule_next_sample(sim::Runtime& rt) {
     rt.schedule(gap, [this, &rt] { on_sample_tick(rt); });
 }
 
-void Ams_strategy::on_sample_tick(sim::Runtime& rt) {
+void Ams_strategy::on_sample_tick(sim::Edge_runtime& rt) {
     if (sample_buffer_.empty()) {
         first_buffered_at_ = rt.now();
     }
@@ -53,7 +55,7 @@ void Ams_strategy::on_sample_tick(sim::Runtime& rt) {
     schedule_next_sample(rt);
 }
 
-void Ams_strategy::upload_buffer(sim::Runtime& rt) {
+void Ams_strategy::upload_buffer(sim::Edge_runtime& rt) {
     if (sample_buffer_.empty()) {
         return;
     }
@@ -77,18 +79,25 @@ void Ams_strategy::upload_buffer(sim::Runtime& rt) {
     const Seconds encode = rt.h264().encode_seconds(frames.size(), res, res);
     const Seconds up_delay = rt.link().send_up(rt.now(), payload);
     rt.schedule(encode + up_delay, [this, &rt, frames = std::move(frames)]() mutable {
-        cloud_label_batch(rt, std::move(frames));
+        // Labeling queues on the shared cloud GPU pool like Shoggoth's; the
+        // difference shows up later, when AMS also submits fine-tune jobs.
+        const Seconds service =
+            static_cast<double>(frames.size()) *
+            cloud_device_.seconds_for_gflops(teacher_infer_gflops_);
+        rt.cloud().submit(rt.device_id(), service,
+                          [this, &rt, frames = std::move(frames)]() mutable {
+                              cloud_label_batch(rt, std::move(frames));
+                          });
     });
 }
 
-void Ams_strategy::cloud_label_batch(sim::Runtime& rt, std::vector<std::size_t> frames) {
+void Ams_strategy::cloud_label_batch(sim::Edge_runtime& rt, std::vector<std::size_t> frames) {
     const video::World_model& world = rt.stream().world();
     double agreement_sum = 0.0;
     for (std::size_t idx : frames) {
         const video::Frame frame = rt.stream().frame_at(idx);
         const std::vector<models::Proposal> proposals = student_.propose(frame, world);
         core::Labeled_frame labeled = labeler_.label(frame, world, proposals, label_rng_);
-        rt.add_cloud_gpu_seconds(cloud_device_.seconds_for_gflops(teacher_infer_gflops_));
         if (have_last_teacher_output_) {
             controller_.observe_phi(
                 core::phi_between(labeled.teacher_detections, last_teacher_output_));
@@ -113,7 +122,7 @@ void Ams_strategy::cloud_label_batch(sim::Runtime& rt, std::vector<std::size_t> 
     maybe_train_in_cloud(rt);
 }
 
-void Ams_strategy::maybe_train_in_cloud(sim::Runtime& rt) {
+void Ams_strategy::maybe_train_in_cloud(sim::Edge_runtime& rt) {
     while (!pending_.empty() && rt.now() - pending_.front().at > config_.sample_horizon) {
         pending_frames_ -= pending_.front().frames;
         pending_.pop_front();
@@ -136,28 +145,33 @@ void Ams_strategy::maybe_train_in_cloud(sim::Runtime& rt) {
     cloud_training_busy_ = true;
     rt.count_training_session();
 
-    // Train the cloud copy now (the edge model is untouched until the update
-    // lands); account the V100 time and ship the new weights after it.
-    const core::Training_report report = cloud_trainer_->train(batch);
-    rt.add_cloud_gpu_seconds(report.overall_seconds());
-    const Seconds train_delay = report.overall_seconds();
-
-    rt.schedule(train_delay, [this, &rt] {
-        const Bytes update = profile_.update_bytes();
-        const Seconds down_delay = rt.link().send_down(rt.now(), update);
-        std::vector<double> state = cloud_copy_->net().state_vector();
-        ++updates_sent_;
-        rt.schedule(down_delay, [this, &rt, state = std::move(state)] {
-            // Edge installs the update: brief inference stall.
-            student_.net().load_state_vector(state);
-            rt.set_training_active(true);
-            rt.schedule(config_.swap_seconds, [this, &rt] {
-                rt.set_training_active(false);
-                cloud_training_busy_ = false;
-                maybe_train_in_cloud(rt);
+    // The fine-tune is a cloud GPU job contending with every device's
+    // labeling traffic; its service time is the session cost on the cloud
+    // device (train() prices the session with the same estimate). The cloud
+    // copy is actually trained when the job completes, then the new weights
+    // ship on the downlink.
+    const Seconds service = cloud_trainer_->estimate_session_cost(batch.size())
+                                .overall_seconds();
+    rt.cloud().submit(
+        rt.device_id(), service,
+        [this, &rt, batch = std::move(batch)]() mutable {
+            (void)cloud_trainer_->train(batch);
+            const Bytes update = profile_.update_bytes();
+            const Seconds down_delay = rt.link().send_down(rt.now(), update);
+            std::vector<double> state = cloud_copy_->net().state_vector();
+            ++updates_sent_;
+            rt.schedule(down_delay, [this, &rt, state = std::move(state)] {
+                // Edge installs the update: brief inference stall.
+                student_.net().load_state_vector(state);
+                rt.set_training_active(true);
+                rt.schedule(config_.swap_seconds, [this, &rt] {
+                    rt.set_training_active(false);
+                    cloud_training_busy_ = false;
+                    maybe_train_in_cloud(rt);
+                });
             });
-        });
-    });
+        },
+        sim::Cloud_job_kind::train);
 }
 
 double Ams_strategy::drain_alpha() {
@@ -170,12 +184,12 @@ double Ams_strategy::drain_alpha() {
     return alpha;
 }
 
-std::vector<detect::Detection> Ams_strategy::infer(sim::Runtime& rt,
+std::vector<detect::Detection> Ams_strategy::infer(sim::Edge_runtime& rt,
                                                    const video::Frame& frame) {
     return student_.detect(frame, rt.stream().world());
 }
 
-void Ams_strategy::on_inference(sim::Runtime& rt, const video::Frame& frame,
+void Ams_strategy::on_inference(sim::Edge_runtime& rt, const video::Frame& frame,
                                 const std::vector<detect::Detection>& detections) {
     (void)frame;
     if (detections.empty()) {

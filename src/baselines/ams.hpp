@@ -50,10 +50,10 @@ public:
                  models::Deployed_profile profile, device::Compute_model cloud_device);
 
     [[nodiscard]] std::string name() const override { return "AMS"; }
-    void start(sim::Runtime& rt) override;
-    [[nodiscard]] std::vector<detect::Detection> infer(sim::Runtime& rt,
+    void start(sim::Edge_runtime& rt) override;
+    [[nodiscard]] std::vector<detect::Detection> infer(sim::Edge_runtime& rt,
                                                        const video::Frame& frame) override;
-    void on_inference(sim::Runtime& rt, const video::Frame& frame,
+    void on_inference(sim::Edge_runtime& rt, const video::Frame& frame,
                       const std::vector<detect::Detection>& detections) override;
 
     [[nodiscard]] std::size_t model_updates_sent() const noexcept { return updates_sent_; }
@@ -91,11 +91,11 @@ private:
     std::vector<detect::Detection> last_teacher_output_;
     bool have_last_teacher_output_ = false;
 
-    void schedule_next_sample(sim::Runtime& rt);
-    void on_sample_tick(sim::Runtime& rt);
-    void upload_buffer(sim::Runtime& rt);
-    void cloud_label_batch(sim::Runtime& rt, std::vector<std::size_t> frames);
-    void maybe_train_in_cloud(sim::Runtime& rt);
+    void schedule_next_sample(sim::Edge_runtime& rt);
+    void on_sample_tick(sim::Edge_runtime& rt);
+    void upload_buffer(sim::Edge_runtime& rt);
+    void cloud_label_batch(sim::Edge_runtime& rt, std::vector<std::size_t> frames);
+    void maybe_train_in_cloud(sim::Edge_runtime& rt);
     [[nodiscard]] double drain_alpha();
 };
 

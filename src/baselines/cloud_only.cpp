@@ -11,7 +11,7 @@ Cloud_only_strategy::Cloud_only_strategy(models::Detector& teacher,
       teacher_infer_gflops_{
           models::Deployed_profile::mask_rcnn_resnext101().inference_gflops()} {}
 
-double Cloud_only_strategy::pipeline_fps(sim::Runtime& rt) const {
+double Cloud_only_strategy::pipeline_fps(sim::Edge_runtime& rt) const {
     const auto& sc = rt.stream().config();
     // Use a mid-stream frame for representative codec statistics.
     const video::Frame probe = rt.stream().frame_at(rt.stream().frame_count() / 2);
@@ -27,12 +27,12 @@ double Cloud_only_strategy::pipeline_fps(sim::Runtime& rt) const {
     return 1.0 / total;
 }
 
-void Cloud_only_strategy::start(sim::Runtime& rt) {
+void Cloud_only_strategy::start(sim::Edge_runtime& rt) {
     rt.set_fps_override(pipeline_fps(rt));
     rt.schedule(config_.meter_tick, [this, &rt] { meter_tick(rt); });
 }
 
-void Cloud_only_strategy::meter_tick(sim::Runtime& rt) {
+void Cloud_only_strategy::meter_tick(sim::Edge_runtime& rt) {
     const auto& sc = rt.stream().config();
     const std::size_t idx = rt.stream().index_at(rt.now());
     const video::Frame frame = rt.stream().frame_at(idx);
@@ -54,7 +54,7 @@ void Cloud_only_strategy::meter_tick(sim::Runtime& rt) {
     }
 }
 
-std::vector<detect::Detection> Cloud_only_strategy::infer(sim::Runtime& rt,
+std::vector<detect::Detection> Cloud_only_strategy::infer(sim::Edge_runtime& rt,
                                                           const video::Frame& frame) {
     return teacher_.detect(frame, rt.stream().world());
 }

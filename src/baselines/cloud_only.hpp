@@ -25,12 +25,12 @@ public:
                         Cloud_only_config config = {});
 
     [[nodiscard]] std::string name() const override { return "Cloud-Only"; }
-    void start(sim::Runtime& rt) override;
-    [[nodiscard]] std::vector<detect::Detection> infer(sim::Runtime& rt,
+    void start(sim::Edge_runtime& rt) override;
+    [[nodiscard]] std::vector<detect::Detection> infer(sim::Edge_runtime& rt,
                                                        const video::Frame& frame) override;
 
     /// The synchronous pipeline's sustainable result rate.
-    [[nodiscard]] double pipeline_fps(sim::Runtime& rt) const;
+    [[nodiscard]] double pipeline_fps(sim::Edge_runtime& rt) const;
 
 private:
     models::Detector& teacher_;
@@ -38,7 +38,7 @@ private:
     Cloud_only_config config_;
     double teacher_infer_gflops_;
 
-    void meter_tick(sim::Runtime& rt);
+    void meter_tick(sim::Edge_runtime& rt);
 };
 
 } // namespace shog::baselines

@@ -14,9 +14,9 @@ public:
 
     [[nodiscard]] std::string name() const override { return "Edge-Only"; }
 
-    void start(sim::Runtime& rt) override { (void)rt; }
+    void start(sim::Edge_runtime& rt) override { (void)rt; }
 
-    [[nodiscard]] std::vector<detect::Detection> infer(sim::Runtime& rt,
+    [[nodiscard]] std::vector<detect::Detection> infer(sim::Edge_runtime& rt,
                                                        const video::Frame& frame) override {
         return student_.detect(frame, rt.stream().world());
     }

@@ -1,6 +1,7 @@
 #include "core/shoggoth.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "models/pretrain.hpp"
 
@@ -29,7 +30,10 @@ double Shoggoth_strategy::current_rate() const noexcept {
     return config_.adaptive_sampling ? controller_.rate() : config_.fixed_rate;
 }
 
-void Shoggoth_strategy::start(sim::Runtime& rt) {
+void Shoggoth_strategy::start(sim::Edge_runtime& rt) {
+    // Decorrelate this device's labeling noise from the rest of the fleet
+    // (every device would otherwise draw the same stream of label jitter).
+    label_rng_ = rt.rng().split(0x1abe1);
     if (config_.warm_replay && trainer_.memory().enabled()) {
         models::Pretrain_config warm_cfg;
         warm_cfg.domains = models::daytime_domains();
@@ -41,7 +45,7 @@ void Shoggoth_strategy::start(sim::Runtime& rt) {
     schedule_next_sample(rt);
 }
 
-void Shoggoth_strategy::schedule_next_sample(sim::Runtime& rt) {
+void Shoggoth_strategy::schedule_next_sample(sim::Edge_runtime& rt) {
     const Seconds gap = 1.0 / current_rate();
     if (rt.now() + gap >= rt.stream().duration()) {
         return;
@@ -49,7 +53,7 @@ void Shoggoth_strategy::schedule_next_sample(sim::Runtime& rt) {
     rt.schedule(gap, [this, &rt] { on_sample_tick(rt); });
 }
 
-void Shoggoth_strategy::on_sample_tick(sim::Runtime& rt) {
+void Shoggoth_strategy::on_sample_tick(sim::Edge_runtime& rt) {
     const std::size_t index = rt.stream().index_at(rt.now());
     if (sample_buffer_.empty()) {
         first_buffered_at_ = rt.now();
@@ -63,7 +67,7 @@ void Shoggoth_strategy::on_sample_tick(sim::Runtime& rt) {
     schedule_next_sample(rt);
 }
 
-void Shoggoth_strategy::upload_buffer(sim::Runtime& rt) {
+void Shoggoth_strategy::upload_buffer(sim::Edge_runtime& rt) {
     if (sample_buffer_.empty()) {
         return;
     }
@@ -94,11 +98,20 @@ void Shoggoth_strategy::upload_buffer(sim::Runtime& rt) {
     const Seconds encode = rt.h264().encode_seconds(frames.size(), res, res);
     const Seconds up_delay = rt.link().send_up(rt.now(), payload);
     rt.schedule(encode + up_delay, [this, &rt, frames = std::move(frames)]() mutable {
-        cloud_label_batch(rt, std::move(frames));
+        // The batch has reached the cloud: labeling now queues on the shared
+        // GPU pool behind every other device's work. Teacher inference cost
+        // is the service time; the downlink leaves once the job completes.
+        const Seconds service =
+            static_cast<double>(frames.size()) *
+            cloud_device_.seconds_for_gflops(teacher_infer_gflops_);
+        rt.cloud().submit(rt.device_id(), service,
+                          [this, &rt, frames = std::move(frames)]() mutable {
+                              cloud_label_batch(rt, std::move(frames));
+                          });
     });
 }
 
-void Shoggoth_strategy::cloud_label_batch(sim::Runtime& rt, std::vector<std::size_t> frames) {
+void Shoggoth_strategy::cloud_label_batch(sim::Edge_runtime& rt, std::vector<std::size_t> frames) {
     const video::World_model& world = rt.stream().world();
     std::vector<models::Labeled_sample> samples;
     Bytes label_payload = 0.0;
@@ -110,7 +123,6 @@ void Shoggoth_strategy::cloud_label_batch(sim::Runtime& rt, std::vector<std::siz
         // frame; labeling matches teacher boxes against them (Eq. 1).
         const std::vector<models::Proposal> proposals = student_.propose(frame, world);
         Labeled_frame labeled = labeler_.label(frame, world, proposals, label_rng_);
-        rt.add_cloud_gpu_seconds(cloud_device_.seconds_for_gflops(teacher_infer_gflops_));
         ++frames_labeled_;
 
         if (have_last_teacher_output_) {
@@ -133,6 +145,7 @@ void Shoggoth_strategy::cloud_label_batch(sim::Runtime& rt, std::vector<std::siz
     }
 
     // Control round (cloud side): telemetry up, new rate down.
+    bool flush_stale = false;
     if (config_.adaptive_sampling) {
         (void)rt.link().send_up(rt.now(), rt.message_sizes().telemetry_bytes);
         const double posterior_alpha = drain_alpha();
@@ -141,6 +154,15 @@ void Shoggoth_strategy::cloud_label_batch(sim::Runtime& rt, std::vector<std::siz
                 ? (frames.empty() ? posterior_alpha
                                   : agreement_sum / static_cast<double>(frames.size()))
                 : posterior_alpha;
+        // Domain-break detection: a sharp alpha move between control rounds
+        // means the scene the older pending labels describe no longer exists
+        // (night fell, or day returned). Shipping a flush flag with the rate
+        // command keeps the next session from training on the stale domain.
+        if (config_.domain_flush_alpha_delta < 1.0 && last_control_alpha_ >= 0.0 &&
+            std::abs(alpha - last_control_alpha_) >= config_.domain_flush_alpha_delta) {
+            flush_stale = true;
+        }
+        last_control_alpha_ = alpha;
         const double lambda = resource_monitor_.drain_average();
         (void)controller_.update(alpha, lambda);
         control_trace_.push_back(Control_record{rt.now(), controller_.rate(), alpha,
@@ -150,20 +172,28 @@ void Shoggoth_strategy::cloud_label_batch(sim::Runtime& rt, std::vector<std::siz
 
     const Seconds down_delay = rt.link().send_down(rt.now(), label_payload);
     const std::size_t frame_count = frames.size();
-    rt.schedule(down_delay, [this, &rt, samples = std::move(samples), frame_count]() mutable {
-        edge_receive_labels(rt, std::move(samples), frame_count);
-    });
+    rt.schedule(down_delay,
+                [this, &rt, samples = std::move(samples), frame_count, flush_stale]() mutable {
+                    edge_receive_labels(rt, std::move(samples), frame_count, flush_stale);
+                });
 }
 
-void Shoggoth_strategy::edge_receive_labels(sim::Runtime& rt,
+void Shoggoth_strategy::edge_receive_labels(sim::Edge_runtime& rt,
                                             std::vector<models::Labeled_sample> samples,
-                                            std::size_t frames) {
+                                            std::size_t frames, bool flush_stale) {
+    if (flush_stale) {
+        // The labels that just arrived are from the new scene (alpha was
+        // measured on them); everything buffered before them is not.
+        pending_.clear();
+        pending_frames_ = 0;
+        ++stale_flushes_;
+    }
     pending_.push_back(Pending_batch{std::move(samples), frames, rt.now()});
     pending_frames_ += frames;
     maybe_start_training(rt);
 }
 
-void Shoggoth_strategy::maybe_start_training(sim::Runtime& rt) {
+void Shoggoth_strategy::maybe_start_training(sim::Edge_runtime& rt) {
     // Recent-frame horizon: labeled data from a scene that no longer exists
     // is dropped rather than trained on.
     while (!pending_.empty() && rt.now() - pending_.front().at > config_.sample_horizon) {
@@ -208,12 +238,12 @@ double Shoggoth_strategy::drain_alpha() {
     return alpha;
 }
 
-std::vector<detect::Detection> Shoggoth_strategy::infer(sim::Runtime& rt,
+std::vector<detect::Detection> Shoggoth_strategy::infer(sim::Edge_runtime& rt,
                                                         const video::Frame& frame) {
     return student_.detect(frame, rt.stream().world());
 }
 
-void Shoggoth_strategy::on_inference(sim::Runtime& rt, const video::Frame& frame,
+void Shoggoth_strategy::on_inference(sim::Edge_runtime& rt, const video::Frame& frame,
                                      const std::vector<detect::Detection>& detections) {
     (void)frame;
     if (detections.empty()) {

@@ -51,6 +51,12 @@ struct Shoggoth_config {
     /// Uploaded samples are resized to this square resolution before H.264
     /// encoding ("all images are resized to 512x512").
     double upload_resolution = 512.0;
+    /// A jump of estimated accuracy by at least this much between control
+    /// rounds marks a domain break: the cloud ships a flush flag with the
+    /// rate command and the edge drops pending labeled batches from before
+    /// the break (they describe a scene that no longer exists). >= 1
+    /// disables the mechanism.
+    double domain_flush_alpha_delta = 0.2;
     double alpha_threshold = 0.5;    ///< theta of the alpha accuracy estimate
     /// How alpha (estimated accuracy) is obtained:
     ///  - agreement: cloud-side F1 between the edge's detections and the
@@ -75,10 +81,10 @@ public:
     [[nodiscard]] std::string name() const override {
         return config_.adaptive_sampling ? "Shoggoth" : "Prompt";
     }
-    void start(sim::Runtime& rt) override;
-    [[nodiscard]] std::vector<detect::Detection> infer(sim::Runtime& rt,
+    void start(sim::Edge_runtime& rt) override;
+    [[nodiscard]] std::vector<detect::Detection> infer(sim::Edge_runtime& rt,
                                                        const video::Frame& frame) override;
-    void on_inference(sim::Runtime& rt, const video::Frame& frame,
+    void on_inference(sim::Edge_runtime& rt, const video::Frame& frame,
                       const std::vector<detect::Detection>& detections) override;
 
     [[nodiscard]] const Sampling_controller& controller() const noexcept { return controller_; }
@@ -86,6 +92,8 @@ public:
     [[nodiscard]] double current_rate() const noexcept;
     [[nodiscard]] std::size_t frames_uploaded() const noexcept { return frames_uploaded_; }
     [[nodiscard]] std::size_t frames_labeled() const noexcept { return frames_labeled_; }
+    /// Domain breaks detected (pending labels flushed as stale).
+    [[nodiscard]] std::size_t stale_flushes() const noexcept { return stale_flushes_; }
 
     /// One control-round snapshot (for traces, tests and the Table III bench).
     struct Control_record {
@@ -130,19 +138,21 @@ private:
     // alpha bookkeeping (since the last control round).
     std::size_t predictions_seen_ = 0;
     std::size_t predictions_accurate_ = 0;
+    double last_control_alpha_ = -1.0;
+    std::size_t stale_flushes_ = 0;
 
     // phi bookkeeping (cloud side).
     std::vector<detect::Detection> last_teacher_output_;
     bool have_last_teacher_output_ = false;
     std::vector<Control_record> control_trace_;
 
-    void schedule_next_sample(sim::Runtime& rt);
-    void on_sample_tick(sim::Runtime& rt);
-    void upload_buffer(sim::Runtime& rt);
-    void cloud_label_batch(sim::Runtime& rt, std::vector<std::size_t> frames);
-    void edge_receive_labels(sim::Runtime& rt, std::vector<models::Labeled_sample> samples,
-                             std::size_t frames);
-    void maybe_start_training(sim::Runtime& rt);
+    void schedule_next_sample(sim::Edge_runtime& rt);
+    void on_sample_tick(sim::Edge_runtime& rt);
+    void upload_buffer(sim::Edge_runtime& rt);
+    void cloud_label_batch(sim::Edge_runtime& rt, std::vector<std::size_t> frames);
+    void edge_receive_labels(sim::Edge_runtime& rt, std::vector<models::Labeled_sample> samples,
+                             std::size_t frames, bool flush_stale);
+    void maybe_start_training(sim::Edge_runtime& rt);
     [[nodiscard]] double drain_alpha();
 };
 

@@ -1,0 +1,65 @@
+#include "fleet/testbed.hpp"
+
+#include <utility>
+
+#include "models/pretrain.hpp"
+#include "video/presets.hpp"
+
+namespace shog::fleet {
+
+Testbed make_testbed(const char* preset_name, std::size_t cameras, std::uint64_t seed,
+                     double duration) {
+    SHOG_REQUIRE(cameras >= 1, "fleet testbed needs at least one camera");
+    const video::Dataset_preset preset = video::preset_by_name(preset_name, seed, duration);
+    Testbed testbed;
+    for (std::size_t i = 0; i < cameras; ++i) {
+        video::Stream_config stream_config = preset.stream;
+        stream_config.seed = preset.stream.seed + i;
+        testbed.streams.push_back(std::make_unique<video::Video_stream>(
+            stream_config, preset.world, preset.schedule));
+    }
+    testbed.pristine = models::make_student(testbed.streams.front()->world(), seed);
+    testbed.teacher = models::make_teacher(testbed.streams.front()->world(), seed);
+    return testbed;
+}
+
+namespace {
+
+/// `factory(student)` builds one device's strategy around its cloned student.
+template <typename Factory>
+Fleet build_fleet(const Testbed& testbed, std::size_t devices, Factory&& factory) {
+    SHOG_REQUIRE(devices >= 1 && devices <= testbed.streams.size(),
+                 "fleet size must fit the testbed's cameras");
+    Fleet fleet;
+    for (std::size_t i = 0; i < devices; ++i) {
+        fleet.students.push_back(testbed.pristine->clone());
+        fleet.strategies.push_back(factory(*fleet.students.back()));
+        fleet.specs.push_back(
+            sim::Device_spec{fleet.strategies.back().get(), testbed.streams[i].get()});
+    }
+    return fleet;
+}
+
+} // namespace
+
+Fleet make_shoggoth_fleet(const Testbed& testbed, std::size_t devices,
+                          core::Shoggoth_config config,
+                          device::Compute_model cloud_device) {
+    return build_fleet(testbed, devices, [&](models::Detector& student) {
+        return std::make_unique<core::Shoggoth_strategy>(
+            student, *testbed.teacher, config,
+            models::Deployed_profile::yolov4_resnet18(), device::jetson_tx2(),
+            cloud_device);
+    });
+}
+
+Fleet make_ams_fleet(const Testbed& testbed, std::size_t devices, baselines::Ams_config config,
+                     device::Compute_model cloud_device) {
+    return build_fleet(testbed, devices, [&](models::Detector& student) {
+        return std::make_unique<baselines::Ams_strategy>(
+            student, *testbed.teacher, config,
+            models::Deployed_profile::yolov4_resnet18(), cloud_device);
+    });
+}
+
+} // namespace shog::fleet

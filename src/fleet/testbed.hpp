@@ -1,0 +1,45 @@
+// Fleet testbed: shared construction helpers for multi-device cluster
+// experiments (examples and benches). One world and one pretrained
+// student/teacher pair serve the whole fleet; each camera gets its own
+// track population (distinct stream seed) so devices see different video.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "baselines/ams.hpp"
+#include "core/shoggoth.hpp"
+#include "sim/harness.hpp"
+#include "video/stream.hpp"
+
+namespace shog::fleet {
+
+struct Testbed {
+    std::vector<std::unique_ptr<video::Video_stream>> streams; ///< one per camera
+    std::unique_ptr<models::Detector> pristine;                ///< cloned per device
+    std::unique_ptr<models::Detector> teacher;
+};
+
+/// Build `cameras` same-world streams plus the pretrained model pair.
+/// Preset names: "ua_detrac", "kitti", "waymo".
+[[nodiscard]] Testbed make_testbed(const char* preset_name, std::size_t cameras,
+                                   std::uint64_t seed, double duration);
+
+/// One runnable fleet: owns the per-device students and strategies backing
+/// `specs`. Keep it alive across run_cluster.
+struct Fleet {
+    std::vector<std::unique_ptr<models::Detector>> students;
+    std::vector<std::unique_ptr<sim::Strategy>> strategies;
+    std::vector<sim::Device_spec> specs;
+};
+
+[[nodiscard]] Fleet make_shoggoth_fleet(const Testbed& testbed, std::size_t devices,
+                                        core::Shoggoth_config config = {},
+                                        device::Compute_model cloud_device = device::v100());
+
+[[nodiscard]] Fleet make_ams_fleet(const Testbed& testbed, std::size_t devices,
+                                   baselines::Ams_config config = {},
+                                   device::Compute_model cloud_device = device::v100());
+
+} // namespace shog::fleet

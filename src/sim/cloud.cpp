@@ -1,0 +1,135 @@
+#include "sim/cloud.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "common/stats.hpp"
+
+namespace shog::sim {
+
+Cloud_runtime::Cloud_runtime(Event_queue& queue, Cloud_config config)
+    : queue_{queue}, config_{config} {
+    SHOG_REQUIRE(config_.gpu_count >= 1, "cloud needs at least one GPU");
+    SHOG_REQUIRE(config_.max_batch >= 1, "max_batch must be >= 1");
+    SHOG_REQUIRE(config_.batch_efficiency > 0.0 && config_.batch_efficiency <= 1.0,
+                 "batch_efficiency must be in (0, 1]");
+}
+
+void Cloud_runtime::ensure_device(std::size_t device_id) {
+    if (device_id >= per_device_seconds_.size()) {
+        per_device_seconds_.resize(device_id + 1, 0.0);
+    }
+}
+
+void Cloud_runtime::submit(std::size_t device_id, Seconds service, Completion done,
+                           Cloud_job_kind kind) {
+    SHOG_REQUIRE(service >= 0.0, "job service time must be >= 0");
+    ensure_device(device_id);
+    waiting_.push_back(Job{device_id, service, queue_.now(), std::move(done), kind});
+    dispatch();
+    // Depth is what is *left* waiting behind busy servers (0 when the job
+    // started immediately).
+    peak_depth_ = std::max(peak_depth_, waiting_.size());
+}
+
+void Cloud_runtime::account_direct(std::size_t device_id, Seconds gpu_seconds) {
+    ensure_device(device_id);
+    direct_seconds_ += gpu_seconds;
+    per_device_seconds_[device_id] += gpu_seconds;
+}
+
+void Cloud_runtime::dispatch() {
+    while (busy_gpus_ < config_.gpu_count && !waiting_.empty()) {
+        // Coalesce only on the last idle server: while other servers are
+        // free, each waiting job gets its own GPU (batching must never make
+        // a job wait behind a sibling when idle capacity exists).
+        const std::size_t batch_limit =
+            busy_gpus_ + 1 == config_.gpu_count ? config_.max_batch : 1;
+        auto batch = std::make_shared<std::vector<Job>>();
+        Seconds total_service = 0.0;
+        while (batch->size() < batch_limit && !waiting_.empty()) {
+            Job job = std::move(waiting_.front());
+            waiting_.pop_front();
+            // The first job of a dispatch pays full price; coalesced
+            // followers are discounted by the batching efficiency.
+            const Seconds billed =
+                batch->empty() ? job.service : job.service * config_.batch_efficiency;
+            total_service += billed;
+            queued_busy_seconds_ += billed;
+            per_device_seconds_[job.device] += billed;
+            batch->push_back(std::move(job));
+        }
+        ++busy_gpus_;
+        const Seconds started = queue_.now();
+        dispatches_.push_back(Dispatch_interval{started, total_service});
+        queue_.schedule_in(total_service, [this, batch, started] {
+            const Seconds completed = queue_.now();
+            --busy_gpus_;
+            for (Job& job : *batch) {
+                waits_.push_back(started - job.submitted);
+                latencies_.push_back(completed - job.submitted);
+                if (job.kind == Cloud_job_kind::label) {
+                    label_waits_.push_back(started - job.submitted);
+                    label_latencies_.push_back(completed - job.submitted);
+                }
+            }
+            // Completions may submit follow-up work (AMS chains a training
+            // job after labeling); run them before refilling the servers so
+            // FIFO order is preserved across the whole fleet.
+            for (Job& job : *batch) {
+                if (job.done) {
+                    job.done();
+                }
+            }
+            dispatch();
+        });
+    }
+}
+
+Seconds Cloud_runtime::device_gpu_seconds(std::size_t device_id) const {
+    return device_id < per_device_seconds_.size() ? per_device_seconds_[device_id] : 0.0;
+}
+
+Seconds Cloud_runtime::busy_seconds_within(Seconds horizon) const {
+    // Clamp each dispatch interval to the horizon so a job straddling the
+    // end of the run only counts its in-horizon part.
+    Seconds in_horizon = 0.0;
+    for (const Dispatch_interval& d : dispatches_) {
+        if (d.start >= horizon) {
+            continue;
+        }
+        in_horizon += std::min(d.service, horizon - d.start);
+    }
+    return in_horizon + direct_seconds_;
+}
+
+double Cloud_runtime::utilization(Seconds horizon) const {
+    SHOG_REQUIRE(horizon > 0.0, "horizon must be positive");
+    return busy_seconds_within(horizon) / (horizon * static_cast<double>(config_.gpu_count));
+}
+
+namespace {
+
+Seconds mean_of(const std::vector<Seconds>& values) {
+    if (values.empty()) {
+        return 0.0;
+    }
+    double total = 0.0;
+    for (Seconds s : values) {
+        total += s;
+    }
+    return total / static_cast<double>(values.size());
+}
+
+} // namespace
+
+Seconds Cloud_runtime::mean_label_latency() const { return mean_of(label_latencies_); }
+
+Seconds Cloud_runtime::p95_label_latency() const {
+    return label_latencies_.empty() ? 0.0 : quantile(label_latencies_, 0.95);
+}
+
+Seconds Cloud_runtime::mean_label_wait() const { return mean_of(label_waits_); }
+
+} // namespace shog::sim

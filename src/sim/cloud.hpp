@@ -1,0 +1,124 @@
+// Shared cloud runtime: the contended GPU scheduler of a multi-edge cluster.
+//
+// Every device's cloud-side work (teacher labeling for Shoggoth/Prompt,
+// labeling + whole-model fine-tuning for AMS) is submitted as a job with a
+// service time; jobs from all devices drain through `gpu_count` servers in
+// FIFO order, optionally coalesced into batched dispatches. Cloud GPU
+// seconds, queueing delay and label latency therefore *emerge* from
+// contention instead of being summed per-run, which is what makes the
+// paper's devices-per-GPU scalability claim measurable.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/event_queue.hpp"
+#include "common/units.hpp"
+
+namespace shog::sim {
+
+struct Cloud_config {
+    /// Parallel GPU servers in the cloud.
+    std::size_t gpu_count = 1;
+    /// Max queued jobs coalesced into one dispatch (1 = pure FIFO). Jobs in
+    /// a coalesced dispatch all complete when the whole dispatch does.
+    std::size_t max_batch = 1;
+    /// Cost factor on the service time of every coalesced job after the
+    /// first (GPU batching amortizes weight loads and kernel launches).
+    double batch_efficiency = 0.7;
+};
+
+/// What a GPU job is for; label jobs feed the per-fleet label-latency
+/// statistics, training jobs (AMS cloud fine-tunes) only count toward
+/// occupancy.
+enum class Cloud_job_kind { label, train };
+
+class Cloud_runtime {
+public:
+    using Completion = std::function<void()>;
+
+    Cloud_runtime(Event_queue& queue, Cloud_config config = {});
+
+    /// Queue `service` seconds of GPU work on behalf of `device_id`; `done`
+    /// fires on the shared clock once a server has executed the job (after
+    /// any queueing delay behind other devices' jobs).
+    void submit(std::size_t device_id, Seconds service, Completion done,
+                Cloud_job_kind kind = Cloud_job_kind::label);
+
+    /// Account GPU time for analytically-modeled work that bypasses the
+    /// queue (Cloud-Only's synchronous per-frame pipeline).
+    void account_direct(std::size_t device_id, Seconds gpu_seconds);
+
+    [[nodiscard]] const Cloud_config& config() const noexcept { return config_; }
+
+    /// Total GPU seconds committed (queued service + direct accounting).
+    /// Includes the full service of jobs still running at the end of a run;
+    /// use busy_seconds_within() for horizon-consistent occupancy.
+    [[nodiscard]] Seconds busy_seconds() const noexcept {
+        return queued_busy_seconds_ + direct_seconds_;
+    }
+    /// GPU seconds spent inside [0, horizon]: dispatch intervals clamped to
+    /// the horizon, plus direct accounting.
+    [[nodiscard]] Seconds busy_seconds_within(Seconds horizon) const;
+    /// GPU seconds attributed to one device.
+    [[nodiscard]] Seconds device_gpu_seconds(std::size_t device_id) const;
+    /// busy_seconds_within(horizon) / (horizon * gpu_count). > 1 means
+    /// oversubscribed direct work.
+    [[nodiscard]] double utilization(Seconds horizon) const;
+
+    [[nodiscard]] std::size_t jobs_completed() const noexcept { return latencies_.size(); }
+    [[nodiscard]] std::size_t jobs_pending() const noexcept {
+        return waiting_.size() + busy_gpus_;
+    }
+    /// Largest number of jobs ever left waiting behind busy servers (0 on a
+    /// fully uncontended cluster).
+    [[nodiscard]] std::size_t peak_queue_depth() const noexcept { return peak_depth_; }
+
+    /// Completion - submission per finished job (wait + service), all kinds.
+    [[nodiscard]] const std::vector<Seconds>& job_latencies() const noexcept {
+        return latencies_;
+    }
+    /// Dispatch - submission per finished job (pure queueing delay).
+    [[nodiscard]] const std::vector<Seconds>& job_waits() const noexcept { return waits_; }
+
+    /// Label-job statistics (training jobs excluded, so an AMS fleet's
+    /// fine-tunes don't masquerade as label latency).
+    [[nodiscard]] Seconds mean_label_latency() const;
+    [[nodiscard]] Seconds p95_label_latency() const;
+    [[nodiscard]] Seconds mean_label_wait() const;
+
+private:
+    struct Job {
+        std::size_t device;
+        Seconds service;
+        Seconds submitted;
+        Completion done;
+        Cloud_job_kind kind;
+    };
+    struct Dispatch_interval {
+        Seconds start;
+        Seconds service;
+    };
+
+    /// Start dispatches while a server is idle and jobs are waiting.
+    void dispatch();
+    void ensure_device(std::size_t device_id);
+
+    Event_queue& queue_;
+    Cloud_config config_;
+    std::deque<Job> waiting_;
+    std::size_t busy_gpus_ = 0;
+    std::size_t peak_depth_ = 0;
+    Seconds queued_busy_seconds_ = 0.0;
+    Seconds direct_seconds_ = 0.0;
+    std::vector<Seconds> per_device_seconds_;
+    std::vector<Dispatch_interval> dispatches_;
+    std::vector<Seconds> latencies_;
+    std::vector<Seconds> waits_;
+    std::vector<Seconds> label_latencies_;
+    std::vector<Seconds> label_waits_;
+};
+
+} // namespace shog::sim

@@ -1,0 +1,87 @@
+// Per-device edge runtime of the cluster engine.
+//
+// One Edge_runtime per simulated device: its video stream, network link,
+// H.264 model, edge compute model and RNG substream. All devices in a
+// cluster share one discrete-event clock and one Cloud_runtime; cloud-side
+// work is submitted through `cloud()` so GPU time is contended rather than
+// per-device. A single-device run is just a cluster of one.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/event_queue.hpp"
+#include "common/rng.hpp"
+#include "device/compute.hpp"
+#include "netsim/h264.hpp"
+#include "netsim/link.hpp"
+#include "netsim/messages.hpp"
+#include "sim/cloud.hpp"
+#include "video/stream.hpp"
+
+namespace shog::sim {
+
+class Edge_runtime {
+public:
+    Edge_runtime(std::size_t device_id, const video::Video_stream& stream, Event_queue& queue,
+                 Cloud_runtime& cloud, netsim::Link_config link_config,
+                 netsim::H264_config h264_config, device::Edge_compute edge_compute,
+                 std::uint64_t seed);
+
+    [[nodiscard]] std::size_t device_id() const noexcept { return device_id_; }
+    [[nodiscard]] Seconds now() const noexcept { return queue_.now(); }
+    void schedule(Seconds delay, std::function<void()> action) {
+        queue_.schedule_in(delay, std::move(action));
+    }
+
+    [[nodiscard]] const video::Video_stream& stream() const noexcept { return stream_; }
+    [[nodiscard]] netsim::Link& link() noexcept { return link_; }
+    [[nodiscard]] const netsim::H264_model& h264() const noexcept { return h264_; }
+    [[nodiscard]] const netsim::Message_size_config& message_sizes() const noexcept {
+        return message_sizes_;
+    }
+    [[nodiscard]] device::Edge_compute& edge_compute() noexcept { return edge_compute_; }
+    [[nodiscard]] Rng& rng() noexcept { return rng_; }
+
+    /// The shared cloud this device's labeling/training requests contend on.
+    [[nodiscard]] Cloud_runtime& cloud() noexcept { return cloud_; }
+
+    /// Strategies flip this while an edge training session runs; the harness
+    /// samples it for the fps timeline (Fig. 4) and for lambda.
+    void set_training_active(bool active) noexcept { training_active_ = active; }
+    [[nodiscard]] bool training_active() const noexcept { return training_active_; }
+
+    /// Strategies with a non-edge inference path (Cloud-Only) publish their
+    /// pipeline fps here; negative means "derive from edge compute".
+    void set_fps_override(double fps) noexcept { fps_override_ = fps; }
+    [[nodiscard]] double fps_override() const noexcept { return fps_override_; }
+
+    /// Cloud GPU seconds attributed to this device, however consumed
+    /// (scheduler jobs or direct accounting).
+    void add_cloud_gpu_seconds(Seconds s) noexcept { cloud_.account_direct(device_id_, s); }
+    [[nodiscard]] Seconds cloud_gpu_seconds() const noexcept {
+        return cloud_.device_gpu_seconds(device_id_);
+    }
+
+    /// Count of edge training sessions (reported in results).
+    void count_training_session() noexcept { ++training_sessions_; }
+    [[nodiscard]] std::size_t training_sessions() const noexcept { return training_sessions_; }
+
+    [[nodiscard]] Event_queue& queue() noexcept { return queue_; }
+
+private:
+    std::size_t device_id_;
+    const video::Video_stream& stream_;
+    Event_queue& queue_;
+    Cloud_runtime& cloud_;
+    netsim::Link link_;
+    netsim::H264_model h264_;
+    netsim::Message_size_config message_sizes_;
+    device::Edge_compute edge_compute_;
+    Rng rng_;
+    bool training_active_ = false;
+    double fps_override_ = -1.0;
+    std::size_t training_sessions_ = 0;
+};
+
+} // namespace shog::sim

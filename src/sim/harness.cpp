@@ -3,86 +3,159 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <memory>
 
 #include "device/monitor.hpp"
 
 namespace shog::sim {
 
-Runtime::Runtime(const video::Video_stream& stream, netsim::Link_config link_config,
-                 netsim::H264_config h264_config, device::Edge_compute edge_compute,
-                 std::uint64_t seed)
-    : stream_{stream},
-      link_{link_config},
-      h264_{h264_config},
-      edge_compute_{std::move(edge_compute)},
-      rng_{seed} {}
+std::uint64_t device_seed(std::uint64_t seed, std::size_t device_index) noexcept {
+    // Golden-ratio stride; device 0 keeps the base seed so a cluster of one
+    // reproduces run_strategy exactly. Rng mixes further internally.
+    return seed + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(device_index);
+}
+
+namespace {
+
+/// Everything the harness tracks for one device of the cluster.
+struct Device_state {
+    Device_state(std::size_t device_id, const Device_spec& spec, Event_queue& queue,
+                 Cloud_runtime& cloud, const Harness_config& config)
+        : spec{spec},
+          runtime{device_id,
+                  *spec.stream,
+                  queue,
+                  cloud,
+                  config.link,
+                  config.h264,
+                  device::Edge_compute{device::jetson_tx2(), config.contention,
+                                       config.edge_inference_gflops},
+                  device_seed(config.seed, device_id)},
+          evaluator{spec.stream->num_classes(), config.iou_threshold} {}
+
+    Device_spec spec;
+    Edge_runtime runtime;
+    detect::Stream_evaluator evaluator;
+    device::Fps_tracker fps_tracker;
+};
+
+} // namespace
+
+Cluster_result run_cluster(const std::vector<Device_spec>& devices,
+                           const Cluster_config& config) {
+    SHOG_REQUIRE(!devices.empty(), "cluster needs at least one device");
+    SHOG_REQUIRE(config.harness.eval_stride >= 1, "eval stride must be >= 1");
+    for (const Device_spec& spec : devices) {
+        SHOG_REQUIRE(spec.strategy != nullptr, "device needs a strategy");
+        SHOG_REQUIRE(spec.stream != nullptr, "device needs a stream");
+    }
+
+    Event_queue queue;
+    Cloud_runtime cloud{queue, config.cloud};
+
+    std::vector<std::unique_ptr<Device_state>> states;
+    states.reserve(devices.size());
+    Seconds horizon = 0.0;
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+        states.push_back(
+            std::make_unique<Device_state>(i, devices[i], queue, cloud, config.harness));
+        horizon = std::max(horizon, devices[i].stream->duration());
+    }
+
+    // Per device: evaluation events (stride over frames, query the strategy,
+    // score) and fps sampling ticks. Scheduling order matters only for the
+    // FIFO tiebreak of simultaneous events and is deterministic.
+    for (const auto& state_ptr : states) {
+        Device_state& state = *state_ptr;
+        const video::Video_stream& stream = *state.spec.stream;
+        for (std::size_t idx = 0; idx < stream.frame_count();
+             idx += config.harness.eval_stride) {
+            const Seconds at = static_cast<double>(idx) / stream.fps();
+            queue.schedule(at, [&state, idx] {
+                const video::Frame frame = state.runtime.stream().frame_at(idx);
+                std::vector<detect::Detection> detections =
+                    state.spec.strategy->infer(state.runtime, frame);
+                state.spec.strategy->on_inference(state.runtime, frame, detections);
+                state.evaluator.add_frame(
+                    frame.timestamp,
+                    detect::Frame_eval{std::move(detections),
+                                       video::Video_stream::ground_truth(frame)});
+            });
+        }
+        const double video_fps = stream.fps();
+        const Seconds duration = stream.duration();
+        for (Seconds t = config.harness.fps_tick; t <= duration;
+             t += config.harness.fps_tick) {
+            queue.schedule(t, [&state, video_fps] {
+                const double fps =
+                    state.runtime.fps_override() >= 0.0
+                        ? state.runtime.fps_override()
+                        : state.runtime.edge_compute().achieved_fps(
+                              video_fps, state.runtime.training_active());
+                state.fps_tracker.record_until(state.runtime.now(), fps);
+            });
+        }
+    }
+
+    for (const auto& state_ptr : states) {
+        state_ptr->spec.strategy->start(state_ptr->runtime);
+    }
+    (void)queue.run_until(horizon);
+
+    Cluster_result cluster;
+    cluster.duration = horizon;
+    cluster.devices.reserve(states.size());
+    for (const auto& state_ptr : states) {
+        Device_state& state = *state_ptr;
+        const Seconds duration = state.spec.stream->duration();
+
+        Run_result result;
+        result.strategy = state.spec.strategy->name();
+        result.duration = duration;
+        result.map_pooled = state.evaluator.map();
+        result.average_iou = state.evaluator.average_iou();
+        result.evaluated_frames = state.evaluator.frame_count();
+        result.up_kbps = state.runtime.link().up_meter().average_kbps(duration);
+        result.down_kbps = state.runtime.link().down_meter().average_kbps(duration);
+        result.average_fps = state.fps_tracker.average_fps();
+        result.training_sessions = state.runtime.training_sessions();
+        result.cloud_gpu_seconds = state.runtime.cloud_gpu_seconds();
+        for (const auto& s : state.fps_tracker.samples()) {
+            result.fps_timeline.emplace_back(s.from, s.fps);
+        }
+        result.windowed_map = state.evaluator.windowed_map(config.harness.map_window);
+        if (!result.windowed_map.empty()) {
+            double total = 0.0;
+            for (const auto& [start, value] : result.windowed_map) {
+                total += value;
+            }
+            result.map = total / static_cast<double>(result.windowed_map.size());
+        } else {
+            result.map = result.map_pooled;
+        }
+        cluster.fleet_map += result.map;
+        cluster.devices.push_back(std::move(result));
+    }
+    cluster.fleet_map /= static_cast<double>(cluster.devices.size());
+
+    cluster.gpu_busy_seconds =
+        horizon > 0.0 ? cloud.busy_seconds_within(horizon) : cloud.busy_seconds();
+    cluster.gpu_utilization = horizon > 0.0 ? cloud.utilization(horizon) : 0.0;
+    cluster.cloud_jobs = cloud.jobs_completed();
+    cluster.mean_label_latency = cloud.mean_label_latency();
+    cluster.p95_label_latency = cloud.p95_label_latency();
+    cluster.mean_label_wait = cloud.mean_label_wait();
+    cluster.peak_queue_depth = cloud.peak_queue_depth();
+    return cluster;
+}
 
 Run_result run_strategy(Strategy& strategy, const video::Video_stream& stream,
                         const Harness_config& config) {
-    SHOG_REQUIRE(config.eval_stride >= 1, "eval stride must be >= 1");
-
-    device::Edge_compute edge_compute{device::jetson_tx2(), config.contention,
-                                      config.edge_inference_gflops};
-    Runtime rt{stream, config.link, config.h264, edge_compute, config.seed};
-
-    detect::Stream_evaluator evaluator{stream.num_classes(), config.iou_threshold};
-    device::Fps_tracker fps_tracker;
-
-    const Seconds duration = stream.duration();
-
-    // Evaluation events: stride over frames, query the strategy, score.
-    for (std::size_t idx = 0; idx < stream.frame_count(); idx += config.eval_stride) {
-        const Seconds at = static_cast<double>(idx) / stream.fps();
-        rt.schedule(at, [&rt, &strategy, &evaluator, idx] {
-            const video::Frame frame = rt.stream().frame_at(idx);
-            std::vector<detect::Detection> detections = strategy.infer(rt, frame);
-            strategy.on_inference(rt, frame, detections);
-            evaluator.add_frame(frame.timestamp,
-                                detect::Frame_eval{std::move(detections),
-                                                   video::Video_stream::ground_truth(frame)});
-        });
-    }
-
-    // fps sampling ticks.
-    const double video_fps = stream.fps();
-    for (Seconds t = config.fps_tick; t <= duration; t += config.fps_tick) {
-        rt.schedule(t, [&rt, &fps_tracker, video_fps] {
-            const double fps = rt.fps_override() >= 0.0
-                                   ? rt.fps_override()
-                                   : rt.edge_compute().achieved_fps(video_fps,
-                                                                    rt.training_active());
-            fps_tracker.record_until(rt.now(), fps);
-        });
-    }
-
-    strategy.start(rt);
-    (void)rt.queue().run_until(duration);
-
-    Run_result result;
-    result.strategy = strategy.name();
-    result.duration = duration;
-    result.map_pooled = evaluator.map();
-    result.average_iou = evaluator.average_iou();
-    result.evaluated_frames = evaluator.frame_count();
-    result.up_kbps = rt.link().up_meter().average_kbps(duration);
-    result.down_kbps = rt.link().down_meter().average_kbps(duration);
-    result.average_fps = fps_tracker.average_fps();
-    result.training_sessions = rt.training_sessions();
-    result.cloud_gpu_seconds = rt.cloud_gpu_seconds();
-    for (const auto& s : fps_tracker.samples()) {
-        result.fps_timeline.emplace_back(s.from, s.fps);
-    }
-    result.windowed_map = evaluator.windowed_map(config.map_window);
-    if (!result.windowed_map.empty()) {
-        double total = 0.0;
-        for (const auto& [start, value] : result.windowed_map) {
-            total += value;
-        }
-        result.map = total / static_cast<double>(result.windowed_map.size());
-    } else {
-        result.map = result.map_pooled;
-    }
-    return result;
+    Cluster_config cluster_config;
+    cluster_config.harness = config;
+    Cluster_result cluster =
+        run_cluster({Device_spec{&strategy, &stream}}, cluster_config);
+    return std::move(cluster.devices.front());
 }
 
 std::vector<double> windowed_gain(const Run_result& result, const Run_result& baseline) {

@@ -1,5 +1,10 @@
-// Simulation harness: runs one strategy over one stream and collects every
+// Simulation harness: runs strategies over streams and collects every
 // metric the paper's tables and figures report.
+//
+// Two entry points:
+//  - run_strategy: one device, one stream (a cluster of one);
+//  - run_cluster:  N devices, each with its own strategy and stream,
+//    sharing one discrete-event clock and one contended cloud GPU pool.
 #pragma once
 
 #include <cstdint>
@@ -11,6 +16,7 @@
 #include "device/compute.hpp"
 #include "netsim/h264.hpp"
 #include "netsim/link.hpp"
+#include "sim/cloud.hpp"
 #include "sim/strategy.hpp"
 #include "video/stream.hpp"
 
@@ -55,7 +61,56 @@ struct Run_result {
     std::vector<std::pair<double, double>> windowed_map;
 };
 
-/// Run `strategy` over the stream and measure everything.
+/// One device of a cluster: a strategy driving a stream. Both borrowed; the
+/// caller keeps them alive across run_cluster.
+struct Device_spec {
+    Strategy* strategy = nullptr;
+    const video::Video_stream* stream = nullptr;
+};
+
+struct Cluster_config {
+    /// Per-device edge/link/codec settings. Device i derives its RNG
+    /// substream from `harness.seed` (device 0 uses it verbatim, so a
+    /// cluster of one reproduces run_strategy bit-for-bit).
+    Harness_config harness;
+    /// The shared cloud GPU pool all devices contend on.
+    Cloud_config cloud;
+};
+
+struct Cluster_result {
+    std::vector<Run_result> devices;
+    /// Simulated horizon: the longest stream duration in the cluster.
+    Seconds duration = 0.0;
+    /// Cloud GPU seconds consumed by the fleet within the horizon (a job
+    /// still running when the horizon ends counts only its in-horizon part).
+    Seconds gpu_busy_seconds = 0.0;
+    /// gpu_busy_seconds / (duration * gpu_count).
+    double gpu_utilization = 0.0;
+    /// Scheduler jobs completed (labeling + cloud training requests).
+    std::size_t cloud_jobs = 0;
+    /// Label-job latency statistics (training jobs excluded; they only
+    /// count toward occupancy).
+    Seconds mean_label_latency = 0.0;
+    Seconds p95_label_latency = 0.0;
+    Seconds mean_label_wait = 0.0;
+    std::size_t peak_queue_depth = 0;
+    /// Mean of the per-device headline mAPs.
+    double fleet_map = 0.0;
+
+    [[nodiscard]] Seconds gpu_seconds_per_device() const noexcept {
+        return devices.empty() ? 0.0
+                               : gpu_busy_seconds / static_cast<double>(devices.size());
+    }
+};
+
+/// Seed of device i's RNG substream within a cluster (device 0 == seed).
+[[nodiscard]] std::uint64_t device_seed(std::uint64_t seed, std::size_t device_index) noexcept;
+
+/// Run N devices against one shared clock and one contended cloud.
+[[nodiscard]] Cluster_result run_cluster(const std::vector<Device_spec>& devices,
+                                         const Cluster_config& config);
+
+/// Run `strategy` over the stream and measure everything (cluster of one).
 [[nodiscard]] Run_result run_strategy(Strategy& strategy, const video::Video_stream& stream,
                                       const Harness_config& config);
 

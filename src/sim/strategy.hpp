@@ -1,81 +1,22 @@
-// Strategy interface + simulation runtime.
+// Strategy interface over the cluster simulation runtime.
 //
 // A Strategy is one of the paper's five systems (Edge-Only, Cloud-Only,
-// Prompt, AMS, Shoggoth). The harness owns simulated time, the network
-// link, the H.264 model and the edge compute model; strategies schedule
-// their own events (sampling, uploads, training sessions) against the
-// runtime and answer inference queries when the evaluator asks.
+// Prompt, AMS, Shoggoth), driving ONE edge device. The harness owns
+// simulated time, the network link, the H.264 model and the edge compute
+// model (per device, via Edge_runtime) plus the shared contended cloud
+// (Cloud_runtime); strategies schedule their own events (sampling, uploads,
+// training sessions) against the runtime, route cloud-side work through
+// `rt.cloud()`, and answer inference queries when the evaluator asks.
 #pragma once
 
-#include <functional>
 #include <string>
 #include <vector>
 
-#include "common/event_queue.hpp"
-#include "common/rng.hpp"
 #include "detect/box.hpp"
-#include "device/compute.hpp"
-#include "netsim/h264.hpp"
-#include "netsim/link.hpp"
-#include "netsim/messages.hpp"
+#include "sim/edge.hpp"
 #include "video/stream.hpp"
 
 namespace shog::sim {
-
-class Runtime {
-public:
-    Runtime(const video::Video_stream& stream, netsim::Link_config link_config,
-            netsim::H264_config h264_config, device::Edge_compute edge_compute,
-            std::uint64_t seed);
-
-    [[nodiscard]] Seconds now() const noexcept { return queue_.now(); }
-    void schedule(Seconds delay, std::function<void()> action) {
-        queue_.schedule_in(delay, std::move(action));
-    }
-
-    [[nodiscard]] const video::Video_stream& stream() const noexcept { return stream_; }
-    [[nodiscard]] netsim::Link& link() noexcept { return link_; }
-    [[nodiscard]] const netsim::H264_model& h264() const noexcept { return h264_; }
-    [[nodiscard]] const netsim::Message_size_config& message_sizes() const noexcept {
-        return message_sizes_;
-    }
-    [[nodiscard]] device::Edge_compute& edge_compute() noexcept { return edge_compute_; }
-    [[nodiscard]] Rng& rng() noexcept { return rng_; }
-
-    /// Strategies flip this while an edge training session runs; the harness
-    /// samples it for the fps timeline (Fig. 4) and for lambda.
-    void set_training_active(bool active) noexcept { training_active_ = active; }
-    [[nodiscard]] bool training_active() const noexcept { return training_active_; }
-
-    /// Strategies with a non-edge inference path (Cloud-Only) publish their
-    /// pipeline fps here; negative means "derive from edge compute".
-    void set_fps_override(double fps) noexcept { fps_override_ = fps; }
-    [[nodiscard]] double fps_override() const noexcept { return fps_override_; }
-
-    /// Cloud-side GPU seconds consumed (labeling + any cloud training); the
-    /// paper's scalability argument (more edges per GPU) reads this.
-    void add_cloud_gpu_seconds(Seconds s) noexcept { cloud_gpu_seconds_ += s; }
-    [[nodiscard]] Seconds cloud_gpu_seconds() const noexcept { return cloud_gpu_seconds_; }
-
-    /// Count of edge training sessions (reported in results).
-    void count_training_session() noexcept { ++training_sessions_; }
-    [[nodiscard]] std::size_t training_sessions() const noexcept { return training_sessions_; }
-
-    [[nodiscard]] Event_queue& queue() noexcept { return queue_; }
-
-private:
-    const video::Video_stream& stream_;
-    Event_queue queue_;
-    netsim::Link link_;
-    netsim::H264_model h264_;
-    netsim::Message_size_config message_sizes_;
-    device::Edge_compute edge_compute_;
-    Rng rng_;
-    bool training_active_ = false;
-    double fps_override_ = -1.0;
-    Seconds cloud_gpu_seconds_ = 0.0;
-    std::size_t training_sessions_ = 0;
-};
 
 class Strategy {
 public:
@@ -86,15 +27,15 @@ public:
     [[nodiscard]] virtual std::string name() const = 0;
 
     /// Called once at t=0; schedule initial events here.
-    virtual void start(Runtime& rt) = 0;
+    virtual void start(Edge_runtime& rt) = 0;
 
     /// The results the application sees for this frame right now.
-    [[nodiscard]] virtual std::vector<detect::Detection> infer(Runtime& rt,
+    [[nodiscard]] virtual std::vector<detect::Detection> infer(Edge_runtime& rt,
                                                                const video::Frame& frame) = 0;
 
     /// Callback with the detections the harness evaluated (used by Shoggoth
     /// to maintain the alpha accuracy estimate).
-    virtual void on_inference(Runtime& rt, const video::Frame& frame,
+    virtual void on_inference(Edge_runtime& rt, const video::Frame& frame,
                               const std::vector<detect::Detection>& detections) {
         (void)rt;
         (void)frame;
