@@ -1,12 +1,21 @@
-// Fleet-scaling bench: one JSON line per (strategy, fleet size) so future
-// PRs can track the devices-per-GPU scaling curve over time.
+// Fleet-scaling bench: one JSON line per run so future PRs can track the
+// devices-per-GPU scaling curve and the policy/latency knee over time.
 //
 //   ./bench_fleet [duration_seconds] [seed] [max_devices]
 //
-// Output (one line per run):
-//   {"bench":"fleet","strategy":"Shoggoth","devices":4,"gpu_utilization":...,
-//    "gpu_seconds_per_device":...,"mean_label_latency_s":...,
-//    "p95_label_latency_s":...,"fleet_map":...,"map_per_device":[...]}
+// Two sections:
+//  1. the homogeneous FIFO scaling sweep (strategy x fleet size), the PR 1
+//     curve:
+//       {"bench":"fleet","strategy":"Shoggoth","devices":4,...}
+//  2. a policy x fleet-mix sweep at N = max_devices with AMS-style cloud
+//     fine-tunes in the job mix (half the devices run AMS), under a steady
+//     and a correlated day/night drift scenario:
+//       {"bench":"fleet_policy","policy":"priority","mix":"heterogeneous",
+//        "scenario":"steady","p95_label_latency_s":...,
+//        "gpu_utilization":...,...}
+//     The p95-label-latency / GPU-utilization pair per policy is the knee
+//     to watch: priority and fair_share should cut p95 vs fifo without
+//     giving up utilization.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -17,7 +26,8 @@ using namespace shog;
 
 namespace {
 
-void emit_json(const char* strategy, std::size_t devices, const sim::Cluster_result& r) {
+void emit_scaling_json(const char* strategy, std::size_t devices,
+                       const sim::Cluster_result& r) {
     std::string maps;
     for (const sim::Run_result& d : r.devices) {
         if (!maps.empty()) {
@@ -35,6 +45,37 @@ void emit_json(const char* strategy, std::size_t devices, const sim::Cluster_res
                 strategy, devices, r.gpu_utilization, r.gpu_seconds_per_device(),
                 r.mean_label_latency, r.p95_label_latency, r.mean_label_wait, r.cloud_jobs,
                 r.fleet_map, maps.c_str());
+}
+
+void emit_policy_json(const char* policy, double preempt_s, const char* mix,
+                      const char* scenario, std::size_t shoggoth_devices,
+                      std::size_t ams_devices, const sim::Cluster_result& r) {
+    std::printf("{\"bench\":\"fleet_policy\",\"policy\":\"%s\",\"preempt_s\":%.1f,"
+                "\"mix\":\"%s\",\"scenario\":\"%s\",\"devices\":%zu,"
+                "\"shoggoth\":%zu,\"ams\":%zu,"
+                "\"gpu_utilization\":%.4f,\"mean_label_latency_s\":%.3f,"
+                "\"p95_label_latency_s\":%.3f,\"mean_label_wait_s\":%.3f,"
+                "\"cloud_jobs\":%zu,\"preemptions\":%zu,\"peak_queue_depth\":%zu,"
+                "\"fleet_map\":%.4f}\n",
+                policy, preempt_s, mix, scenario, shoggoth_devices + ams_devices,
+                shoggoth_devices, ams_devices, r.gpu_utilization, r.mean_label_latency,
+                r.p95_label_latency, r.mean_label_wait, r.cloud_jobs, r.preemptions,
+                r.peak_queue_depth, r.fleet_map);
+}
+
+void run_policy_sweep(const fleet::Testbed& testbed, const char* scenario,
+                      std::size_t devices, std::uint64_t seed) {
+    const std::size_t ams_devices = devices / 2;
+    const std::size_t shoggoth_devices = devices - ams_devices;
+    for (const char* mix : {"homogeneous", "heterogeneous"}) {
+        const bool heterogeneous = std::string{mix} == "heterogeneous";
+        for (const fleet::Policy_setup& setup : fleet::default_policy_setups()) {
+            emit_policy_json(setup.label, setup.preempt_label_wait, mix, scenario,
+                             shoggoth_devices, ams_devices,
+                             fleet::run_policy_cell(testbed, devices, heterogeneous,
+                                                    setup, seed));
+        }
+    }
 }
 
 } // namespace
@@ -56,9 +97,15 @@ int main(int argc, char** argv) {
 
     for (std::size_t n = 1; n <= max_devices; n *= 2) {
         fleet::Fleet shoggoth = fleet::make_shoggoth_fleet(testbed, n);
-        emit_json("Shoggoth", n, sim::run_cluster(shoggoth.specs, config));
+        emit_scaling_json("Shoggoth", n, sim::run_cluster(shoggoth.specs, config));
         fleet::Fleet ams = fleet::make_ams_fleet(testbed, n);
-        emit_json("AMS", n, sim::run_cluster(ams.specs, config));
+        emit_scaling_json("AMS", n, sim::run_cluster(ams.specs, config));
     }
+
+    run_policy_sweep(testbed, "steady", max_devices, seed);
+
+    const fleet::Testbed correlated =
+        fleet::make_correlated_drift_testbed("waymo", max_devices, seed, duration);
+    run_policy_sweep(correlated, "correlated_drift", max_devices, seed);
     return 0;
 }

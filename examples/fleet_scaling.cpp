@@ -94,5 +94,21 @@ int main(int argc, char** argv) {
     std::printf("  -> decoupled distillation scales %.1fx further on the same cloud "
                 "hardware.\n",
                 shog_capacity / std::max(1.0, ams_capacity));
+
+    // Scheduling policies under pressure: a heterogeneous mixed fleet
+    // (half Shoggoth, half AMS — so whole-model fine-tunes sit in the job
+    // mix) on a scaled-down cloud share, the operating point where dispatch
+    // order decides whether labeling starves behind training.
+    std::printf("\nScheduling policies, heterogeneous N=%zu mixed fleet "
+                "(%zu Shoggoth + %zu AMS) on a contended cloud share:\n",
+                max_devices, max_devices - max_devices / 2, max_devices / 2);
+    for (const fleet::Policy_setup& setup : fleet::default_policy_setups()) {
+        const sim::Cluster_result r = fleet::run_policy_cell(
+            testbed, max_devices, /*heterogeneous=*/true, setup, seed);
+        std::printf("  %-12s  label_lat mean=%6.2fs p95=%6.2fs  gpu_util=%5.1f%%  "
+                    "preemptions=%zu\n",
+                    setup.label, r.mean_label_latency, r.p95_label_latency,
+                    100.0 * r.gpu_utilization, r.preemptions);
+    }
     return 0;
 }

@@ -57,20 +57,38 @@ void Shoggoth_strategy::on_sample_tick(sim::Edge_runtime& rt) {
     const std::size_t index = rt.stream().index_at(rt.now());
     if (sample_buffer_.empty()) {
         first_buffered_at_ = rt.now();
+        schedule_flush_timer(rt);
     }
     last_buffered_at_ = rt.now();
     sample_buffer_.push_back(index);
-    if (sample_buffer_.size() >= config_.upload_batch_frames ||
-        rt.now() - first_buffered_at_ >= config_.upload_max_wait) {
+    if (sample_buffer_.size() >= config_.upload_batch_frames) {
         upload_buffer(rt);
     }
     schedule_next_sample(rt);
+}
+
+void Shoggoth_strategy::schedule_flush_timer(sim::Edge_runtime& rt) {
+    // Ship a partial buffer on a dedicated timer instead of waiting for the
+    // next sample tick to notice: tick-checked max-wait both quantized the
+    // flush to the sampling period and — because schedule_next_sample stops
+    // ticking near stream end — silently dropped a partially filled buffer
+    // at the end of the stream. Clamping to the stream duration flushes any
+    // remainder at stream end, inside the simulation horizon.
+    const std::uint64_t generation = upload_generation_;
+    const Seconds at = std::min(first_buffered_at_ + config_.upload_max_wait,
+                                rt.stream().duration());
+    rt.schedule(std::max(0.0, at - rt.now()), [this, &rt, generation] {
+        if (generation == upload_generation_ && !sample_buffer_.empty()) {
+            upload_buffer(rt);
+        }
+    });
 }
 
 void Shoggoth_strategy::upload_buffer(sim::Edge_runtime& rt) {
     if (sample_buffer_.empty()) {
         return;
     }
+    ++upload_generation_; // invalidate any pending flush timer
     std::vector<std::size_t> frames = std::move(sample_buffer_);
     sample_buffer_.clear();
     frames_uploaded_ += frames.size();

@@ -12,6 +12,7 @@
 // which is exactly the paper's Prompt baseline.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <memory>
 
@@ -134,6 +135,9 @@ private:
     bool training_busy_ = false;
     std::size_t frames_uploaded_ = 0;
     std::size_t frames_labeled_ = 0;
+    /// Bumped on every upload; pending flush timers from before the bump are
+    /// stale and fire as no-ops.
+    std::uint64_t upload_generation_ = 0;
 
     // alpha bookkeeping (since the last control round).
     std::size_t predictions_seen_ = 0;
@@ -148,6 +152,7 @@ private:
 
     void schedule_next_sample(sim::Edge_runtime& rt);
     void on_sample_tick(sim::Edge_runtime& rt);
+    void schedule_flush_timer(sim::Edge_runtime& rt);
     void upload_buffer(sim::Edge_runtime& rt);
     void cloud_label_batch(sim::Edge_runtime& rt, std::vector<std::size_t> frames);
     void edge_receive_labels(sim::Edge_runtime& rt, std::vector<models::Labeled_sample> samples,

@@ -1,5 +1,6 @@
 #include "fleet/testbed.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "models/pretrain.hpp"
@@ -7,10 +8,11 @@
 
 namespace shog::fleet {
 
-Testbed make_testbed(const char* preset_name, std::size_t cameras, std::uint64_t seed,
-                     double duration) {
+namespace {
+
+Testbed build_testbed(const video::Dataset_preset& preset, std::size_t cameras,
+                      std::uint64_t seed) {
     SHOG_REQUIRE(cameras >= 1, "fleet testbed needs at least one camera");
-    const video::Dataset_preset preset = video::preset_by_name(preset_name, seed, duration);
     Testbed testbed;
     for (std::size_t i = 0; i < cameras; ++i) {
         video::Stream_config stream_config = preset.stream;
@@ -23,21 +25,111 @@ Testbed make_testbed(const char* preset_name, std::size_t cameras, std::uint64_t
     return testbed;
 }
 
+} // namespace
+
+Testbed make_testbed(const char* preset_name, std::size_t cameras, std::uint64_t seed,
+                     double duration) {
+    return build_testbed(video::preset_by_name(preset_name, seed, duration), cameras, seed);
+}
+
+Testbed make_correlated_drift_testbed(const char* preset_name, std::size_t cameras,
+                                      std::uint64_t seed, double duration) {
+    video::Dataset_preset preset = video::preset_by_name(preset_name, seed, duration);
+    // One synchronized day/night square wave with sharp ramps, shared by
+    // every camera: at each break the whole fleet's alpha collapses at once,
+    // every controller spikes its sampling rate, and the cloud sees the
+    // correlated upload burst (the fleet-level stress the per-camera cycled
+    // schedules of the stock presets smear out). Segment lengths scale with
+    // the stream so even a short smoke run crosses at least one break.
+    const Seconds hold = 0.3 * duration;
+    const Seconds ramp = std::max(1.0, 0.03 * duration);
+    preset.schedule = video::Domain_schedule{{
+                                                 {video::day_sunny(0.6), hold},
+                                                 {video::night(0.45), hold},
+                                             },
+                                             ramp,
+                                             /*cycle=*/true};
+    return build_testbed(preset, cameras, seed);
+}
+
+std::vector<Edge_class> default_edge_classes() {
+    // idle fps on the 5.2-GFLOP student: ~30 (tx2) / ~20 (mid) / ~11
+    // (straggler), so the mix spans real-time down to clearly degraded.
+    return {
+        Edge_class{"tx2", device::jetson_tx2(),
+                   netsim::Link_config{12.0, 40.0, 0.025}, 5.2},
+        Edge_class{"mid", device::Compute_model{"mid_tier", 0.11},
+                   netsim::Link_config{8.0, 24.0, 0.035}, 5.2},
+        Edge_class{"straggler", device::Compute_model{"straggler", 0.06},
+                   netsim::Link_config{3.0, 10.0, 0.08}, 5.2},
+    };
+}
+
+sim::Device_hardware hardware_of(const Edge_class& edge_class) {
+    return sim::Device_hardware{edge_class.link, edge_class.device,
+                                device::Edge_contention_config{},
+                                edge_class.inference_gflops};
+}
+
+void assign_heterogeneous_hardware(Fleet& fleet, const std::vector<Edge_class>& classes) {
+    SHOG_REQUIRE(!classes.empty(), "heterogeneous fleet needs at least one edge class");
+    for (std::size_t i = 0; i < fleet.specs.size(); ++i) {
+        fleet.specs[i].hardware = hardware_of(classes[i % classes.size()]);
+    }
+}
+
 namespace {
 
-/// `factory(student)` builds one device's strategy around its cloned student.
+/// `factory(student, device_index)` builds one device's strategy around its
+/// cloned student (the index lets heterogeneous fleets pick per-device
+/// hardware at construction time).
+template <typename Factory>
+void grow_fleet(Fleet& fleet, const Testbed& testbed, std::size_t devices,
+                Factory&& factory) {
+    for (std::size_t i = 0; i < devices; ++i) {
+        const std::size_t camera = fleet.specs.size();
+        SHOG_REQUIRE(camera < testbed.streams.size(),
+                     "fleet size must fit the testbed's cameras");
+        fleet.students.push_back(testbed.pristine->clone());
+        fleet.strategies.push_back(factory(*fleet.students.back(), camera));
+        fleet.specs.push_back(sim::Device_spec{fleet.strategies.back().get(),
+                                               testbed.streams[camera].get(),
+                                               {}});
+    }
+}
+
 template <typename Factory>
 Fleet build_fleet(const Testbed& testbed, std::size_t devices, Factory&& factory) {
-    SHOG_REQUIRE(devices >= 1 && devices <= testbed.streams.size(),
-                 "fleet size must fit the testbed's cameras");
+    SHOG_REQUIRE(devices >= 1, "fleet needs at least one device");
     Fleet fleet;
-    for (std::size_t i = 0; i < devices; ++i) {
-        fleet.students.push_back(testbed.pristine->clone());
-        fleet.strategies.push_back(factory(*fleet.students.back()));
-        fleet.specs.push_back(
-            sim::Device_spec{fleet.strategies.back().get(), testbed.streams[i].get()});
-    }
+    grow_fleet(fleet, testbed, devices, std::forward<Factory>(factory));
     return fleet;
+}
+
+auto shoggoth_factory(const Testbed& testbed, core::Shoggoth_config config,
+                      device::Compute_model cloud_device,
+                      std::vector<Edge_class> classes = {}) {
+    // With edge classes, device i trains on its own accelerator (the trainer
+    // prices session wall time from it); without, every device is a TX2.
+    return [&testbed, config = std::move(config), cloud_device = std::move(cloud_device),
+            classes = std::move(classes)](models::Detector& student, std::size_t i) {
+        const device::Compute_model edge =
+            classes.empty() ? device::jetson_tx2() : classes[i % classes.size()].device;
+        return std::make_unique<core::Shoggoth_strategy>(
+            student, *testbed.teacher, config, models::Deployed_profile::yolov4_resnet18(),
+            edge, cloud_device);
+    };
+}
+
+auto ams_factory(const Testbed& testbed, baselines::Ams_config config,
+                 device::Compute_model cloud_device) {
+    return [&testbed, config = std::move(config),
+            cloud_device = std::move(cloud_device)](models::Detector& student,
+                                                    std::size_t) {
+        return std::make_unique<baselines::Ams_strategy>(
+            student, *testbed.teacher, config,
+            models::Deployed_profile::yolov4_resnet18(), cloud_device);
+    };
 }
 
 } // namespace
@@ -45,21 +137,72 @@ Fleet build_fleet(const Testbed& testbed, std::size_t devices, Factory&& factory
 Fleet make_shoggoth_fleet(const Testbed& testbed, std::size_t devices,
                           core::Shoggoth_config config,
                           device::Compute_model cloud_device) {
-    return build_fleet(testbed, devices, [&](models::Detector& student) {
-        return std::make_unique<core::Shoggoth_strategy>(
-            student, *testbed.teacher, config,
-            models::Deployed_profile::yolov4_resnet18(), device::jetson_tx2(),
-            cloud_device);
-    });
+    return build_fleet(testbed, devices,
+                       shoggoth_factory(testbed, std::move(config), std::move(cloud_device)));
 }
 
 Fleet make_ams_fleet(const Testbed& testbed, std::size_t devices, baselines::Ams_config config,
                      device::Compute_model cloud_device) {
-    return build_fleet(testbed, devices, [&](models::Detector& student) {
-        return std::make_unique<baselines::Ams_strategy>(
-            student, *testbed.teacher, config,
-            models::Deployed_profile::yolov4_resnet18(), cloud_device);
-    });
+    return build_fleet(testbed, devices,
+                       ams_factory(testbed, std::move(config), std::move(cloud_device)));
+}
+
+Fleet make_mixed_fleet(const Testbed& testbed, std::size_t shoggoth_devices,
+                       std::size_t ams_devices, core::Shoggoth_config shoggoth_config,
+                       baselines::Ams_config ams_config,
+                       device::Compute_model cloud_device) {
+    SHOG_REQUIRE(shoggoth_devices + ams_devices >= 1, "fleet needs at least one device");
+    Fleet fleet;
+    grow_fleet(fleet, testbed, shoggoth_devices,
+               shoggoth_factory(testbed, std::move(shoggoth_config), cloud_device));
+    grow_fleet(fleet, testbed, ams_devices,
+               ams_factory(testbed, std::move(ams_config), std::move(cloud_device)));
+    return fleet;
+}
+
+std::vector<Policy_setup> default_policy_setups() {
+    return {
+        Policy_setup{"fifo", sim::Policy_kind::fifo, 0.0},
+        Policy_setup{"priority", sim::Policy_kind::priority, 0.0},
+        Policy_setup{"fair_share", sim::Policy_kind::fair_share, 0.0},
+        Policy_setup{"fifo_preempt", sim::Policy_kind::fifo, 2.0},
+    };
+}
+
+Fleet make_policy_sweep_fleet(const Testbed& testbed, std::size_t devices,
+                              bool heterogeneous) {
+    const std::size_t ams_devices = devices / 2;
+    const std::size_t shoggoth_devices = devices - ams_devices;
+    // Policies only differ under contention: a fleet of 8 leaves a full
+    // V100 mostly idle, so the sweep runs on a proportionally scaled-down
+    // cloud share instead of simulating hundreds of devices.
+    const device::Compute_model cloud_share{"v100_share", 1.5};
+    // Halve the fine-tune trigger so AMS train jobs land in the mix well
+    // within short sweeps (under heavy FIFO queueing the default 60-frame
+    // cadence can push the first fine-tune past the end of the stream).
+    baselines::Ams_config ams_config;
+    ams_config.frames_per_session = 30;
+    Fleet fleet;
+    grow_fleet(fleet, testbed, shoggoth_devices,
+               shoggoth_factory(testbed, {}, cloud_share,
+                                heterogeneous ? default_edge_classes()
+                                              : std::vector<Edge_class>{}));
+    grow_fleet(fleet, testbed, ams_devices, ams_factory(testbed, ams_config, cloud_share));
+    if (heterogeneous) {
+        assign_heterogeneous_hardware(fleet);
+    }
+    return fleet;
+}
+
+sim::Cluster_result run_policy_cell(const Testbed& testbed, std::size_t devices,
+                                    bool heterogeneous, const Policy_setup& setup,
+                                    std::uint64_t seed) {
+    Fleet fleet = make_policy_sweep_fleet(testbed, devices, heterogeneous);
+    sim::Cluster_config config;
+    config.harness.seed = seed ^ 0x8888;
+    config.cloud.policy = setup.kind;
+    config.cloud.preempt_label_wait = setup.preempt_label_wait;
+    return sim::run_cluster(fleet.specs, config);
 }
 
 } // namespace shog::fleet

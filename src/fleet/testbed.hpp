@@ -2,6 +2,12 @@
 // experiments (examples and benches). One world and one pretrained
 // student/teacher pair serve the whole fleet; each camera gets its own
 // track population (distinct stream seed) so devices see different video.
+//
+// Supports heterogeneous fleets (mixed edge accelerators and link profiles,
+// including straggler devices), mixed-strategy fleets (Shoggoth + AMS, so
+// AMS-style cloud fine-tune jobs contend with labeling), and a correlated
+// cluster-drift scenario where every camera crosses day/night at the same
+// wall-clock instant and the upload spike hits the cloud at once.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +32,29 @@ struct Testbed {
 [[nodiscard]] Testbed make_testbed(const char* preset_name, std::size_t cameras,
                                    std::uint64_t seed, double duration);
 
+/// Like make_testbed, but every camera runs one synchronized sharp
+/// day->night->day schedule (short ramps): the whole fleet's controllers
+/// detect the break simultaneously, raise their sampling rates together and
+/// the correlated upload-batch spike lands on the shared cloud at once.
+[[nodiscard]] Testbed make_correlated_drift_testbed(const char* preset_name,
+                                                    std::size_t cameras, std::uint64_t seed,
+                                                    double duration);
+
+/// One class of edge hardware in a heterogeneous fleet.
+struct Edge_class {
+    const char* name;
+    device::Compute_model device;
+    netsim::Link_config link;
+    double inference_gflops = 5.2;
+};
+
+/// The default three-way mix: a TX2-class device on a healthy link, a
+/// mid-tier device on a slower link, and a straggler (weak accelerator,
+/// thin high-latency uplink) — cf. SurveilEdge-style mixed deployments.
+[[nodiscard]] std::vector<Edge_class> default_edge_classes();
+
+[[nodiscard]] sim::Device_hardware hardware_of(const Edge_class& edge_class);
+
 /// One runnable fleet: owns the per-device students and strategies backing
 /// `specs`. Keep it alive across run_cluster.
 struct Fleet {
@@ -34,6 +63,15 @@ struct Fleet {
     std::vector<sim::Device_spec> specs;
 };
 
+/// Make the fleet heterogeneous: device i gets classes[i % classes.size()].
+/// This overrides the *harness-side* hardware (fps, link, lambda). A
+/// strategy that prices edge training itself (Shoggoth's Adaptive_trainer)
+/// is fixed at construction — build it with the matching edge device, as
+/// make_policy_sweep_fleet does, or straggler training runs at TX2 speed.
+void assign_heterogeneous_hardware(Fleet& fleet,
+                                   const std::vector<Edge_class>& classes =
+                                       default_edge_classes());
+
 [[nodiscard]] Fleet make_shoggoth_fleet(const Testbed& testbed, std::size_t devices,
                                         core::Shoggoth_config config = {},
                                         device::Compute_model cloud_device = device::v100());
@@ -41,5 +79,40 @@ struct Fleet {
 [[nodiscard]] Fleet make_ams_fleet(const Testbed& testbed, std::size_t devices,
                                    baselines::Ams_config config = {},
                                    device::Compute_model cloud_device = device::v100());
+
+/// Mixed-strategy fleet: devices [0, shoggoth_devices) run Shoggoth, the
+/// next ams_devices run AMS — their whole-model cloud fine-tunes are the
+/// train jobs that contend with (and under FIFO starve) labeling.
+[[nodiscard]] Fleet make_mixed_fleet(const Testbed& testbed, std::size_t shoggoth_devices,
+                                     std::size_t ams_devices,
+                                     core::Shoggoth_config shoggoth_config = {},
+                                     baselines::Ams_config ams_config = {},
+                                     device::Compute_model cloud_device = device::v100());
+
+/// One cell of the scheduling-policy sweep bench_fleet and fleet_scaling
+/// share: a policy plus its preemption bound.
+struct Policy_setup {
+    const char* label;
+    sim::Policy_kind kind;
+    Seconds preempt_label_wait = 0.0;
+};
+
+/// fifo / priority / fair_share / fifo_preempt (2 s wait bound).
+[[nodiscard]] std::vector<Policy_setup> default_policy_setups();
+
+/// The contended operating point the policy sweep runs on: a half-Shoggoth
+/// half-AMS fleet (fine-tune cadence halved so train jobs land within short
+/// runs) against a scaled-down cloud share — the many-devices-per-GPU regime
+/// where dispatch order decides whether labeling starves behind training.
+[[nodiscard]] Fleet make_policy_sweep_fleet(const Testbed& testbed, std::size_t devices,
+                                            bool heterogeneous);
+
+/// Run one sweep cell: the sweep fleet under `setup`, seeded like the
+/// scaling runs (bench_fleet and fleet_scaling share this so their numbers
+/// stay comparable).
+[[nodiscard]] sim::Cluster_result run_policy_cell(const Testbed& testbed,
+                                                  std::size_t devices, bool heterogeneous,
+                                                  const Policy_setup& setup,
+                                                  std::uint64_t seed);
 
 } // namespace shog::fleet

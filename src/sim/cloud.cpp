@@ -9,11 +9,13 @@
 namespace shog::sim {
 
 Cloud_runtime::Cloud_runtime(Event_queue& queue, Cloud_config config)
-    : queue_{queue}, config_{config} {
+    : queue_{queue}, config_{config}, policy_{make_policy(config.policy)} {
     SHOG_REQUIRE(config_.gpu_count >= 1, "cloud needs at least one GPU");
     SHOG_REQUIRE(config_.max_batch >= 1, "max_batch must be >= 1");
     SHOG_REQUIRE(config_.batch_efficiency > 0.0 && config_.batch_efficiency <= 1.0,
                  "batch_efficiency must be in (0, 1]");
+    SHOG_REQUIRE(config_.preempt_label_wait >= 0.0,
+                 "preempt_label_wait must be >= 0 (0 disables preemption)");
 }
 
 void Cloud_runtime::ensure_device(std::size_t device_id) {
@@ -22,12 +24,28 @@ void Cloud_runtime::ensure_device(std::size_t device_id) {
     }
 }
 
+bool Cloud_runtime::is_waiting(std::uint64_t job_id) const {
+    for (const Sched_job& job : waiting_) {
+        if (job.id == job_id) {
+            return true;
+        }
+    }
+    return false;
+}
+
 void Cloud_runtime::submit(std::size_t device_id, Seconds service, Completion done,
                            Cloud_job_kind kind) {
     SHOG_REQUIRE(service >= 0.0, "job service time must be >= 0");
     ensure_device(device_id);
-    waiting_.push_back(Job{device_id, service, queue_.now(), std::move(done), kind});
+    const std::uint64_t id = next_job_id_++;
+    waiting_.push_back(Sched_job{device_id, service, queue_.now(), std::move(done), kind, id});
     dispatch();
+    if (config_.preempt_label_wait > 0.0 && kind == Cloud_job_kind::label &&
+        is_waiting(id)) {
+        // The label job is stuck behind busy servers; if it is still waiting
+        // when the bound expires, evict a train dispatch to make room.
+        queue_.schedule_in(config_.preempt_label_wait, [this, id] { preempt_check(id); });
+    }
     // Depth is what is *left* waiting behind busy servers (0 when the job
     // started immediately).
     peak_depth_ = std::max(peak_depth_, waiting_.size());
@@ -46,45 +64,155 @@ void Cloud_runtime::dispatch() {
         // a job wait behind a sibling when idle capacity exists).
         const std::size_t batch_limit =
             busy_gpus_ + 1 == config_.gpu_count ? config_.max_batch : 1;
-        auto batch = std::make_shared<std::vector<Job>>();
-        Seconds total_service = 0.0;
-        while (batch->size() < batch_limit && !waiting_.empty()) {
-            Job job = std::move(waiting_.front());
-            waiting_.pop_front();
-            // The first job of a dispatch pays full price; coalesced
-            // followers are discounted by the batching efficiency.
-            const Seconds billed =
-                batch->empty() ? job.service : job.service * config_.batch_efficiency;
-            total_service += billed;
+        auto active = std::make_shared<Active_dispatch>();
+        active->all_train = true;
+        while (active->jobs.size() < batch_limit && !waiting_.empty()) {
+            const std::size_t pick = select_next();
+            SHOG_REQUIRE(pick < waiting_.size(), "policy picked an out-of-range job");
+            // Dispatches are kind-homogeneous: teacher-labeling batches don't
+            // amortize with fine-tune kernels, and coalescing a train job
+            // behind a label would make the label's completion wait out the
+            // train's service — re-pinning latency past the preemption bound
+            // the eviction just enforced.
+            if (!active->jobs.empty() &&
+                waiting_[pick].kind != active->jobs.front().kind) {
+                break;
+            }
+            Sched_job job = std::move(waiting_[pick]);
+            waiting_.erase(waiting_.begin() + static_cast<std::ptrdiff_t>(pick));
+            // The first job of a dispatch runs at full service time;
+            // coalesced followers are discounted by the batching efficiency.
+            active->service += active->jobs.empty()
+                                   ? job.service
+                                   : job.service * config_.batch_efficiency;
+            active->total_raw += job.service;
+            active->all_train &= job.kind == Cloud_job_kind::train;
+            active->jobs.push_back(std::move(job));
+        }
+        // Bill the dispatch total across members in proportion to raw
+        // service, so which member arrived first cannot skew any device's
+        // GPU-seconds ledger (the first-job full-price term is a property of
+        // the *dispatch*, not of one member).
+        for (const Sched_job& job : active->jobs) {
+            const double share =
+                active->total_raw > 0.0
+                    ? job.service / active->total_raw
+                    : 1.0 / static_cast<double>(active->jobs.size());
+            const Seconds billed = active->service * share;
             queued_busy_seconds_ += billed;
             per_device_seconds_[job.device] += billed;
-            batch->push_back(std::move(job));
         }
         ++busy_gpus_;
-        const Seconds started = queue_.now();
-        dispatches_.push_back(Dispatch_interval{started, total_service});
-        queue_.schedule_in(total_service, [this, batch, started] {
-            const Seconds completed = queue_.now();
-            --busy_gpus_;
-            for (Job& job : *batch) {
-                waits_.push_back(started - job.submitted);
-                latencies_.push_back(completed - job.submitted);
-                if (job.kind == Cloud_job_kind::label) {
-                    label_waits_.push_back(started - job.submitted);
-                    label_latencies_.push_back(completed - job.submitted);
-                }
-            }
-            // Completions may submit follow-up work (AMS chains a training
-            // job after labeling); run them before refilling the servers so
-            // FIFO order is preserved across the whole fleet.
-            for (Job& job : *batch) {
-                if (job.done) {
-                    job.done();
-                }
-            }
-            dispatch();
-        });
+        active->started = queue_.now();
+        active->interval_index = dispatches_.size();
+        dispatches_.push_back(Dispatch_interval{active->started, active->service});
+        active_.push_back(active);
+        queue_.schedule_in(active->service, [this, active] { complete(active); });
     }
+}
+
+void Cloud_runtime::complete(const std::shared_ptr<Active_dispatch>& active) {
+    if (active->cancelled) {
+        return; // preempted; its remainder was re-queued
+    }
+    const Seconds completed = queue_.now();
+    active_.erase(std::find(active_.begin(), active_.end(), active));
+    --busy_gpus_;
+    for (const Sched_job& job : active->jobs) {
+        waits_.push_back(active->started - job.submitted);
+        latencies_.push_back(completed - job.submitted);
+        if (job.kind == Cloud_job_kind::label) {
+            label_waits_.push_back(active->started - job.submitted);
+            label_latencies_.push_back(completed - job.submitted);
+        }
+    }
+    // Completions may submit follow-up work (AMS chains a training job
+    // after labeling); run them before refilling the servers so queue
+    // order is preserved across the whole fleet.
+    for (Sched_job& job : active->jobs) {
+        if (job.done) {
+            job.done();
+        }
+    }
+    dispatch();
+}
+
+std::size_t Cloud_runtime::select_next() const {
+    if (config_.preempt_label_wait > 0.0) {
+        // An overdue label outranks any policy's pick: the wait bound is a
+        // guarantee, not a preference. Without this, preempting a train
+        // frees a server only for the policy to hand it to the next queued
+        // train (FIFO front), and the starved label keeps waiting.
+        std::size_t overdue = waiting_.size();
+        for (std::size_t i = 0; i < waiting_.size(); ++i) {
+            const Sched_job& job = waiting_[i];
+            if (job.kind == Cloud_job_kind::label &&
+                queue_.now() - job.submitted >= config_.preempt_label_wait &&
+                (overdue == waiting_.size() ||
+                 job.submitted < waiting_[overdue].submitted)) {
+                overdue = i;
+            }
+        }
+        if (overdue != waiting_.size()) {
+            return overdue;
+        }
+    }
+    return policy_->select(waiting_, per_device_seconds_);
+}
+
+void Cloud_runtime::preempt_check(std::uint64_t job_id) {
+    if (!is_waiting(job_id)) {
+        return; // the label job got served (or another check already acted)
+    }
+    // Evict the all-train dispatch with the most remaining service; ties
+    // fall to the earliest-started dispatch (deterministic).
+    std::shared_ptr<Active_dispatch> victim;
+    Seconds victim_remaining = 0.0;
+    for (const auto& active : active_) {
+        if (!active->all_train || active->cancelled) {
+            continue;
+        }
+        const Seconds remaining = active->started + active->service - queue_.now();
+        if (remaining <= 0.0) {
+            continue; // completes at this very instant; nothing to reclaim
+        }
+        if (!victim || remaining > victim_remaining) {
+            victim = active;
+            victim_remaining = remaining;
+        }
+    }
+    if (victim) {
+        preempt(victim);
+        dispatch();
+    }
+}
+
+void Cloud_runtime::preempt(const std::shared_ptr<Active_dispatch>& active) {
+    const Seconds elapsed = queue_.now() - active->started;
+    const double frac_done = active->service > 0.0 ? elapsed / active->service : 1.0;
+    // Refund the unexecuted share of each member's bill and truncate the
+    // occupancy interval to what actually ran.
+    for (const Sched_job& job : active->jobs) {
+        const double share = active->total_raw > 0.0
+                                 ? job.service / active->total_raw
+                                 : 1.0 / static_cast<double>(active->jobs.size());
+        const Seconds refund = active->service * share * (1.0 - frac_done);
+        queued_busy_seconds_ -= refund;
+        per_device_seconds_[job.device] -= refund;
+    }
+    dispatches_[active->interval_index].service = elapsed;
+    active->cancelled = true;
+    active_.erase(std::find(active_.begin(), active_.end(), active));
+    --busy_gpus_;
+    ++preemptions_;
+    // Checkpoint/resume: the unexecuted remainder goes back in the queue as
+    // the same jobs with proportionally reduced service; `submitted` stays
+    // at first submission so latency covers the interruption.
+    for (Sched_job& job : active->jobs) {
+        job.service *= 1.0 - frac_done;
+        waiting_.push_back(std::move(job));
+    }
+    peak_depth_ = std::max(peak_depth_, waiting_.size());
 }
 
 Seconds Cloud_runtime::device_gpu_seconds(std::size_t device_id) const {

@@ -2,20 +2,26 @@
 //
 // Every device's cloud-side work (teacher labeling for Shoggoth/Prompt,
 // labeling + whole-model fine-tuning for AMS) is submitted as a job with a
-// service time; jobs from all devices drain through `gpu_count` servers in
-// FIFO order, optionally coalesced into batched dispatches. Cloud GPU
-// seconds, queueing delay and label latency therefore *emerge* from
+// service time; jobs from all devices drain through `gpu_count` servers,
+// optionally coalesced into batched dispatches. Dispatch *order* is a
+// pluggable Scheduling_policy (sim/policy.hpp): FIFO by default, or
+// label-first priority / per-device fair share, plus optional preemption of
+// in-flight train dispatches when a label job has waited too long. Cloud
+// GPU seconds, queueing delay and label latency therefore *emerge* from
 // contention instead of being summed per-run, which is what makes the
 // paper's devices-per-GPU scalability claim measurable.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/event_queue.hpp"
 #include "common/units.hpp"
+#include "sim/policy.hpp"
 
 namespace shog::sim {
 
@@ -24,16 +30,23 @@ struct Cloud_config {
     std::size_t gpu_count = 1;
     /// Max queued jobs coalesced into one dispatch (1 = pure FIFO). Jobs in
     /// a coalesced dispatch all complete when the whole dispatch does.
+    /// Dispatches are kind-homogeneous: label jobs never coalesce with
+    /// train jobs (different kernels, and a train rider would pin the
+    /// labels' completion past any latency bound).
     std::size_t max_batch = 1;
     /// Cost factor on the service time of every coalesced job after the
     /// first (GPU batching amortizes weight loads and kernel launches).
     double batch_efficiency = 0.7;
+    /// Dispatch-order policy; fifo reproduces the PR 1 scheduler exactly.
+    Policy_kind policy = Policy_kind::fifo;
+    /// If > 0: when a label job has waited this long with every server busy
+    /// and at least one all-train dispatch in flight, that dispatch is
+    /// preempted — its executed share stays billed, the remaining service is
+    /// checkpointed and re-queued (original submission time preserved) — so
+    /// a long AMS fine-tune cannot pin label latency past the bound. 0
+    /// disables preemption.
+    Seconds preempt_label_wait = 0.0;
 };
-
-/// What a GPU job is for; label jobs feed the per-fleet label-latency
-/// statistics, training jobs (AMS cloud fine-tunes) only count toward
-/// occupancy.
-enum class Cloud_job_kind { label, train };
 
 class Cloud_runtime {
 public:
@@ -52,6 +65,7 @@ public:
     void account_direct(std::size_t device_id, Seconds gpu_seconds);
 
     [[nodiscard]] const Cloud_config& config() const noexcept { return config_; }
+    [[nodiscard]] const char* policy_name() const noexcept { return policy_->name(); }
 
     /// Total GPU seconds committed (queued service + direct accounting).
     /// Includes the full service of jobs still running at the end of a run;
@@ -75,12 +89,15 @@ public:
     /// Largest number of jobs ever left waiting behind busy servers (0 on a
     /// fully uncontended cluster).
     [[nodiscard]] std::size_t peak_queue_depth() const noexcept { return peak_depth_; }
+    /// Train dispatches checkpointed and re-queued to unblock label jobs.
+    [[nodiscard]] std::size_t preemptions() const noexcept { return preemptions_; }
 
     /// Completion - submission per finished job (wait + service), all kinds.
     [[nodiscard]] const std::vector<Seconds>& job_latencies() const noexcept {
         return latencies_;
     }
-    /// Dispatch - submission per finished job (pure queueing delay).
+    /// Dispatch - submission per finished job (pure queueing delay; for a
+    /// preempted-and-resumed job this measures to its *final* dispatch).
     [[nodiscard]] const std::vector<Seconds>& job_waits() const noexcept { return waits_; }
 
     /// Label-job statistics (training jobs excluded, so an AMS fleet's
@@ -90,27 +107,45 @@ public:
     [[nodiscard]] Seconds mean_label_wait() const;
 
 private:
-    struct Job {
-        std::size_t device;
-        Seconds service;
-        Seconds submitted;
-        Completion done;
-        Cloud_job_kind kind;
-    };
     struct Dispatch_interval {
         Seconds start;
         Seconds service;
     };
+    /// One in-flight dispatch (needed for preemption: the completion event
+    /// cannot be removed from the queue, so it checks `cancelled` instead).
+    struct Active_dispatch {
+        std::vector<Sched_job> jobs;
+        Seconds started = 0.0;
+        Seconds service = 0.0;    ///< wall duration == billed total
+        Seconds total_raw = 0.0;  ///< sum of member raw service (bill shares)
+        bool all_train = false;
+        bool cancelled = false;
+        std::size_t interval_index = 0; ///< into dispatches_, for truncation
+    };
 
     /// Start dispatches while a server is idle and jobs are waiting.
     void dispatch();
+    /// Next job to dispatch: an overdue label (past the preemption bound)
+    /// if one is waiting, else the policy's pick.
+    [[nodiscard]] std::size_t select_next() const;
+    void complete(const std::shared_ptr<Active_dispatch>& active);
+    /// Fired preempt_label_wait after a label job queued: if it is still
+    /// waiting, checkpoint the in-flight all-train dispatch with the most
+    /// remaining service and re-queue its remainder.
+    void preempt_check(std::uint64_t job_id);
+    void preempt(const std::shared_ptr<Active_dispatch>& active);
+    [[nodiscard]] bool is_waiting(std::uint64_t job_id) const;
     void ensure_device(std::size_t device_id);
 
     Event_queue& queue_;
     Cloud_config config_;
-    std::deque<Job> waiting_;
+    std::unique_ptr<Scheduling_policy> policy_;
+    std::deque<Sched_job> waiting_;
+    std::vector<std::shared_ptr<Active_dispatch>> active_;
     std::size_t busy_gpus_ = 0;
     std::size_t peak_depth_ = 0;
+    std::size_t preemptions_ = 0;
+    std::uint64_t next_job_id_ = 0;
     Seconds queued_busy_seconds_ = 0.0;
     Seconds direct_seconds_ = 0.0;
     std::vector<Seconds> per_device_seconds_;

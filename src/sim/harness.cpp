@@ -17,19 +17,30 @@ std::uint64_t device_seed(std::uint64_t seed, std::size_t device_index) noexcept
 
 namespace {
 
+/// The hardware a device actually runs on: its override if set, otherwise
+/// the cluster-wide harness defaults (identical to the homogeneous path).
+Device_hardware effective_hardware(const Device_spec& spec, const Harness_config& config) {
+    if (spec.hardware) {
+        return *spec.hardware;
+    }
+    return Device_hardware{config.link, device::jetson_tx2(), config.contention,
+                           config.edge_inference_gflops};
+}
+
 /// Everything the harness tracks for one device of the cluster.
 struct Device_state {
     Device_state(std::size_t device_id, const Device_spec& spec, Event_queue& queue,
-                 Cloud_runtime& cloud, const Harness_config& config)
+                 Cloud_runtime& cloud, const Harness_config& config,
+                 const Device_hardware& hardware)
         : spec{spec},
           runtime{device_id,
                   *spec.stream,
                   queue,
                   cloud,
-                  config.link,
+                  hardware.link,
                   config.h264,
-                  device::Edge_compute{device::jetson_tx2(), config.contention,
-                                       config.edge_inference_gflops},
+                  device::Edge_compute{hardware.edge_device, hardware.contention,
+                                       hardware.edge_inference_gflops},
                   device_seed(config.seed, device_id)},
           evaluator{spec.stream->num_classes(), config.iou_threshold} {}
 
@@ -57,8 +68,9 @@ Cluster_result run_cluster(const std::vector<Device_spec>& devices,
     states.reserve(devices.size());
     Seconds horizon = 0.0;
     for (std::size_t i = 0; i < devices.size(); ++i) {
-        states.push_back(
-            std::make_unique<Device_state>(i, devices[i], queue, cloud, config.harness));
+        states.push_back(std::make_unique<Device_state>(
+            i, devices[i], queue, cloud, config.harness,
+            effective_hardware(devices[i], config.harness)));
         horizon = std::max(horizon, devices[i].stream->duration());
     }
 
@@ -84,16 +96,27 @@ Cluster_result run_cluster(const std::vector<Device_spec>& devices,
         }
         const double video_fps = stream.fps();
         const Seconds duration = stream.duration();
-        for (Seconds t = config.harness.fps_tick; t <= duration;
-             t += config.harness.fps_tick) {
-            queue.schedule(t, [&state, video_fps] {
-                const double fps =
-                    state.runtime.fps_override() >= 0.0
-                        ? state.runtime.fps_override()
-                        : state.runtime.edge_compute().achieved_fps(
-                              video_fps, state.runtime.training_active());
-                state.fps_tracker.record_until(state.runtime.now(), fps);
-            });
+        const auto sample_fps = [&state, video_fps] {
+            const double fps =
+                state.runtime.fps_override() >= 0.0
+                    ? state.runtime.fps_override()
+                    : state.runtime.edge_compute().achieved_fps(
+                          video_fps, state.runtime.training_active());
+            state.fps_tracker.record_until(state.runtime.now(), fps);
+        };
+        // Tick times are computed from an integer tick index: accumulating
+        // `t += fps_tick` drifts in floating point and can skip the final
+        // tick, leaving the fps timeline short of the stream duration.
+        const Seconds fps_tick = config.harness.fps_tick;
+        const auto tick_count = static_cast<std::size_t>(duration / fps_tick + 1e-9);
+        for (std::size_t k = 1; k <= tick_count; ++k) {
+            queue.schedule(std::min(static_cast<double>(k) * fps_tick, duration),
+                           sample_fps);
+        }
+        // Cover the tail segment up to `duration` when the ticks don't land
+        // exactly on it (duration not a multiple of fps_tick).
+        if (static_cast<double>(tick_count) * fps_tick < duration) {
+            queue.schedule(duration, sample_fps);
         }
     }
 
@@ -124,6 +147,7 @@ Cluster_result run_cluster(const std::vector<Device_spec>& devices,
             result.fps_timeline.emplace_back(s.from, s.fps);
         }
         result.windowed_map = state.evaluator.windowed_map(config.harness.map_window);
+        result.map_window = config.harness.map_window;
         if (!result.windowed_map.empty()) {
             double total = 0.0;
             for (const auto& [start, value] : result.windowed_map) {
@@ -146,6 +170,7 @@ Cluster_result run_cluster(const std::vector<Device_spec>& devices,
     cluster.p95_label_latency = cloud.p95_label_latency();
     cluster.mean_label_wait = cloud.mean_label_wait();
     cluster.peak_queue_depth = cloud.peak_queue_depth();
+    cluster.preemptions = cloud.preemptions();
     return cluster;
 }
 
@@ -154,18 +179,48 @@ Run_result run_strategy(Strategy& strategy, const video::Video_stream& stream,
     Cluster_config cluster_config;
     cluster_config.harness = config;
     Cluster_result cluster =
-        run_cluster({Device_spec{&strategy, &stream}}, cluster_config);
+        run_cluster({Device_spec{&strategy, &stream, {}}}, cluster_config);
     return std::move(cluster.devices.front());
 }
 
 std::vector<double> windowed_gain(const Run_result& result, const Run_result& baseline) {
-    std::map<double, double> base;
+    // Align windows by index = round(start / stride) rather than by exact
+    // double equality: two runs that accumulate window starts differently
+    // can disagree in the last ulp, and an exact-key map would then silently
+    // drop windows from the gain vector. Rounding to the nearest index
+    // tolerates any offset below half a stride. The configured window length
+    // is the stride of record — inferring it from the first two emitted
+    // windows is only a fallback (the evaluator skips empty windows, so the
+    // first gap can span several windows and an inflated stride would
+    // collapse distinct windows onto one index).
+    const auto stride_of = [](const Run_result& r) {
+        return r.windowed_map.size() >= 2
+                   ? r.windowed_map[1].first - r.windowed_map[0].first
+                   : 0.0;
+    };
+    double stride = result.map_window > 0.0 ? result.map_window : baseline.map_window;
+    if (stride <= 0.0) {
+        stride = stride_of(result);
+    }
+    if (stride <= 0.0) {
+        stride = stride_of(baseline);
+    }
+    if (stride <= 0.0) {
+        // At most one window on each side: pair them directly.
+        std::vector<double> gains;
+        if (!result.windowed_map.empty() && !baseline.windowed_map.empty()) {
+            gains.push_back(result.windowed_map.front().second -
+                            baseline.windowed_map.front().second);
+        }
+        return gains;
+    }
+    std::map<long long, double> base;
     for (const auto& [start, value] : baseline.windowed_map) {
-        base[start] = value;
+        base[std::llround(start / stride)] = value;
     }
     std::vector<double> gains;
     for (const auto& [start, value] : result.windowed_map) {
-        const auto it = base.find(start);
+        const auto it = base.find(std::llround(start / stride));
         if (it != base.end()) {
             gains.push_back(value - it->second);
         }

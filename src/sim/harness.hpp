@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -59,6 +60,19 @@ struct Run_result {
     std::vector<std::pair<double, double>> fps_timeline;
     /// (window start, mAP) series (Fig. 5 input).
     std::vector<std::pair<double, double>> windowed_map;
+    /// The window length windowed_map was computed with (windowed_gain
+    /// aligns windows by start / map_window; 0 = unknown, infer instead).
+    Seconds map_window = 0.0;
+};
+
+/// Per-device hardware for heterogeneous fleets: edge accelerator, link
+/// profile and deployed-model cost. Devices without an override inherit the
+/// cluster-wide Harness_config (so homogeneous fleets are unchanged).
+struct Device_hardware {
+    netsim::Link_config link;
+    device::Compute_model edge_device;
+    device::Edge_contention_config contention;
+    double edge_inference_gflops = 5.2;
 };
 
 /// One device of a cluster: a strategy driving a stream. Both borrowed; the
@@ -66,6 +80,8 @@ struct Run_result {
 struct Device_spec {
     Strategy* strategy = nullptr;
     const video::Video_stream* stream = nullptr;
+    /// Heterogeneous-fleet override; nullopt = cluster-wide harness config.
+    std::optional<Device_hardware> hardware;
 };
 
 struct Cluster_config {
@@ -94,6 +110,8 @@ struct Cluster_result {
     Seconds p95_label_latency = 0.0;
     Seconds mean_label_wait = 0.0;
     std::size_t peak_queue_depth = 0;
+    /// Train dispatches checkpointed to unblock waiting label jobs.
+    std::size_t preemptions = 0;
     /// Mean of the per-device headline mAPs.
     double fleet_map = 0.0;
 
@@ -114,8 +132,10 @@ struct Cluster_result {
 [[nodiscard]] Run_result run_strategy(Strategy& strategy, const video::Video_stream& stream,
                                       const Harness_config& config);
 
-/// Per-window mAP gains of `result` over `baseline` (windows aligned by
-/// start time); the Fig. 5 CDF is the distribution of these values.
+/// Per-window mAP gains of `result` over `baseline`; the Fig. 5 CDF is the
+/// distribution of these values. Windows are aligned by window *index*
+/// (start / stride, rounded), so starts that differ in the last ulp across
+/// accumulation paths still pair up.
 [[nodiscard]] std::vector<double> windowed_gain(const Run_result& result,
                                                 const Run_result& baseline);
 

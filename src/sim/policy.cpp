@@ -1,0 +1,118 @@
+#include "sim/policy.hpp"
+
+#include <cstring>
+#include <string>
+
+#include "common/require.hpp"
+
+namespace shog::sim {
+
+const char* to_string(Policy_kind kind) noexcept {
+    switch (kind) {
+    case Policy_kind::fifo: return "fifo";
+    case Policy_kind::priority: return "priority";
+    case Policy_kind::fair_share: return "fair_share";
+    }
+    return "?";
+}
+
+Policy_kind policy_by_name(const char* name) {
+    SHOG_REQUIRE(name != nullptr, "policy name must not be null");
+    if (std::strcmp(name, "fifo") == 0) {
+        return Policy_kind::fifo;
+    }
+    if (std::strcmp(name, "priority") == 0) {
+        return Policy_kind::priority;
+    }
+    if (std::strcmp(name, "fair_share") == 0) {
+        return Policy_kind::fair_share;
+    }
+    SHOG_REQUIRE(false, std::string{"unknown scheduling policy '"} + name + "'");
+    return Policy_kind::fifo; // unreachable
+}
+
+namespace {
+
+class Fifo_policy final : public Scheduling_policy {
+public:
+    [[nodiscard]] const char* name() const noexcept override { return "fifo"; }
+
+    [[nodiscard]] std::size_t select(const std::deque<Sched_job>& waiting,
+                                     const std::vector<Seconds>&) const override {
+        (void)waiting;
+        return 0;
+    }
+};
+
+class Priority_policy final : public Scheduling_policy {
+public:
+    [[nodiscard]] const char* name() const noexcept override { return "priority"; }
+
+    [[nodiscard]] std::size_t select(const std::deque<Sched_job>& waiting,
+                                     const std::vector<Seconds>&) const override {
+        // Label jobs before train jobs; within a kind, oldest submission
+        // first (the queue is not submission-ordered once preemption
+        // re-queues checkpointed work, so scan rather than trust position).
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < waiting.size(); ++i) {
+            const bool i_label = waiting[i].kind == Cloud_job_kind::label;
+            const bool best_label = waiting[best].kind == Cloud_job_kind::label;
+            if (i_label != best_label) {
+                if (i_label) {
+                    best = i;
+                }
+                continue;
+            }
+            if (waiting[i].submitted < waiting[best].submitted) {
+                best = i;
+            }
+        }
+        return best;
+    }
+};
+
+class Fair_share_policy final : public Scheduling_policy {
+public:
+    [[nodiscard]] const char* name() const noexcept override { return "fair_share"; }
+
+    [[nodiscard]] std::size_t select(
+        const std::deque<Sched_job>& waiting,
+        const std::vector<Seconds>& device_gpu_seconds) const override {
+        // Deficit round-robin: the waiting device that has consumed the
+        // least GPU time goes first (largest service deficit). Ties fall to
+        // the oldest submission, then the earliest queue position, so the
+        // policy degenerates to FIFO on a single-device cluster.
+        const auto consumed = [&](std::size_t device) {
+            return device < device_gpu_seconds.size() ? device_gpu_seconds[device] : 0.0;
+        };
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < waiting.size(); ++i) {
+            const Seconds ci = consumed(waiting[i].device);
+            const Seconds cb = consumed(waiting[best].device);
+            if (ci != cb) {
+                if (ci < cb) {
+                    best = i;
+                }
+                continue;
+            }
+            if (waiting[i].submitted < waiting[best].submitted) {
+                best = i;
+            }
+        }
+        return best;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Scheduling_policy> make_policy(Policy_kind kind) {
+    switch (kind) {
+    case Policy_kind::fifo: return std::make_unique<Fifo_policy>();
+    case Policy_kind::priority: return std::make_unique<Priority_policy>();
+    case Policy_kind::fair_share: return std::make_unique<Fair_share_policy>();
+    }
+    SHOG_REQUIRE(false, "unknown scheduling policy kind");
+    return nullptr; // unreachable
+}
+
+} // namespace shog::sim

@@ -1,0 +1,67 @@
+// Cloud GPU scheduling policies.
+//
+// Cloud_runtime's dispatch order is a strategy object: given the waiting
+// queue and the per-device GPU-seconds ledger, a policy picks which job
+// starts (or joins a coalesced dispatch) next. `fifo` reproduces the PR 1
+// scheduler bit-for-bit; `priority` serves label jobs before train jobs so
+// AMS-style whole-model fine-tunes cannot starve Shoggoth's small labeling
+// requests; `fair_share` is a deficit round-robin on accumulated per-device
+// GPU seconds, so one chatty (or fine-tune-heavy) device cannot monopolize
+// the pool under a heterogeneous fleet.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace shog::sim {
+
+/// What a GPU job is for; label jobs feed the per-fleet label-latency
+/// statistics, training jobs (AMS cloud fine-tunes) only count toward
+/// occupancy.
+enum class Cloud_job_kind { label, train };
+
+enum class Policy_kind { fifo, priority, fair_share };
+
+[[nodiscard]] const char* to_string(Policy_kind kind) noexcept;
+
+/// Inverse of to_string ("fifo", "priority", "fair_share"); throws on
+/// unknown names (bench CLI input).
+[[nodiscard]] Policy_kind policy_by_name(const char* name);
+
+/// One queued GPU job as the scheduler sees it. `service` is the *remaining*
+/// raw service time (preemption re-queues a checkpointed job with the
+/// unexecuted remainder); `submitted` never changes across re-queues, so
+/// latency always measures from first submission.
+struct Sched_job {
+    std::size_t device = 0;
+    Seconds service = 0.0;
+    Seconds submitted = 0.0;
+    std::function<void()> done;
+    Cloud_job_kind kind = Cloud_job_kind::label;
+    std::uint64_t id = 0;
+};
+
+class Scheduling_policy {
+public:
+    virtual ~Scheduling_policy() = default;
+
+    [[nodiscard]] virtual const char* name() const noexcept = 0;
+
+    /// Index into `waiting` (non-empty) of the job to dispatch next.
+    /// `device_gpu_seconds` is the billed-GPU-seconds ledger indexed by
+    /// device id (devices beyond its size have consumed nothing). Must be
+    /// deterministic: equal inputs always pick the same index.
+    [[nodiscard]] virtual std::size_t select(
+        const std::deque<Sched_job>& waiting,
+        const std::vector<Seconds>& device_gpu_seconds) const = 0;
+};
+
+[[nodiscard]] std::unique_ptr<Scheduling_policy> make_policy(Policy_kind kind);
+
+} // namespace shog::sim

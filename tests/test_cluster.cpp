@@ -150,7 +150,7 @@ struct Cluster_fixture : public ::testing::Test {
                 *fleet.students.back(), *teacher, cfg,
                 models::Deployed_profile::yolov4_resnet18(), device::jetson_tx2(),
                 cloud_device));
-            fleet.specs.push_back(Device_spec{fleet.strategies.back().get(), stream});
+            fleet.specs.push_back(Device_spec{fleet.strategies.back().get(), stream, {}});
         }
         return fleet;
     }
@@ -162,7 +162,7 @@ struct Cluster_fixture : public ::testing::Test {
             fleet.strategies.push_back(std::make_unique<baselines::Ams_strategy>(
                 *fleet.students.back(), *teacher, baselines::Ams_config{},
                 models::Deployed_profile::yolov4_resnet18(), device::v100()));
-            fleet.specs.push_back(Device_spec{fleet.strategies.back().get(), stream});
+            fleet.specs.push_back(Device_spec{fleet.strategies.back().get(), stream, {}});
         }
         return fleet;
     }

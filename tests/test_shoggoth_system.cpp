@@ -85,7 +85,12 @@ TEST_F(System_fixture, AdaptiveRateStaysInBounds) {
         EXPECT_LE(rec.lambda, 1.0);
     }
     EXPECT_GT(strategy->frames_uploaded(), 10u);
-    EXPECT_EQ(strategy->frames_uploaded(), strategy->frames_labeled());
+    // Every labeled frame was uploaded; the tail batch flushed at stream end
+    // (plus at most one batch still in flight) may not finish labeling
+    // before the simulation horizon cuts off.
+    EXPECT_GE(strategy->frames_uploaded(), strategy->frames_labeled());
+    EXPECT_LE(strategy->frames_uploaded() - strategy->frames_labeled(),
+              2 * Shoggoth_config{}.upload_batch_frames);
 }
 
 TEST_F(System_fixture, WarmReplayPrefillsMemory) {
