@@ -3,7 +3,7 @@
 //
 //   ./bench_fleet [duration_seconds] [seed] [max_devices]
 //
-// Two sections:
+// Four sections:
 //  1. the homogeneous FIFO scaling sweep (strategy x fleet size), the PR 1
 //     curve:
 //       {"bench":"fleet","strategy":"Shoggoth","devices":4,...}
@@ -16,6 +16,21 @@
 //     The p95-label-latency / GPU-utilization pair per policy is the knee
 //     to watch: priority and fair_share should cut p95 vs fifo without
 //     giving up utilization.
+//  3. the multi-GPU sharding sweep at N = max_devices heterogeneous:
+//     gpu_count x placement x policy x max_batch on the same contended
+//     share, locating the throughput/latency knee of cross-device teacher
+//     batching and showing where device_affinity / staleness beat the PR 2
+//     best:
+//       {"bench":"fleet_sharding","gpus":2,"placement":"device_affinity",
+//        "policy":"staleness","max_batch":4,"p95_label_latency_s":...,
+//        "warm_dispatches":...,...}
+//  4. a pure-scheduler microbench (no video, no models): an oversubscribed
+//     64-device submit storm whose queue depth reaches ~20k, timing the
+//     dispatch path. This is the regression guard for the O(1)
+//     is_waiting/overdue indexes (the pre-index scheduler was quadratic in
+//     queue depth: ~1.4 s for the fifo+preempt storm vs ~0.09 s now):
+//       {"bench":"fleet_sched_micro","policy":"fifo","preempt_s":2.0,...}
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -63,6 +78,109 @@ void emit_policy_json(const char* policy, double preempt_s, const char* mix,
                 r.peak_queue_depth, r.fleet_map);
 }
 
+void emit_sharding_json(const fleet::Sharding_setup& setup, std::size_t devices,
+                        const sim::Cluster_result& r) {
+    std::printf("{\"bench\":\"fleet_sharding\",\"cell\":\"%s\",\"gpus\":%zu,"
+                "\"placement\":\"%s\",\"policy\":\"%s\",\"preempt_s\":%.1f,"
+                "\"max_batch\":%zu,\"label_reserved_gpus\":%zu,\"devices\":%zu,"
+                "\"gpu_utilization\":%.4f,\"mean_label_latency_s\":%.3f,"
+                "\"p95_label_latency_s\":%.3f,\"label_jobs\":%zu,\"cloud_jobs\":%zu,"
+                "\"labels_per_s\":%.3f,\"preemptions\":%zu,\"warm_dispatches\":%zu,"
+                "\"peak_queue_depth\":%zu,\"fleet_map\":%.4f}\n",
+                setup.label, setup.gpu_count, to_string(setup.placement),
+                to_string(setup.policy), setup.preempt_label_wait, setup.max_batch,
+                setup.label_reserved_gpus, devices, r.gpu_utilization,
+                r.mean_label_latency, r.p95_label_latency, r.label_jobs, r.cloud_jobs,
+                r.duration > 0.0 ? static_cast<double>(r.label_jobs) / r.duration : 0.0,
+                r.preemptions, r.warm_dispatches, r.peak_queue_depth, r.fleet_map);
+}
+
+void run_sharding_sweep(const fleet::Testbed& testbed, std::size_t devices,
+                        std::uint64_t seed) {
+    // Full cross of the sharding knobs: the knee is where adding GPUs or
+    // batch depth stops buying p95 label latency. kind_partition needs a
+    // server left for trains, so it only appears at gpu_count >= 2.
+    for (std::size_t gpus : {std::size_t{1}, std::size_t{2}}) {
+        for (sim::Placement_kind placement :
+             {sim::Placement_kind::any_free, sim::Placement_kind::device_affinity,
+              sim::Placement_kind::kind_partition}) {
+            if (placement == sim::Placement_kind::kind_partition && gpus < 2) {
+                continue;
+            }
+            for (sim::Policy_kind policy :
+                 {sim::Policy_kind::priority, sim::Policy_kind::staleness}) {
+                for (std::size_t max_batch : {std::size_t{1}, std::size_t{4}}) {
+                    fleet::Sharding_setup setup;
+                    setup.label = "sweep";
+                    setup.gpu_count = gpus;
+                    setup.placement = placement;
+                    setup.policy = policy;
+                    setup.max_batch = max_batch;
+                    setup.label_reserved_gpus =
+                        placement == sim::Placement_kind::kind_partition ? 1 : 0;
+                    emit_sharding_json(setup, devices,
+                                       fleet::run_sharding_cell(testbed, devices,
+                                                                /*heterogeneous=*/true,
+                                                                setup, seed));
+                }
+            }
+        }
+    }
+    // The PR 2 best on the undifferentiated pool, as the reference row.
+    for (std::size_t gpus : {std::size_t{1}, std::size_t{2}}) {
+        fleet::Sharding_setup setup;
+        setup.label = "fifo_preempt_ref";
+        setup.gpu_count = gpus;
+        setup.policy = sim::Policy_kind::fifo;
+        setup.preempt_label_wait = 2.0;
+        emit_sharding_json(setup, devices,
+                           fleet::run_sharding_cell(testbed, devices,
+                                                    /*heterogeneous=*/true, setup, seed));
+    }
+}
+
+void run_sched_micro() {
+    // Pure scheduler storm, no video or models: 64 devices flooding one GPU
+    // far past capacity so the waiting queue grows ~linearly to ~20k jobs.
+    // Wall time is the metric; job count and peak depth pin determinism.
+    struct Cell {
+        const char* policy;
+        double preempt_s;
+    };
+    for (const Cell& cell : {Cell{"fifo", 0.0}, Cell{"fifo", 2.0}, Cell{"priority", 2.0},
+                             Cell{"staleness", 2.0}}) {
+        Event_queue queue;
+        sim::Cloud_config config;
+        config.policy = sim::policy_by_name(cell.policy);
+        config.preempt_label_wait = cell.preempt_s;
+        sim::Cloud_runtime cloud{queue, config};
+        const std::size_t devices = 64;
+        for (std::size_t d = 0; d < devices; ++d) {
+            for (int i = 0; i < 400; ++i) {
+                queue.schedule(0.5 * i + 0.001 * static_cast<double>(d), [&cloud, d] {
+                    cloud.submit(d, 0.05, {}, sim::Cloud_job_kind::label);
+                });
+            }
+            if (d % 4 == 0) {
+                for (int i = 0; i < 40; ++i) {
+                    queue.schedule(5.0 * i + 0.002 * static_cast<double>(d), [&cloud, d] {
+                        cloud.submit(d, 3.0, {}, sim::Cloud_job_kind::train);
+                    });
+                }
+            }
+        }
+        const auto start = std::chrono::steady_clock::now();
+        (void)queue.run_until(1.0e9);
+        const auto stop = std::chrono::steady_clock::now();
+        std::printf("{\"bench\":\"fleet_sched_micro\",\"policy\":\"%s\","
+                    "\"preempt_s\":%.1f,\"devices\":%zu,\"jobs\":%zu,"
+                    "\"peak_queue_depth\":%zu,\"wall_ms\":%.1f}\n",
+                    cell.policy, cell.preempt_s, devices, cloud.jobs_completed(),
+                    cloud.peak_queue_depth(),
+                    std::chrono::duration<double, std::milli>(stop - start).count());
+    }
+}
+
 void run_policy_sweep(const fleet::Testbed& testbed, const char* scenario,
                       std::size_t devices, std::uint64_t seed) {
     const std::size_t ams_devices = devices / 2;
@@ -107,5 +225,8 @@ int main(int argc, char** argv) {
     const fleet::Testbed correlated =
         fleet::make_correlated_drift_testbed("waymo", max_devices, seed, duration);
     run_policy_sweep(correlated, "correlated_drift", max_devices, seed);
+
+    run_sharding_sweep(testbed, max_devices, seed);
+    run_sched_micro();
     return 0;
 }

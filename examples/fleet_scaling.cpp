@@ -110,5 +110,25 @@ int main(int argc, char** argv) {
                     setup.label, r.mean_label_latency, r.p95_label_latency,
                     100.0 * r.gpu_utilization, r.preemptions);
     }
+
+    // Sharding the cloud: the same contended fleet, but the cloud is now
+    // split into individually placed GPU servers. device_affinity keeps a
+    // device on the server that already holds its teacher state (warm-start
+    // discount), kind_partition reserves a server for labels so fine-tunes
+    // can't hold every GPU, and the staleness policy labels the
+    // fastest-drifting camera first.
+    std::printf("\nMulti-GPU sharding, same fleet (gpus x placement x policy; "
+                "b = max_batch):\n");
+    for (const fleet::Sharding_setup& setup : fleet::default_sharding_setups()) {
+        const sim::Cluster_result r = fleet::run_sharding_cell(
+            testbed, max_devices, /*heterogeneous=*/true, setup, seed);
+        std::printf("  %-27s  label_lat mean=%6.2fs p95=%6.2fs  gpu_util=%5.1f%%  "
+                    "labels/s=%5.2f  warm=%zu\n",
+                    setup.label, r.mean_label_latency, r.p95_label_latency,
+                    100.0 * r.gpu_utilization,
+                    r.duration > 0.0 ? static_cast<double>(r.label_jobs) / r.duration
+                                     : 0.0,
+                    r.warm_dispatches);
+    }
     return 0;
 }

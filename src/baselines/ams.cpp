@@ -84,10 +84,12 @@ void Ams_strategy::upload_buffer(sim::Edge_runtime& rt) {
         const Seconds service =
             static_cast<double>(frames.size()) *
             cloud_device_.seconds_for_gflops(teacher_infer_gflops_);
-        rt.cloud().submit(rt.device_id(), service,
-                          [this, &rt, frames = std::move(frames)]() mutable {
-                              cloud_label_batch(rt, std::move(frames));
-                          });
+        rt.cloud().submit(
+            rt.device_id(), service,
+            [this, &rt, frames = std::move(frames)]() mutable {
+                cloud_label_batch(rt, std::move(frames));
+            },
+            sim::Cloud_job_kind::label, drift_.rate());
     });
 }
 
@@ -115,6 +117,9 @@ void Ams_strategy::cloud_label_batch(sim::Edge_runtime& rt, std::vector<std::siz
     (void)drain_alpha();
     const double alpha =
         frames.empty() ? 1.0 : agreement_sum / static_cast<double>(frames.size());
+    // Drift-rate estimate for staleness scheduling (shared estimator, so
+    // Shoggoth and AMS jobs rank on a comparable drift scale).
+    drift_.observe(alpha, rt.now());
     const double lambda = resource_monitor_.drain_average();
     (void)controller_.update(alpha, lambda);
     (void)rt.link().send_down(rt.now(), rt.message_sizes().rate_command_bytes);
@@ -171,7 +176,7 @@ void Ams_strategy::maybe_train_in_cloud(sim::Edge_runtime& rt) {
                 });
             });
         },
-        sim::Cloud_job_kind::train);
+        sim::Cloud_job_kind::train, drift_.rate());
 }
 
 double Ams_strategy::drain_alpha() {

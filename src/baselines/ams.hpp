@@ -60,6 +60,9 @@ public:
     [[nodiscard]] const core::Sampling_controller& controller() const noexcept {
         return controller_;
     }
+    /// EMA of |d alpha / dt| across control rounds (see
+    /// core::Drift_estimator).
+    [[nodiscard]] double drift_rate() const noexcept { return drift_.rate(); }
 
 private:
     models::Detector& student_;
@@ -88,6 +91,7 @@ private:
 
     std::size_t predictions_seen_ = 0;
     std::size_t predictions_accurate_ = 0;
+    core::Drift_estimator drift_;
     std::vector<detect::Detection> last_teacher_output_;
     bool have_last_teacher_output_ = false;
 

@@ -11,6 +11,7 @@
 // stationary video. The paper uses r_min = 0.1 fps, r_max = 2 fps.
 #pragma once
 
+#include <cmath>
 #include <cstddef>
 
 #include "common/stats.hpp"
@@ -72,6 +73,33 @@ private:
     bool lambda_seen_ = false;
     double alpha_peak_ = 0.0;
     std::size_t updates_ = 0;
+};
+
+/// Model-drift rate estimator shared by the strategies: an EMA of
+/// |d alpha / dt| across control rounds. The value rides on every cloud job
+/// (`Cloud_runtime::submit`'s drift_rate) so the staleness scheduling
+/// policy can label the fastest-rotting device first — one estimator type
+/// keeps Shoggoth and AMS jobs on a comparable drift scale.
+class Drift_estimator {
+public:
+    /// Fold in one control round's alpha at time `now`; the first round
+    /// only seeds the state.
+    void observe(double alpha, Seconds now) noexcept {
+        if (last_alpha_ >= 0.0 && now > last_at_) {
+            const double instant = std::abs(alpha - last_alpha_) / (now - last_at_);
+            rate_ = 0.5 * rate_ + 0.5 * instant;
+        }
+        last_at_ = now;
+        last_alpha_ = alpha;
+    }
+
+    /// Current |d alpha / dt| estimate (0 until two rounds were seen).
+    [[nodiscard]] double rate() const noexcept { return rate_; }
+
+private:
+    double last_alpha_ = -1.0;
+    Seconds last_at_ = -1.0;
+    double rate_ = 0.0;
 };
 
 } // namespace shog::core

@@ -122,10 +122,12 @@ void Shoggoth_strategy::upload_buffer(sim::Edge_runtime& rt) {
         const Seconds service =
             static_cast<double>(frames.size()) *
             cloud_device_.seconds_for_gflops(teacher_infer_gflops_);
-        rt.cloud().submit(rt.device_id(), service,
-                          [this, &rt, frames = std::move(frames)]() mutable {
-                              cloud_label_batch(rt, std::move(frames));
-                          });
+        rt.cloud().submit(
+            rt.device_id(), service,
+            [this, &rt, frames = std::move(frames)]() mutable {
+                cloud_label_batch(rt, std::move(frames));
+            },
+            sim::Cloud_job_kind::label, drift_.rate());
     });
 }
 
@@ -180,6 +182,10 @@ void Shoggoth_strategy::cloud_label_batch(sim::Edge_runtime& rt, std::vector<std
             std::abs(alpha - last_control_alpha_) >= config_.domain_flush_alpha_delta) {
             flush_stale = true;
         }
+        // Drift-rate estimate for the cloud's staleness scheduling: how fast
+        // alpha is moving per wall second, smoothed across control rounds. A
+        // camera crossing day->night spikes this; a static scene stays ~0.
+        drift_.observe(alpha, rt.now());
         last_control_alpha_ = alpha;
         const double lambda = resource_monitor_.drain_average();
         (void)controller_.update(alpha, lambda);

@@ -95,6 +95,10 @@ public:
     [[nodiscard]] std::size_t frames_labeled() const noexcept { return frames_labeled_; }
     /// Domain breaks detected (pending labels flushed as stale).
     [[nodiscard]] std::size_t stale_flushes() const noexcept { return stale_flushes_; }
+    /// Current model-drift estimate (core::Drift_estimator over the control
+    /// rounds). Shipped with every label submission so the cloud's staleness
+    /// policy can serve the fastest-rotting device first.
+    [[nodiscard]] double drift_rate() const noexcept { return drift_.rate(); }
 
     /// One control-round snapshot (for traces, tests and the Table III bench).
     struct Control_record {
@@ -143,6 +147,7 @@ private:
     std::size_t predictions_seen_ = 0;
     std::size_t predictions_accurate_ = 0;
     double last_control_alpha_ = -1.0;
+    Drift_estimator drift_;
     std::size_t stale_flushes_ = 0;
 
     // phi bookkeeping (cloud side).

@@ -205,4 +205,47 @@ sim::Cluster_result run_policy_cell(const Testbed& testbed, std::size_t devices,
     return sim::run_cluster(fleet.specs, config);
 }
 
+std::vector<Sharding_setup> default_sharding_setups() {
+    using sim::Placement_kind;
+    using sim::Policy_kind;
+    return {
+        // PR 2 reference points on the undifferentiated pool.
+        Sharding_setup{"gpu1_any_priority", 1, Placement_kind::any_free,
+                       Policy_kind::priority, 0.0, 1, 0},
+        Sharding_setup{"gpu1_any_fifo_preempt", 1, Placement_kind::any_free,
+                       Policy_kind::fifo, 2.0, 1, 0},
+        // Single-GPU variants of the new knobs (affinity still wins warm
+        // starts whenever consecutive dispatches come from one device).
+        Sharding_setup{"gpu1_affinity_priority", 1, Placement_kind::device_affinity,
+                       Policy_kind::priority, 0.0, 1, 0},
+        Sharding_setup{"gpu1_any_staleness", 1, Placement_kind::any_free,
+                       Policy_kind::staleness, 0.0, 1, 0},
+        // Sharded: a second server of the same share (the devices-per-GPU
+        // axis: N devices now contend on 2 GPUs worth of teacher).
+        Sharding_setup{"gpu2_any_priority", 2, Placement_kind::any_free,
+                       Policy_kind::priority, 0.0, 1, 0},
+        Sharding_setup{"gpu2_affinity_staleness", 2, Placement_kind::device_affinity,
+                       Policy_kind::staleness, 0.0, 1, 0},
+        Sharding_setup{"gpu2_partition1_priority", 2, Placement_kind::kind_partition,
+                       Policy_kind::priority, 0.0, 1, 1},
+        Sharding_setup{"gpu2_affinity_staleness_b4", 2, Placement_kind::device_affinity,
+                       Policy_kind::staleness, 0.0, 4, 0},
+    };
+}
+
+sim::Cluster_result run_sharding_cell(const Testbed& testbed, std::size_t devices,
+                                      bool heterogeneous, const Sharding_setup& setup,
+                                      std::uint64_t seed) {
+    Fleet fleet = make_policy_sweep_fleet(testbed, devices, heterogeneous);
+    sim::Cluster_config config;
+    config.harness.seed = seed ^ 0x8888;
+    config.cloud.gpu_count = setup.gpu_count;
+    config.cloud.placement = setup.placement;
+    config.cloud.policy = setup.policy;
+    config.cloud.preempt_label_wait = setup.preempt_label_wait;
+    config.cloud.max_batch = setup.max_batch;
+    config.cloud.label_reserved_gpus = setup.label_reserved_gpus;
+    return sim::run_cluster(fleet.specs, config);
+}
+
 } // namespace shog::fleet

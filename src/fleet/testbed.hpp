@@ -100,6 +100,34 @@ struct Policy_setup {
 /// fifo / priority / fair_share / fifo_preempt (2 s wait bound).
 [[nodiscard]] std::vector<Policy_setup> default_policy_setups();
 
+/// One cell of the multi-GPU sharding sweep: how many GPU servers the cloud
+/// share is split into, which server a dispatch lands on (placement), the
+/// dispatch-order policy, and the cross-device teacher-batching knob. At
+/// {1 GPU, any_free, max_batch 1} a cell reproduces the corresponding
+/// Policy_setup cell bit-identically.
+struct Sharding_setup {
+    const char* label;
+    std::size_t gpu_count = 1;
+    sim::Placement_kind placement = sim::Placement_kind::any_free;
+    sim::Policy_kind policy = sim::Policy_kind::priority;
+    Seconds preempt_label_wait = 0.0;
+    std::size_t max_batch = 1;
+    std::size_t label_reserved_gpus = 0; ///< kind_partition only
+};
+
+/// The curated comparison set fleet_scaling prints: the PR 2 bests
+/// (priority, fifo+preempt) on the undifferentiated pool, then staleness /
+/// device_affinity / kind_partition shards at 1 and 2 GPUs.
+[[nodiscard]] std::vector<Sharding_setup> default_sharding_setups();
+
+/// Run one sharding cell on the same contended operating point (and seed)
+/// as run_policy_cell: the half-Shoggoth half-AMS sweep fleet against the
+/// scaled-down cloud share, now split into `setup.gpu_count` servers.
+[[nodiscard]] sim::Cluster_result run_sharding_cell(const Testbed& testbed,
+                                                    std::size_t devices, bool heterogeneous,
+                                                    const Sharding_setup& setup,
+                                                    std::uint64_t seed);
+
 /// The contended operating point the policy sweep runs on: a half-Shoggoth
 /// half-AMS fleet (fine-tune cadence halved so train jobs land within short
 /// runs) against a scaled-down cloud share — the many-devices-per-GPU regime

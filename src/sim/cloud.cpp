@@ -9,11 +9,20 @@
 namespace shog::sim {
 
 Cloud_runtime::Cloud_runtime(Event_queue& queue, Cloud_config config)
-    : queue_{queue}, config_{config}, policy_{make_policy(config.policy)} {
+    : queue_{queue},
+      config_{config},
+      policy_{make_policy(config.policy)},
+      placement_{make_placement(config.placement, config.label_reserved_gpus)},
+      gpus_(config.gpu_count) {
     SHOG_REQUIRE(config_.gpu_count >= 1, "cloud needs at least one GPU");
     SHOG_REQUIRE(config_.max_batch >= 1, "max_batch must be >= 1");
     SHOG_REQUIRE(config_.batch_efficiency > 0.0 && config_.batch_efficiency <= 1.0,
                  "batch_efficiency must be in (0, 1]");
+    SHOG_REQUIRE(config_.affinity_warm_factor > 0.0 && config_.affinity_warm_factor <= 1.0,
+                 "affinity_warm_factor must be in (0, 1]");
+    SHOG_REQUIRE(config_.placement != Placement_kind::kind_partition ||
+                     config_.label_reserved_gpus < config_.gpu_count,
+                 "kind_partition must leave at least one unreserved GPU for train jobs");
     SHOG_REQUIRE(config_.preempt_label_wait >= 0.0,
                  "preempt_label_wait must be >= 0 (0 disables preemption)");
 }
@@ -24,21 +33,36 @@ void Cloud_runtime::ensure_device(std::size_t device_id) {
     }
 }
 
-bool Cloud_runtime::is_waiting(std::uint64_t job_id) const {
-    for (const Sched_job& job : waiting_) {
-        if (job.id == job_id) {
-            return true;
-        }
-    }
-    return false;
+void Cloud_runtime::enqueue(Sched_job job) {
+    job.seq = next_seq_++;
+    waiting_ids_.insert(job.id);
+    waiting_labels_ += job.kind == Cloud_job_kind::label ? 1 : 0;
+    waiting_.push_back(std::move(job));
+}
+
+Sched_job Cloud_runtime::take_waiting(std::size_t index) {
+    Sched_job job = std::move(waiting_[index]);
+    waiting_.erase(waiting_.begin() + static_cast<std::ptrdiff_t>(index));
+    waiting_ids_.erase(job.id);
+    overdue_ids_.erase(job.id);
+    waiting_labels_ -= job.kind == Cloud_job_kind::label ? 1 : 0;
+    return job;
 }
 
 void Cloud_runtime::submit(std::size_t device_id, Seconds service, Completion done,
-                           Cloud_job_kind kind) {
+                           Cloud_job_kind kind, double drift_rate) {
     SHOG_REQUIRE(service >= 0.0, "job service time must be >= 0");
     ensure_device(device_id);
     const std::uint64_t id = next_job_id_++;
-    waiting_.push_back(Sched_job{device_id, service, queue_.now(), std::move(done), kind, id});
+    Sched_job job;
+    job.device = device_id;
+    job.service = service;
+    job.submitted = queue_.now();
+    job.done = std::move(done);
+    job.kind = kind;
+    job.id = id;
+    job.drift_rate = drift_rate;
+    enqueue(std::move(job));
     dispatch();
     if (config_.preempt_label_wait > 0.0 && kind == Cloud_job_kind::label &&
         is_waiting(id)) {
@@ -58,41 +82,101 @@ void Cloud_runtime::account_direct(std::size_t device_id, Seconds gpu_seconds) {
 }
 
 void Cloud_runtime::dispatch() {
-    while (busy_gpus_ < config_.gpu_count && !waiting_.empty()) {
-        // Coalesce only on the last idle server: while other servers are
-        // free, each waiting job gets its own GPU (batching must never make
-        // a job wait behind a sibling when idle capacity exists).
+    while (!waiting_.empty()) {
+        if (busy_gpu_count() == gpus_.size()) {
+            break; // every server busy: no placement or policy scan needed
+        }
+        // Head job: the scheduling policy's pick (overdue labels first). If
+        // the placement policy cannot put it on any free server — a train
+        // while only label-reserved servers are idle — fall back to the
+        // oldest placeable job, so a reserved server never sits idle with
+        // eligible work queued behind an unplaceable head.
+        std::size_t pick = select_next();
+        Placement_decision where =
+            placement_->place(waiting_[pick].kind, waiting_[pick].device, gpus_);
+        if (where.gpu == no_gpu) {
+            // Placement refuses on job *kind* only (kind_partition keeps
+            // trains off reserved servers), so the fallback candidate is the
+            // oldest job of the other kind — not a place() sweep of the
+            // whole queue, which would turn every event of an all-train
+            // backlog quadratic in queue depth. A refused train falls back
+            // to the first waiting label (queue position order is submission
+            // order for labels, and the label counter makes the empty case
+            // O(1)); the reverse direction cannot happen with the shipped
+            // placements (labels are placeable on every server) but is kept
+            // for future placements that can refuse them.
+            const Cloud_job_kind refused = waiting_[pick].kind;
+            std::size_t fallback = waiting_.size();
+            if (refused == Cloud_job_kind::train && waiting_labels_ > 0) {
+                for (std::size_t i = 0; i < waiting_.size(); ++i) {
+                    if (waiting_[i].kind == Cloud_job_kind::label) {
+                        fallback = i;
+                        break;
+                    }
+                }
+            } else if (refused == Cloud_job_kind::label &&
+                       waiting_labels_ < waiting_.size()) {
+                for (std::size_t i = 0; i < waiting_.size(); ++i) {
+                    if (waiting_[i].kind != refused &&
+                        (fallback == waiting_.size() ||
+                         fifo_before(waiting_[i], waiting_[fallback]))) {
+                        fallback = i;
+                    }
+                }
+            }
+            if (fallback == waiting_.size()) {
+                break; // no placeable job of the other kind waiting
+            }
+            where = placement_->place(waiting_[fallback].kind, waiting_[fallback].device,
+                                      gpus_);
+            if (where.gpu == no_gpu) {
+                break; // every free server is ineligible for every waiting job
+            }
+            pick = fallback;
+        }
+        // Coalesce only on the last idle server eligible for this kind:
+        // while other eligible servers are free, each waiting job gets its
+        // own GPU (batching must never make a job wait behind a sibling when
+        // idle capacity exists).
         const std::size_t batch_limit =
-            busy_gpus_ + 1 == config_.gpu_count ? config_.max_batch : 1;
+            placement_->eligible_free(waiting_[pick].kind, gpus_) == 1 ? config_.max_batch
+                                                                       : 1;
         auto active = std::make_shared<Active_dispatch>();
         active->all_train = true;
+        active->jobs.push_back(take_waiting(pick));
         while (active->jobs.size() < batch_limit && !waiting_.empty()) {
-            const std::size_t pick = select_next();
-            SHOG_REQUIRE(pick < waiting_.size(), "policy picked an out-of-range job");
+            const std::size_t next = select_next();
+            SHOG_REQUIRE(next < waiting_.size(), "policy picked an out-of-range job");
             // Dispatches are kind-homogeneous: teacher-labeling batches don't
             // amortize with fine-tune kernels, and coalescing a train job
             // behind a label would make the label's completion wait out the
             // train's service — re-pinning latency past the preemption bound
             // the eviction just enforced.
-            if (!active->jobs.empty() &&
-                waiting_[pick].kind != active->jobs.front().kind) {
+            if (waiting_[next].kind != active->jobs.front().kind) {
                 break;
             }
-            Sched_job job = std::move(waiting_[pick]);
-            waiting_.erase(waiting_.begin() + static_cast<std::ptrdiff_t>(pick));
+            active->jobs.push_back(take_waiting(next));
+        }
+        for (const Sched_job& job : active->jobs) {
             // The first job of a dispatch runs at full service time;
             // coalesced followers are discounted by the batching efficiency.
-            active->service += active->jobs.empty()
+            active->service += active->jobs.front().id == job.id
                                    ? job.service
                                    : job.service * config_.batch_efficiency;
             active->total_raw += job.service;
             active->all_train &= job.kind == Cloud_job_kind::train;
-            active->jobs.push_back(std::move(job));
+        }
+        // Warm start: the server still holds this device's weights, so the
+        // whole dispatch (weight load amortizes across coalesced members)
+        // runs at a discount.
+        if (where.warm) {
+            active->service *= config_.affinity_warm_factor;
+            ++warm_dispatches_;
         }
         // Bill the dispatch total across members in proportion to raw
         // service, so which member arrived first cannot skew any device's
-        // GPU-seconds ledger (the first-job full-price term is a property of
-        // the *dispatch*, not of one member).
+        // GPU-seconds ledger (the first-job full-price term — and the warm
+        // discount — are properties of the *dispatch*, not of one member).
         for (const Sched_job& job : active->jobs) {
             const double share =
                 active->total_raw > 0.0
@@ -102,12 +186,31 @@ void Cloud_runtime::dispatch() {
             queued_busy_seconds_ += billed;
             per_device_seconds_[job.device] += billed;
         }
-        ++busy_gpus_;
+        active->gpu = where.gpu;
+        gpus_[where.gpu].busy = true;
+        gpus_[where.gpu].resident_device = active->jobs.front().device;
         active->started = queue_.now();
         active->interval_index = dispatches_.size();
-        dispatches_.push_back(Dispatch_interval{active->started, active->service});
+        dispatches_.push_back(
+            Dispatch_interval{active->started, active->service, active->gpu});
         active_.push_back(active);
         queue_.schedule_in(active->service, [this, active] { complete(active); });
+        if (active->all_train && config_.preempt_label_wait > 0.0) {
+            // Defensive backstop for the wait bound: if a train dispatch
+            // ever starts while an overdue label is still queued, re-arm its
+            // check immediately instead of letting the bound lapse for the
+            // train's whole service. With the shipped placements this branch
+            // is unreachable — overdue labels outrank every policy pick and
+            // are placeable on any free server, so a train head-pick implies
+            // no overdue label was waiting — but a future placement that can
+            // refuse labels (per-device quotas, say) would need it, and
+            // trains only enter flight here.
+            const std::size_t overdue = find_overdue();
+            if (overdue != waiting_.size()) {
+                const std::uint64_t id = waiting_[overdue].id;
+                queue_.schedule_in(0.0, [this, id] { preempt_check(id); });
+            }
+        }
     }
 }
 
@@ -117,7 +220,7 @@ void Cloud_runtime::complete(const std::shared_ptr<Active_dispatch>& active) {
     }
     const Seconds completed = queue_.now();
     active_.erase(std::find(active_.begin(), active_.end(), active));
-    --busy_gpus_;
+    gpus_[active->gpu].busy = false;
     for (const Sched_job& job : active->jobs) {
         waits_.push_back(active->started - job.submitted);
         latencies_.push_back(completed - job.submitted);
@@ -137,33 +240,66 @@ void Cloud_runtime::complete(const std::shared_ptr<Active_dispatch>& active) {
     dispatch();
 }
 
-std::size_t Cloud_runtime::select_next() const {
-    if (config_.preempt_label_wait > 0.0) {
-        // An overdue label outranks any policy's pick: the wait bound is a
-        // guarantee, not a preference. Without this, preempting a train
-        // frees a server only for the policy to hand it to the next queued
-        // train (FIFO front), and the starved label keeps waiting.
-        std::size_t overdue = waiting_.size();
+bool Cloud_runtime::is_overdue(const Sched_job& job) const {
+    // The overdue mark is authoritative: it is set by the job's own bound
+    // timer, so it cannot miss by an ulp the way `now - submitted >= bound`
+    // can when `now` was formed as `submitted + bound` and rounded down.
+    return config_.preempt_label_wait > 0.0 && job.kind == Cloud_job_kind::label &&
+           (queue_.now() - job.submitted >= config_.preempt_label_wait ||
+            overdue_ids_.count(job.id) != 0);
+}
+
+std::size_t Cloud_runtime::find_overdue() const {
+    if (config_.preempt_label_wait == 0.0 || waiting_labels_ == 0) {
+        return waiting_.size();
+    }
+    // Labels are never re-enqueued (only preempted train remainders are),
+    // so among waiting labels queue position order == submission order and
+    // the *first* label is the oldest. If it is not clock-overdue, no label
+    // is — except a younger one whose bound timer ran earlier within this
+    // same instant and marked it (ulp corner); only then scan deeper.
+    for (std::size_t i = 0; i < waiting_.size(); ++i) {
+        if (waiting_[i].kind != Cloud_job_kind::label) {
+            continue;
+        }
+        if (is_overdue(waiting_[i])) {
+            return i;
+        }
+        break;
+    }
+    if (!overdue_ids_.empty()) {
+        std::size_t best = waiting_.size();
         for (std::size_t i = 0; i < waiting_.size(); ++i) {
-            const Sched_job& job = waiting_[i];
-            if (job.kind == Cloud_job_kind::label &&
-                queue_.now() - job.submitted >= config_.preempt_label_wait &&
-                (overdue == waiting_.size() ||
-                 job.submitted < waiting_[overdue].submitted)) {
-                overdue = i;
+            if (is_overdue(waiting_[i]) &&
+                (best == waiting_.size() || fifo_before(waiting_[i], waiting_[best]))) {
+                best = i;
             }
         }
-        if (overdue != waiting_.size()) {
-            return overdue;
-        }
+        return best;
     }
-    return policy_->select(waiting_, per_device_seconds_);
+    return waiting_.size();
+}
+
+std::size_t Cloud_runtime::select_next() const {
+    // An overdue label outranks any policy's pick: the wait bound is a
+    // guarantee, not a preference. Without this, preempting a train frees a
+    // server only for the policy to hand it to the next queued train, and
+    // the starved label keeps waiting.
+    const std::size_t overdue = find_overdue();
+    if (overdue != waiting_.size()) {
+        return overdue;
+    }
+    return policy_->select(waiting_, per_device_seconds_, queue_.now());
 }
 
 void Cloud_runtime::preempt_check(std::uint64_t job_id) {
     if (!is_waiting(job_id)) {
         return; // the label job got served (or another check already acted)
     }
+    // The bound has expired for this job while it waits: record that fact so
+    // the overdue override in select_next sees it from now on (the clock
+    // test alone can round an ulp short at exactly the timer's firing time).
+    overdue_ids_.insert(job_id);
     // Evict the all-train dispatch with the most remaining service; ties
     // fall to the earliest-started dispatch (deterministic).
     std::shared_ptr<Active_dispatch> victim;
@@ -185,6 +321,12 @@ void Cloud_runtime::preempt_check(std::uint64_t job_id) {
         preempt(victim);
         dispatch();
     }
+    // No victim is not a pass: the job is now marked overdue, so it outranks
+    // every policy pick at the next server-free instant — no train can jump
+    // ahead of it, however long it waits. (dispatch() additionally re-arms
+    // this check if a train dispatch ever starts with the mark still queued;
+    // a *polling* re-arm would instead put every waiting label on a periodic
+    // timer and blow the event queue up quadratically when oversubscribed.)
 }
 
 void Cloud_runtime::preempt(const std::shared_ptr<Active_dispatch>& active) {
@@ -203,14 +345,16 @@ void Cloud_runtime::preempt(const std::shared_ptr<Active_dispatch>& active) {
     dispatches_[active->interval_index].service = elapsed;
     active->cancelled = true;
     active_.erase(std::find(active_.begin(), active_.end(), active));
-    --busy_gpus_;
+    gpus_[active->gpu].busy = false;
     ++preemptions_;
     // Checkpoint/resume: the unexecuted remainder goes back in the queue as
     // the same jobs with proportionally reduced service; `submitted` stays
-    // at first submission so latency covers the interruption.
+    // at first submission so latency covers the interruption. The warm
+    // discount (if any) was baked into active->service, so frac_done prices
+    // the remainder consistently.
     for (Sched_job& job : active->jobs) {
         job.service *= 1.0 - frac_done;
-        waiting_.push_back(std::move(job));
+        enqueue(std::move(job));
     }
     peak_depth_ = std::max(peak_depth_, waiting_.size());
 }
@@ -230,6 +374,17 @@ Seconds Cloud_runtime::busy_seconds_within(Seconds horizon) const {
         in_horizon += std::min(d.service, horizon - d.start);
     }
     return in_horizon + direct_seconds_;
+}
+
+std::vector<Seconds> Cloud_runtime::per_gpu_busy_within(Seconds horizon) const {
+    std::vector<Seconds> per_gpu(gpus_.size(), 0.0);
+    for (const Dispatch_interval& d : dispatches_) {
+        if (d.start >= horizon) {
+            continue;
+        }
+        per_gpu[d.gpu] += std::min(d.service, horizon - d.start);
+    }
+    return per_gpu;
 }
 
 double Cloud_runtime::utilization(Seconds horizon) const {

@@ -1,15 +1,19 @@
-// Shared cloud runtime: the contended GPU scheduler of a multi-edge cluster.
+// Shared cloud runtime: the contended, sharded GPU scheduler of a
+// multi-edge cluster.
 //
 // Every device's cloud-side work (teacher labeling for Shoggoth/Prompt,
 // labeling + whole-model fine-tuning for AMS) is submitted as a job with a
-// service time; jobs from all devices drain through `gpu_count` servers,
-// optionally coalesced into batched dispatches. Dispatch *order* is a
-// pluggable Scheduling_policy (sim/policy.hpp): FIFO by default, or
-// label-first priority / per-device fair share, plus optional preemption of
-// in-flight train dispatches when a label job has waited too long. Cloud
-// GPU seconds, queueing delay and label latency therefore *emerge* from
-// contention instead of being summed per-run, which is what makes the
-// paper's devices-per-GPU scalability claim measurable.
+// service time; jobs from all devices drain through `gpu_count` individually
+// tracked GPU servers, optionally coalesced into batched dispatches.
+// Dispatch *order* is a pluggable Scheduling_policy (sim/policy.hpp): FIFO
+// by default, label-first priority, per-device fair share, or drift-weighted
+// staleness; *which server* a dispatch lands on is a pluggable
+// Placement_policy (sim/placement.hpp): any free server, device affinity
+// with a warm-start discount, or a kind partition that reserves servers for
+// labels. In-flight all-train dispatches can be preempted when a label job
+// has waited too long. Cloud GPU seconds, queueing delay and label latency
+// therefore *emerge* from contention instead of being summed per-run, which
+// is what makes the paper's devices-per-GPU scalability claim measurable.
 #pragma once
 
 #include <cstddef>
@@ -17,10 +21,12 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <unordered_set>
 #include <vector>
 
 #include "common/event_queue.hpp"
 #include "common/units.hpp"
+#include "sim/placement.hpp"
 #include "sim/policy.hpp"
 
 namespace shog::sim {
@@ -32,18 +38,37 @@ struct Cloud_config {
     /// a coalesced dispatch all complete when the whole dispatch does.
     /// Dispatches are kind-homogeneous: label jobs never coalesce with
     /// train jobs (different kernels, and a train rider would pin the
-    /// labels' completion past any latency bound).
+    /// labels' completion past any latency bound). Coalescing happens only
+    /// on the last idle server *eligible for the job's kind* — while other
+    /// eligible servers are free, each waiting job gets its own GPU.
     std::size_t max_batch = 1;
     /// Cost factor on the service time of every coalesced job after the
     /// first (GPU batching amortizes weight loads and kernel launches).
     double batch_efficiency = 0.7;
     /// Dispatch-order policy; fifo reproduces the PR 1 scheduler exactly.
     Policy_kind policy = Policy_kind::fifo;
+    /// Server-placement policy; any_free reproduces the pre-sharding
+    /// undifferentiated pool exactly (lowest-index free server).
+    Placement_kind placement = Placement_kind::any_free;
+    /// kind_partition only: servers [0, label_reserved_gpus) never run
+    /// train dispatches. Must be < gpu_count (trains need at least one
+    /// server); labels may use every server.
+    std::size_t label_reserved_gpus = 0;
+    /// device_affinity only: multiplier on a dispatch's service time when it
+    /// starts on the server that last ran the same device (weights still
+    /// resident — no reload, warm caches). 1.0 disables the discount.
+    double affinity_warm_factor = 0.85;
     /// If > 0: when a label job has waited this long with every server busy
     /// and at least one all-train dispatch in flight, that dispatch is
     /// preempted — its executed share stays billed, the remaining service is
     /// checkpointed and re-queued (original submission time preserved) — so
-    /// a long AMS fine-tune cannot pin label latency past the bound. 0
+    /// a long AMS fine-tune cannot pin label latency past the bound. The
+    /// bound cannot silently lapse: if no train is in flight when it first
+    /// expires, the job is marked overdue and outranks every policy pick
+    /// from then on, so no later train can be dispatched ahead of it — a
+    /// bare one-shot timer could otherwise let the label wait out an entire
+    /// fine-tune (the expiry test `now - submitted >= bound` can also miss
+    /// by an ulp at the timer's own firing time; the mark is immune). 0
     /// disables preemption.
     Seconds preempt_label_wait = 0.0;
 };
@@ -56,9 +81,11 @@ public:
 
     /// Queue `service` seconds of GPU work on behalf of `device_id`; `done`
     /// fires on the shared clock once a server has executed the job (after
-    /// any queueing delay behind other devices' jobs).
+    /// any queueing delay behind other devices' jobs). `drift_rate` is the
+    /// device's current model-drift estimate (|d alpha / dt|); the staleness
+    /// policy uses it to label the fastest-rotting device first.
     void submit(std::size_t device_id, Seconds service, Completion done,
-                Cloud_job_kind kind = Cloud_job_kind::label);
+                Cloud_job_kind kind = Cloud_job_kind::label, double drift_rate = 0.0);
 
     /// Account GPU time for analytically-modeled work that bypasses the
     /// queue (Cloud-Only's synchronous per-frame pipeline).
@@ -66,6 +93,7 @@ public:
 
     [[nodiscard]] const Cloud_config& config() const noexcept { return config_; }
     [[nodiscard]] const char* policy_name() const noexcept { return policy_->name(); }
+    [[nodiscard]] const char* placement_name() const noexcept { return placement_->name(); }
 
     /// Total GPU seconds committed (queued service + direct accounting).
     /// Includes the full service of jobs still running at the end of a run;
@@ -76,6 +104,9 @@ public:
     /// GPU seconds spent inside [0, horizon]: dispatch intervals clamped to
     /// the horizon, plus direct accounting.
     [[nodiscard]] Seconds busy_seconds_within(Seconds horizon) const;
+    /// Per-server GPU seconds inside [0, horizon] (no direct accounting —
+    /// direct work never touches a specific server). Shard balance metric.
+    [[nodiscard]] std::vector<Seconds> per_gpu_busy_within(Seconds horizon) const;
     /// GPU seconds attributed to one device.
     [[nodiscard]] Seconds device_gpu_seconds(std::size_t device_id) const;
     /// busy_seconds_within(horizon) / (horizon * gpu_count). > 1 means
@@ -83,14 +114,19 @@ public:
     [[nodiscard]] double utilization(Seconds horizon) const;
 
     [[nodiscard]] std::size_t jobs_completed() const noexcept { return latencies_.size(); }
+    [[nodiscard]] std::size_t labels_completed() const noexcept {
+        return label_latencies_.size();
+    }
     [[nodiscard]] std::size_t jobs_pending() const noexcept {
-        return waiting_.size() + busy_gpus_;
+        return waiting_.size() + busy_gpu_count();
     }
     /// Largest number of jobs ever left waiting behind busy servers (0 on a
     /// fully uncontended cluster).
     [[nodiscard]] std::size_t peak_queue_depth() const noexcept { return peak_depth_; }
     /// Train dispatches checkpointed and re-queued to unblock label jobs.
     [[nodiscard]] std::size_t preemptions() const noexcept { return preemptions_; }
+    /// Dispatches that started on a warm server (device_affinity hit).
+    [[nodiscard]] std::size_t warm_dispatches() const noexcept { return warm_dispatches_; }
 
     /// Completion - submission per finished job (wait + service), all kinds.
     [[nodiscard]] const std::vector<Seconds>& job_latencies() const noexcept {
@@ -110,6 +146,7 @@ private:
     struct Dispatch_interval {
         Seconds start;
         Seconds service;
+        std::size_t gpu;
     };
     /// One in-flight dispatch (needed for preemption: the completion event
     /// cannot be removed from the queue, so it checks `cancelled` instead).
@@ -118,34 +155,70 @@ private:
         Seconds started = 0.0;
         Seconds service = 0.0;    ///< wall duration == billed total
         Seconds total_raw = 0.0;  ///< sum of member raw service (bill shares)
+        std::size_t gpu = no_gpu; ///< server this dispatch occupies
         bool all_train = false;
         bool cancelled = false;
         std::size_t interval_index = 0; ///< into dispatches_, for truncation
     };
 
-    /// Start dispatches while a server is idle and jobs are waiting.
+    /// Start dispatches while an eligible server is idle and jobs wait.
     void dispatch();
     /// Next job to dispatch: an overdue label (past the preemption bound)
     /// if one is waiting, else the policy's pick.
     [[nodiscard]] std::size_t select_next() const;
     void complete(const std::shared_ptr<Active_dispatch>& active);
-    /// Fired preempt_label_wait after a label job queued: if it is still
-    /// waiting, checkpoint the in-flight all-train dispatch with the most
-    /// remaining service and re-queue its remainder.
+    /// Fired when a label job's preemption bound expires: marks the job
+    /// overdue, then checkpoints the in-flight all-train dispatch with the
+    /// most remaining service and re-queues its remainder. No victim right
+    /// now is not a pass — the overdue mark outranks every policy pick from
+    /// then on (and dispatch() keeps a defensive re-arm for placements that
+    /// could refuse labels).
     void preempt_check(std::uint64_t job_id);
     void preempt(const std::shared_ptr<Active_dispatch>& active);
-    [[nodiscard]] bool is_waiting(std::uint64_t job_id) const;
+    [[nodiscard]] bool is_waiting(std::uint64_t job_id) const {
+        return waiting_ids_.count(job_id) != 0;
+    }
+    /// Waiting label whose bound expired (marked by its check timer, or
+    /// clock-based for robustness).
+    [[nodiscard]] bool is_overdue(const Sched_job& job) const;
+    /// Index of the oldest overdue waiting label, or waiting_.size() if
+    /// none. O(position of the first waiting label): labels are never
+    /// re-enqueued, so queue position order is submission order for labels
+    /// and the first one is the only clock-overdue candidate (a deeper scan
+    /// happens only when a younger label was explicitly marked overdue).
+    [[nodiscard]] std::size_t find_overdue() const;
+    void enqueue(Sched_job job);
+    /// Remove and return waiting_[index] (clears its id from the waiting /
+    /// overdue index sets).
+    [[nodiscard]] Sched_job take_waiting(std::size_t index);
     void ensure_device(std::size_t device_id);
+    [[nodiscard]] std::size_t busy_gpu_count() const noexcept {
+        std::size_t busy = 0;
+        for (const Gpu_state& gpu : gpus_) {
+            busy += gpu.busy ? 1 : 0;
+        }
+        return busy;
+    }
 
     Event_queue& queue_;
     Cloud_config config_;
     std::unique_ptr<Scheduling_policy> policy_;
-    std::deque<Sched_job> waiting_;
+    std::unique_ptr<Placement_policy> placement_;
+    std::deque<Sched_job> waiting_; ///< insertion-ordered (== seq order)
+    std::size_t waiting_labels_ = 0; ///< label jobs currently in waiting_
+    /// Ids of waiting jobs: O(1) is_waiting instead of a queue scan per
+    /// label submit (quadratic in queue depth at large fleet sizes).
+    std::unordered_set<std::uint64_t> waiting_ids_;
+    /// Waiting label jobs whose preemption bound expired (set by their
+    /// check timer; cleared on dispatch). See preempt_check.
+    std::unordered_set<std::uint64_t> overdue_ids_;
     std::vector<std::shared_ptr<Active_dispatch>> active_;
-    std::size_t busy_gpus_ = 0;
+    std::vector<Gpu_state> gpus_;
     std::size_t peak_depth_ = 0;
     std::size_t preemptions_ = 0;
+    std::size_t warm_dispatches_ = 0;
     std::uint64_t next_job_id_ = 0;
+    std::uint64_t next_seq_ = 0;
     Seconds queued_busy_seconds_ = 0.0;
     Seconds direct_seconds_ = 0.0;
     std::vector<Seconds> per_device_seconds_;

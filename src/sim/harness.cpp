@@ -166,11 +166,13 @@ Cluster_result run_cluster(const std::vector<Device_spec>& devices,
         horizon > 0.0 ? cloud.busy_seconds_within(horizon) : cloud.busy_seconds();
     cluster.gpu_utilization = horizon > 0.0 ? cloud.utilization(horizon) : 0.0;
     cluster.cloud_jobs = cloud.jobs_completed();
+    cluster.label_jobs = cloud.labels_completed();
     cluster.mean_label_latency = cloud.mean_label_latency();
     cluster.p95_label_latency = cloud.p95_label_latency();
     cluster.mean_label_wait = cloud.mean_label_wait();
     cluster.peak_queue_depth = cloud.peak_queue_depth();
     cluster.preemptions = cloud.preemptions();
+    cluster.warm_dispatches = cloud.warm_dispatches();
     return cluster;
 }
 

@@ -104,6 +104,9 @@ struct Cluster_result {
     double gpu_utilization = 0.0;
     /// Scheduler jobs completed (labeling + cloud training requests).
     std::size_t cloud_jobs = 0;
+    /// Label jobs completed (label_jobs / duration is the labeling
+    /// throughput the batching knee is measured against).
+    std::size_t label_jobs = 0;
     /// Label-job latency statistics (training jobs excluded; they only
     /// count toward occupancy).
     Seconds mean_label_latency = 0.0;
@@ -112,6 +115,8 @@ struct Cluster_result {
     std::size_t peak_queue_depth = 0;
     /// Train dispatches checkpointed to unblock waiting label jobs.
     std::size_t preemptions = 0;
+    /// Dispatches that started on a warm server (device_affinity hits).
+    std::size_t warm_dispatches = 0;
     /// Mean of the per-device headline mAPs.
     double fleet_map = 0.0;
 

@@ -1,0 +1,127 @@
+#include "sim/placement.hpp"
+
+#include <cstring>
+#include <string>
+
+#include "common/require.hpp"
+#include "sim/policy.hpp"
+
+namespace shog::sim {
+
+const char* to_string(Placement_kind kind) noexcept {
+    switch (kind) {
+    case Placement_kind::any_free: return "any_free";
+    case Placement_kind::device_affinity: return "device_affinity";
+    case Placement_kind::kind_partition: return "kind_partition";
+    }
+    return "?";
+}
+
+Placement_kind placement_by_name(const char* name) {
+    SHOG_REQUIRE(name != nullptr, "placement name must not be null");
+    if (std::strcmp(name, "any_free") == 0) {
+        return Placement_kind::any_free;
+    }
+    if (std::strcmp(name, "device_affinity") == 0) {
+        return Placement_kind::device_affinity;
+    }
+    if (std::strcmp(name, "kind_partition") == 0) {
+        return Placement_kind::kind_partition;
+    }
+    SHOG_REQUIRE(false, std::string{"unknown placement policy '"} + name + "'");
+    return Placement_kind::any_free; // unreachable
+}
+
+namespace {
+
+std::size_t lowest_free(const std::vector<Gpu_state>& gpus, std::size_t from = 0) {
+    for (std::size_t g = from; g < gpus.size(); ++g) {
+        if (!gpus[g].busy) {
+            return g;
+        }
+    }
+    return no_gpu;
+}
+
+std::size_t count_free(const std::vector<Gpu_state>& gpus, std::size_t from = 0) {
+    std::size_t free = 0;
+    for (std::size_t g = from; g < gpus.size(); ++g) {
+        free += gpus[g].busy ? 0 : 1;
+    }
+    return free;
+}
+
+class Any_free_placement final : public Placement_policy {
+public:
+    [[nodiscard]] const char* name() const noexcept override { return "any_free"; }
+
+    [[nodiscard]] Placement_decision place(Cloud_job_kind, std::size_t,
+                                           const std::vector<Gpu_state>& gpus) const override {
+        return Placement_decision{lowest_free(gpus), false};
+    }
+
+    [[nodiscard]] std::size_t eligible_free(Cloud_job_kind,
+                                            const std::vector<Gpu_state>& gpus) const override {
+        return count_free(gpus);
+    }
+};
+
+class Device_affinity_placement final : public Placement_policy {
+public:
+    [[nodiscard]] const char* name() const noexcept override { return "device_affinity"; }
+
+    [[nodiscard]] Placement_decision place(Cloud_job_kind, std::size_t device,
+                                           const std::vector<Gpu_state>& gpus) const override {
+        // Warm server first: the one that last loaded this device's weights.
+        for (std::size_t g = 0; g < gpus.size(); ++g) {
+            if (!gpus[g].busy && gpus[g].resident_device == device) {
+                return Placement_decision{g, true};
+            }
+        }
+        return Placement_decision{lowest_free(gpus), false};
+    }
+
+    [[nodiscard]] std::size_t eligible_free(Cloud_job_kind,
+                                            const std::vector<Gpu_state>& gpus) const override {
+        return count_free(gpus);
+    }
+};
+
+class Kind_partition_placement final : public Placement_policy {
+public:
+    explicit Kind_partition_placement(std::size_t reserved) : reserved_{reserved} {}
+
+    [[nodiscard]] const char* name() const noexcept override { return "kind_partition"; }
+
+    [[nodiscard]] Placement_decision place(Cloud_job_kind kind, std::size_t,
+                                           const std::vector<Gpu_state>& gpus) const override {
+        // Labels fill the reserved low-index servers first; trains are kept
+        // off them entirely, so a fine-tune burst can never occupy every GPU.
+        const std::size_t from = kind == Cloud_job_kind::train ? reserved_ : 0;
+        return Placement_decision{lowest_free(gpus, from), false};
+    }
+
+    [[nodiscard]] std::size_t eligible_free(Cloud_job_kind kind,
+                                            const std::vector<Gpu_state>& gpus) const override {
+        return count_free(gpus, kind == Cloud_job_kind::train ? reserved_ : 0);
+    }
+
+private:
+    std::size_t reserved_;
+};
+
+} // namespace
+
+std::unique_ptr<Placement_policy> make_placement(Placement_kind kind,
+                                                 std::size_t label_reserved_gpus) {
+    switch (kind) {
+    case Placement_kind::any_free: return std::make_unique<Any_free_placement>();
+    case Placement_kind::device_affinity: return std::make_unique<Device_affinity_placement>();
+    case Placement_kind::kind_partition:
+        return std::make_unique<Kind_partition_placement>(label_reserved_gpus);
+    }
+    SHOG_REQUIRE(false, "unknown placement policy kind");
+    return nullptr; // unreachable
+}
+
+} // namespace shog::sim

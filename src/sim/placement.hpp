@@ -1,0 +1,95 @@
+// Multi-GPU placement policies for the sharded cloud.
+//
+// Cloud_runtime models the cloud as `gpu_count` individually tracked GPU
+// servers rather than an undifferentiated pool. A Placement_policy decides
+// *which* free server a dispatch lands on (the Scheduling_policy in
+// sim/policy.hpp decides which job goes next):
+//
+//  - `any_free`        — lowest-index free server; at gpu_count = 1 (and for
+//                        any gpu_count with the default knobs) this is
+//                        bit-identical to the pre-sharding pool semantics.
+//  - `device_affinity` — a device's jobs prefer the server that last ran a
+//                        dispatch for that device: its teacher / fine-tune
+//                        weights are still resident, modeled as a warm-start
+//                        discount (`Cloud_config::affinity_warm_factor`) on
+//                        the dispatch's service time. Falls back to the
+//                        lowest-index free server (cold, full price) when no
+//                        warm server is free.
+//  - `kind_partition`  — servers [0, label_reserved_gpus) are reserved for
+//                        label jobs; train dispatches (AMS-style whole-model
+//                        fine-tunes) may only occupy the remaining servers,
+//                        so fine-tunes can never hold *every* GPU and the
+//                        labeling path keeps a dedicated fast lane. Label
+//                        jobs may use any server (reserved ones are at the
+//                        low indices, so labels fill them first).
+//
+// Placement is deterministic: equal GPU states always yield the same server.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace shog::sim {
+
+enum class Cloud_job_kind;
+
+enum class Placement_kind { any_free, device_affinity, kind_partition };
+
+[[nodiscard]] const char* to_string(Placement_kind kind) noexcept;
+
+/// Inverse of to_string ("any_free", "device_affinity", "kind_partition");
+/// throws on unknown names (bench CLI input).
+[[nodiscard]] Placement_kind placement_by_name(const char* name);
+
+/// No GPU available / no device resident.
+inline constexpr std::size_t no_gpu = static_cast<std::size_t>(-1);
+inline constexpr std::size_t no_device = static_cast<std::size_t>(-1);
+
+/// One GPU server of the sharded cloud as the placement policy sees it.
+struct Gpu_state {
+    bool busy = false;
+    /// Device whose weights the server last loaded (set when a dispatch
+    /// starts; survives completion and preemption). device_affinity treats a
+    /// matching free server as warm.
+    std::size_t resident_device = no_device;
+};
+
+struct Placement_decision {
+    std::size_t gpu = no_gpu; ///< no_gpu = no eligible free server
+    /// The dispatch starts with this device's weights already resident;
+    /// Cloud_runtime multiplies the dispatch service time by
+    /// `Cloud_config::affinity_warm_factor`.
+    bool warm = false;
+};
+
+class Placement_policy {
+public:
+    virtual ~Placement_policy() = default;
+
+    [[nodiscard]] virtual const char* name() const noexcept = 0;
+
+    /// Server for a dispatch headed by a `kind` job from `device`, or
+    /// `no_gpu` when no free server may take it (kind_partition keeps trains
+    /// off the reserved servers even when those are idle).
+    [[nodiscard]] virtual Placement_decision place(
+        Cloud_job_kind kind, std::size_t device,
+        const std::vector<Gpu_state>& gpus) const = 0;
+
+    /// How many free servers could take a `kind` dispatch right now. The
+    /// scheduler coalesces (max_batch > 1) only on the *last* eligible idle
+    /// server, so this drives the batching decision.
+    [[nodiscard]] virtual std::size_t eligible_free(
+        Cloud_job_kind kind, const std::vector<Gpu_state>& gpus) const = 0;
+
+protected:
+    Placement_policy() = default;
+};
+
+/// `label_reserved_gpus` is only read by kind_partition.
+[[nodiscard]] std::unique_ptr<Placement_policy> make_placement(
+    Placement_kind kind, std::size_t label_reserved_gpus);
+
+} // namespace shog::sim

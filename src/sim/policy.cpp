@@ -1,5 +1,7 @@
 #include "sim/policy.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <string>
 
@@ -12,20 +14,18 @@ const char* to_string(Policy_kind kind) noexcept {
     case Policy_kind::fifo: return "fifo";
     case Policy_kind::priority: return "priority";
     case Policy_kind::fair_share: return "fair_share";
+    case Policy_kind::staleness: return "staleness";
     }
     return "?";
 }
 
 Policy_kind policy_by_name(const char* name) {
     SHOG_REQUIRE(name != nullptr, "policy name must not be null");
-    if (std::strcmp(name, "fifo") == 0) {
-        return Policy_kind::fifo;
-    }
-    if (std::strcmp(name, "priority") == 0) {
-        return Policy_kind::priority;
-    }
-    if (std::strcmp(name, "fair_share") == 0) {
-        return Policy_kind::fair_share;
+    for (Policy_kind kind : {Policy_kind::fifo, Policy_kind::priority,
+                             Policy_kind::fair_share, Policy_kind::staleness}) {
+        if (std::strcmp(name, to_string(kind)) == 0) {
+            return kind;
+        }
     }
     SHOG_REQUIRE(false, std::string{"unknown scheduling policy '"} + name + "'");
     return Policy_kind::fifo; // unreachable
@@ -38,7 +38,11 @@ public:
     [[nodiscard]] const char* name() const noexcept override { return "fifo"; }
 
     [[nodiscard]] std::size_t select(const std::deque<Sched_job>& waiting,
-                                     const std::vector<Seconds>&) const override {
+                                     const std::vector<Seconds>&, Seconds) const override {
+        // The queue is insertion-ordered, so the front is the lowest enqueue
+        // counter in O(1). A preempted remainder re-enters at the back with
+        // a fresh seq, so FIFO serves jobs submitted before the preemption
+        // first — exactly the pre-sharding deque semantics.
         (void)waiting;
         return 0;
     }
@@ -49,10 +53,10 @@ public:
     [[nodiscard]] const char* name() const noexcept override { return "priority"; }
 
     [[nodiscard]] std::size_t select(const std::deque<Sched_job>& waiting,
-                                     const std::vector<Seconds>&) const override {
+                                     const std::vector<Seconds>&, Seconds) const override {
         // Label jobs before train jobs; within a kind, oldest submission
-        // first (the queue is not submission-ordered once preemption
-        // re-queues checkpointed work, so scan rather than trust position).
+        // first (preemption re-queues break enqueue order, so compare
+        // submission times rather than trusting seq alone).
         std::size_t best = 0;
         for (std::size_t i = 1; i < waiting.size(); ++i) {
             const bool i_label = waiting[i].kind == Cloud_job_kind::label;
@@ -63,7 +67,7 @@ public:
                 }
                 continue;
             }
-            if (waiting[i].submitted < waiting[best].submitted) {
+            if (fifo_before(waiting[i], waiting[best])) {
                 best = i;
             }
         }
@@ -75,13 +79,17 @@ class Fair_share_policy final : public Scheduling_policy {
 public:
     [[nodiscard]] const char* name() const noexcept override { return "fair_share"; }
 
-    [[nodiscard]] std::size_t select(
-        const std::deque<Sched_job>& waiting,
-        const std::vector<Seconds>& device_gpu_seconds) const override {
+    [[nodiscard]] std::size_t select(const std::deque<Sched_job>& waiting,
+                                     const std::vector<Seconds>& device_gpu_seconds,
+                                     Seconds) const override {
         // Deficit round-robin: the waiting device that has consumed the
         // least GPU time goes first (largest service deficit). Ties fall to
-        // the oldest submission, then the earliest queue position, so the
-        // policy degenerates to FIFO on a single-device cluster.
+        // the oldest submission, then the enqueue order, so the policy
+        // degenerates to FIFO on a single-device cluster. The tie test is an
+        // epsilon band, not exact equality: prorated coalesced billing and
+        // preemption refunds leave ulp-scale residue on the ledger, and an
+        // exact compare would turn those into nondeterministic-looking
+        // priority inversions between equally-served devices.
         const auto consumed = [&](std::size_t device) {
             return device < device_gpu_seconds.size() ? device_gpu_seconds[device] : 0.0;
         };
@@ -89,17 +97,68 @@ public:
         for (std::size_t i = 1; i < waiting.size(); ++i) {
             const Seconds ci = consumed(waiting[i].device);
             const Seconds cb = consumed(waiting[best].device);
-            if (ci != cb) {
+            const Seconds eps = 1e-9 * std::max({1.0, std::abs(ci), std::abs(cb)});
+            if (std::abs(ci - cb) > eps) {
                 if (ci < cb) {
                     best = i;
                 }
                 continue;
             }
-            if (waiting[i].submitted < waiting[best].submitted) {
+            if (fifo_before(waiting[i], waiting[best])) {
                 best = i;
             }
         }
         return best;
+    }
+};
+
+class Staleness_policy final : public Scheduling_policy {
+public:
+    [[nodiscard]] const char* name() const noexcept override { return "staleness"; }
+
+    [[nodiscard]] std::size_t select(const std::deque<Sched_job>& waiting,
+                                     const std::vector<Seconds>&, Seconds now) const override {
+        // Label jobs before train jobs (a fine-tune must never starve the
+        // labeling path — same guarantee as `priority`). Among labels, the
+        // highest *drift-weighted age* goes first: age is time since first
+        // submission, weight is the device's |d alpha / dt| estimate, so a
+        // batch from a camera crossing day->night outranks an equally old
+        // batch from a static scene. The floor keeps devices with no drift
+        // signal comparable (pure age ordering among themselves) instead of
+        // permanently last. Among trains: plain FIFO order.
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < waiting.size(); ++i) {
+            const bool i_label = waiting[i].kind == Cloud_job_kind::label;
+            const bool best_label = waiting[best].kind == Cloud_job_kind::label;
+            if (i_label != best_label) {
+                if (i_label) {
+                    best = i;
+                }
+                continue;
+            }
+            if (i_label) {
+                const double si = staleness(waiting[i], now);
+                const double sb = staleness(waiting[best], now);
+                if (si != sb) {
+                    if (si > sb) {
+                        best = i;
+                    }
+                    continue;
+                }
+            }
+            if (fifo_before(waiting[i], waiting[best])) {
+                best = i;
+            }
+        }
+        return best;
+    }
+
+private:
+    /// Devices without a drift estimate age at this rate (alpha per second).
+    static constexpr double drift_floor = 1e-3;
+
+    static double staleness(const Sched_job& job, Seconds now) {
+        return (now - job.submitted) * std::max(job.drift_rate, drift_floor);
     }
 };
 
@@ -110,6 +169,7 @@ std::unique_ptr<Scheduling_policy> make_policy(Policy_kind kind) {
     case Policy_kind::fifo: return std::make_unique<Fifo_policy>();
     case Policy_kind::priority: return std::make_unique<Priority_policy>();
     case Policy_kind::fair_share: return std::make_unique<Fair_share_policy>();
+    case Policy_kind::staleness: return std::make_unique<Staleness_policy>();
     }
     SHOG_REQUIRE(false, "unknown scheduling policy kind");
     return nullptr; // unreachable

@@ -1,13 +1,22 @@
 // Cloud GPU scheduling policies.
 //
 // Cloud_runtime's dispatch order is a strategy object: given the waiting
-// queue and the per-device GPU-seconds ledger, a policy picks which job
+// jobs and the per-device GPU-seconds ledger, a policy picks which job
 // starts (or joins a coalesced dispatch) next. `fifo` reproduces the PR 1
 // scheduler bit-for-bit; `priority` serves label jobs before train jobs so
 // AMS-style whole-model fine-tunes cannot starve Shoggoth's small labeling
 // requests; `fair_share` is a deficit round-robin on accumulated per-device
 // GPU seconds, so one chatty (or fine-tune-heavy) device cannot monopolize
-// the pool under a heterogeneous fleet.
+// the pool under a heterogeneous fleet; `staleness` orders label jobs by
+// time-since-submission weighted by the submitting device's drift rate (cf.
+// AMS, Khani et al.), so the device whose deployed model is rotting fastest
+// gets labeled first.
+//
+// Policies see the waiting queue in *insertion order*: the scheduler only
+// push_backs and erases, so position order always equals the per-job `seq`
+// enqueue counter (fifo can just take the front in O(1)). Tiebreaks still
+// bottom out on `seq` explicitly, so a policy never depends on position
+// beyond that invariant.
 #pragma once
 
 #include <cstddef>
@@ -26,18 +35,20 @@ namespace shog::sim {
 /// occupancy.
 enum class Cloud_job_kind { label, train };
 
-enum class Policy_kind { fifo, priority, fair_share };
+enum class Policy_kind { fifo, priority, fair_share, staleness };
 
 [[nodiscard]] const char* to_string(Policy_kind kind) noexcept;
 
-/// Inverse of to_string ("fifo", "priority", "fair_share"); throws on
-/// unknown names (bench CLI input).
+/// Inverse of to_string ("fifo", "priority", "fair_share", "staleness");
+/// throws on unknown names (bench CLI input).
 [[nodiscard]] Policy_kind policy_by_name(const char* name);
 
 /// One queued GPU job as the scheduler sees it. `service` is the *remaining*
 /// raw service time (preemption re-queues a checkpointed job with the
 /// unexecuted remainder); `submitted` never changes across re-queues, so
-/// latency always measures from first submission.
+/// latency always measures from first submission. `seq` is the enqueue
+/// counter (re-assigned when a preempted remainder re-enters the queue) and
+/// is the queue-order tiebreak every policy bottoms out on.
 struct Sched_job {
     std::size_t device = 0;
     Seconds service = 0.0;
@@ -45,7 +56,24 @@ struct Sched_job {
     std::function<void()> done;
     Cloud_job_kind kind = Cloud_job_kind::label;
     std::uint64_t id = 0;
+    std::uint64_t seq = 0;
+    /// Submitting device's model-drift rate (|d alpha / dt| estimate, from
+    /// Cloud_runtime::submit); only the staleness policy reads it. 0 means
+    /// "no signal" and falls back to the policy's drift floor.
+    double drift_rate = 0.0;
 };
+
+/// Queue-order comparison shared by the policies and the scheduler's
+/// overdue/fallback picks: older submission first, enqueue order on ties.
+/// This is exactly the pre-sharding deque order (jobs are pushed in seq
+/// order and erased in place, preserving it) — keep the two users in sync
+/// by never duplicating this rule.
+[[nodiscard]] inline bool fifo_before(const Sched_job& a, const Sched_job& b) noexcept {
+    if (a.submitted != b.submitted) {
+        return a.submitted < b.submitted;
+    }
+    return a.seq < b.seq;
+}
 
 class Scheduling_policy {
 public:
@@ -53,13 +81,15 @@ public:
 
     [[nodiscard]] virtual const char* name() const noexcept = 0;
 
-    /// Index into `waiting` (non-empty) of the job to dispatch next.
-    /// `device_gpu_seconds` is the billed-GPU-seconds ledger indexed by
-    /// device id (devices beyond its size have consumed nothing). Must be
-    /// deterministic: equal inputs always pick the same index.
+    /// Index into `waiting` (non-empty, insertion-ordered) of the job to
+    /// dispatch next. `device_gpu_seconds` is the billed-GPU-seconds ledger
+    /// indexed by device id (devices beyond its size have consumed
+    /// nothing); `now` is the simulation clock (staleness ages jobs against
+    /// it). Must be deterministic: equal inputs always pick the same job,
+    /// with tiebreaks bottoming out on `seq`.
     [[nodiscard]] virtual std::size_t select(
         const std::deque<Sched_job>& waiting,
-        const std::vector<Seconds>& device_gpu_seconds) const = 0;
+        const std::vector<Seconds>& device_gpu_seconds, Seconds now) const = 0;
 };
 
 [[nodiscard]] std::unique_ptr<Scheduling_policy> make_policy(Policy_kind kind);

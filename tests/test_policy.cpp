@@ -24,8 +24,8 @@ namespace {
 // ---------------------------------------------------------------------------
 
 TEST(SchedulingPolicy, NamesRoundTrip) {
-    for (Policy_kind kind :
-         {Policy_kind::fifo, Policy_kind::priority, Policy_kind::fair_share}) {
+    for (Policy_kind kind : {Policy_kind::fifo, Policy_kind::priority,
+                             Policy_kind::fair_share, Policy_kind::staleness}) {
         EXPECT_EQ(policy_by_name(to_string(kind)), kind);
         EXPECT_STREQ(make_policy(kind)->name(), to_string(kind));
     }
@@ -254,6 +254,83 @@ TEST(SchedulingPolicy, AllPoliciesAreDeterministicAcrossReruns) {
 // ---------------------------------------------------------------------------
 // Bugfix regressions.
 // ---------------------------------------------------------------------------
+
+TEST(CloudRuntime, PreemptBoundSurvivesUlpLateCheck) {
+    // The one-shot preempt_check fires at exactly submitted + bound, but in
+    // floating point (0.3 + 0.6) - 0.3 < 0.6, so at the check's own firing
+    // instant the overdue override in select_next could fail to recognize
+    // the very job whose bound just expired. Pre-fix sequence: the check
+    // preempts the in-flight train, the freed server goes to the *next
+    // queued train* (FIFO front), and the label — its timer now consumed —
+    // waits out that train's entire 10 s service. The fix marks the job
+    // overdue at its check, so the freed server serves it immediately.
+    Event_queue queue;
+    Cloud_config config;
+    config.preempt_label_wait = 0.6;
+    Cloud_runtime cloud{queue, config};
+    Seconds label_done = -1.0;
+    cloud.submit(0, 10.0, {}, Cloud_job_kind::train);
+    queue.schedule(0.05, [&] { cloud.submit(0, 10.0, {}, Cloud_job_kind::train); });
+    queue.schedule(0.3, [&] {
+        cloud.submit(1, 1.0, [&] { label_done = queue.now(); });
+    });
+    (void)queue.run_until(60.0);
+    EXPECT_EQ(cloud.preemptions(), 1u);
+    // Check fires at 0.3 + 0.6 (one ulp short of a 0.6 wait); the label runs
+    // right after the preemption: done just before t=1.9. Pre-fix it
+    // finished after the second train, at t ~ 11.9.
+    EXPECT_NEAR(label_done, 1.9, 1e-9);
+    EXPECT_LT(label_done - 0.3 - 1.0, config.preempt_label_wait + 1e-9);
+}
+
+TEST(CloudRuntime, BoundLapseNeverHandsTheServerToAQueuedTrain) {
+    // The "no victim in flight" lapse: the label's bound expires while a
+    // long *label* dispatch holds the only server (nothing preemptible), so
+    // the one-shot check finds no victim. When the server finally frees,
+    // the overdue label must outrank the FIFO-front train queued before it.
+    Event_queue queue;
+    Cloud_config config;
+    config.preempt_label_wait = 2.0;
+    Cloud_runtime cloud{queue, config};
+    Seconds label_done = -1.0;
+    Seconds train_done = -1.0;
+    cloud.submit(0, 4.0, {});                                          // label, runs 0->4
+    queue.schedule(0.1, [&] {
+        cloud.submit(0, 10.0, [&] { train_done = queue.now(); },
+                     Cloud_job_kind::train);
+    });
+    queue.schedule(0.5, [&] {
+        cloud.submit(1, 1.0, [&] { label_done = queue.now(); });
+    });
+    (void)queue.run_until(60.0);
+    EXPECT_EQ(cloud.preemptions(), 0u); // nothing preemptible ever in flight
+    EXPECT_DOUBLE_EQ(label_done, 5.0);  // served at first server-free
+    EXPECT_DOUBLE_EQ(train_done, 15.0);
+}
+
+TEST(SchedulingPolicy, FairShareTieBreaksFifoUnderUlpLedgerNoise) {
+    // Prorated coalesced billing and preemption refunds leave ulp-scale
+    // residue on the per-device ledger; the documented FIFO degeneracy on
+    // tied devices must survive it. Inject the classic 0.1 + 0.2 != 0.3
+    // residue directly: pre-fix, the exact-equality compare saw device 1 as
+    // "strictly less billed" and served it first despite device 0's earlier
+    // submission.
+    Event_queue queue;
+    Cloud_config config;
+    config.policy = Policy_kind::fair_share;
+    Cloud_runtime cloud{queue, config};
+    cloud.account_direct(0, 0.1 + 0.2); // 0.30000000000000004
+    cloud.account_direct(1, 0.3);
+    cloud.account_direct(9, 100.0); // the blocker device never wins a deficit
+    std::vector<int> order;
+    cloud.submit(9, 1.0, {}); // occupies the server so 0 and 1 really queue
+    cloud.submit(0, 1.0, [&] { order.push_back(0); });
+    cloud.submit(1, 1.0, [&] { order.push_back(1); });
+    (void)queue.run_until(20.0);
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], 0); // FIFO degeneracy: earlier submission first
+    EXPECT_EQ(order[1], 1);
+}
 
 TEST(CloudRuntime, CoalescedBillingIsArrivalOrderIndependent) {
     // Two devices submit identical jobs that coalesce into one dispatch;
