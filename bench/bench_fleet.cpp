@@ -24,15 +24,24 @@
 //       {"bench":"fleet_sharding","gpus":2,"placement":"device_affinity",
 //        "policy":"staleness","max_batch":4,"p95_label_latency_s":...,
 //        "warm_dispatches":...,...}
-//  4. a pure-scheduler microbench (no video, no models): an oversubscribed
+//  4. the cloud-reliability sweep at N = max_devices heterogeneous:
+//     straggler slowdown x failure rate x placement (plus the straggler
+//     re-queue bound) on the 2-GPU contended share — the tail-at-scale
+//     regime where one slow or flapping shard decides p95 label latency:
+//       {"bench":"fleet_reliability","placement":"speed_aware",
+//        "straggler_speed":0.25,"mtbf_s":45.0,"requeue_factor":2.0,
+//        "p95_label_latency_s":...,"failures":...,"straggler_requeues":...}
+//  5. a pure-scheduler microbench (no video, no models): an oversubscribed
 //     64-device submit storm whose queue depth reaches ~20k, timing the
 //     dispatch path. This is the regression guard for the O(1)
 //     is_waiting/overdue indexes (the pre-index scheduler was quadratic in
 //     queue depth: ~1.4 s for the fifo+preempt storm vs ~0.09 s now):
 //       {"bench":"fleet_sched_micro","policy":"fifo","preempt_s":2.0,...}
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <string>
 
 #include "fleet/testbed.hpp"
@@ -139,6 +148,66 @@ void run_sharding_sweep(const fleet::Testbed& testbed, std::size_t devices,
     }
 }
 
+void emit_reliability_json(const fleet::Reliability_setup& setup, std::size_t devices,
+                           const sim::Cluster_result& r) {
+    std::printf("{\"bench\":\"fleet_reliability\",\"cell\":\"%s\",\"gpus\":%zu,"
+                "\"placement\":\"%s\",\"policy\":\"%s\",\"straggler_speed\":%.2f,"
+                "\"mtbf_s\":%.1f,\"mttr_s\":%.1f,\"requeue_factor\":%.1f,"
+                "\"devices\":%zu,\"gpu_utilization\":%.4f,"
+                "\"mean_label_latency_s\":%.3f,\"p95_label_latency_s\":%.3f,"
+                "\"label_jobs\":%zu,\"failures\":%zu,\"straggler_requeues\":%zu,"
+                "\"preemptions\":%zu,\"fleet_map\":%.4f}\n",
+                setup.label, setup.gpu_count, to_string(setup.placement),
+                to_string(setup.policy), setup.straggler_speed,
+                std::isfinite(setup.mtbf) ? setup.mtbf : -1.0, setup.mttr,
+                setup.straggler_requeue_factor, devices, r.gpu_utilization,
+                r.mean_label_latency, r.p95_label_latency, r.label_jobs, r.failures,
+                r.straggler_requeues, r.preemptions, r.fleet_map);
+}
+
+void run_reliability_sweep(const fleet::Testbed& testbed, std::size_t devices,
+                           std::uint64_t seed) {
+    // Straggler slowdown x failure rate x placement at the contended 2-GPU
+    // share: does placement dodge the slow shard, and does label latency
+    // survive servers flapping? The straggler re-queue bound only matters
+    // when there is a straggler to escape, so factor 2 rows are emitted for
+    // the slowed cells only.
+    constexpr double never = std::numeric_limits<double>::infinity();
+    for (sim::Placement_kind placement :
+         {sim::Placement_kind::any_free, sim::Placement_kind::speed_aware}) {
+        for (double straggler_speed : {1.0, 0.25}) {
+            for (double mtbf : {never, 45.0}) {
+                for (double requeue : {0.0, 2.0}) {
+                    if (requeue > 0.0 && straggler_speed == 1.0) {
+                        continue; // no slow shard: the bound never arms
+                    }
+                    fleet::Reliability_setup setup;
+                    setup.label = "sweep";
+                    setup.gpu_count = 2;
+                    setup.placement = placement;
+                    setup.policy = sim::Policy_kind::priority;
+                    setup.straggler_speed = straggler_speed;
+                    setup.mtbf = mtbf;
+                    setup.mttr = 10.0;
+                    setup.straggler_requeue_factor = requeue;
+                    emit_reliability_json(
+                        setup, devices,
+                        fleet::run_reliability_cell(testbed, devices,
+                                                    /*heterogeneous=*/true, setup, seed));
+                }
+            }
+        }
+    }
+    // The curated cells fleet_scaling prints (incl. the failing
+    // kind_partition reserved-server case).
+    for (const fleet::Reliability_setup& setup : fleet::default_reliability_setups()) {
+        emit_reliability_json(setup, devices,
+                              fleet::run_reliability_cell(testbed, devices,
+                                                          /*heterogeneous=*/true, setup,
+                                                          seed));
+    }
+}
+
 void run_sched_micro() {
     // Pure scheduler storm, no video or models: 64 devices flooding one GPU
     // far past capacity so the waiting queue grows ~linearly to ~20k jobs.
@@ -227,6 +296,7 @@ int main(int argc, char** argv) {
     run_policy_sweep(correlated, "correlated_drift", max_devices, seed);
 
     run_sharding_sweep(testbed, max_devices, seed);
+    run_reliability_sweep(testbed, max_devices, seed);
     run_sched_micro();
     return 0;
 }

@@ -130,5 +130,20 @@ int main(int argc, char** argv) {
                                      : 0.0,
                     r.warm_dispatches);
     }
+
+    // Unreliable clouds: the same fleet when one shard is a 4x straggler or
+    // servers fail and repair (MTBF/MTTR). speed_aware placement keeps label
+    // jobs off the slow shard; straggler re-queueing checkpoints the ones it
+    // still caught onto a faster server once one frees up.
+    std::printf("\nCloud reliability, same fleet (stragglers and MTBF/MTTR "
+                "failures at 2 GPUs):\n");
+    for (const fleet::Reliability_setup& setup : fleet::default_reliability_setups()) {
+        const sim::Cluster_result r = fleet::run_reliability_cell(
+            testbed, max_devices, /*heterogeneous=*/true, setup, seed);
+        std::printf("  %-27s  label_lat mean=%6.2fs p95=%6.2fs  gpu_util=%5.1f%%  "
+                    "failures=%zu  requeues=%zu\n",
+                    setup.label, r.mean_label_latency, r.p95_label_latency,
+                    100.0 * r.gpu_utilization, r.failures, r.straggler_requeues);
+    }
     return 0;
 }

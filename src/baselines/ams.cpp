@@ -1,5 +1,8 @@
 #include "baselines/ams.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "models/pretrain.hpp"
 
 namespace shog::baselines {
@@ -137,9 +140,11 @@ void Ams_strategy::maybe_train_in_cloud(sim::Edge_runtime& rt) {
         return;
     }
     std::vector<models::Labeled_sample> batch;
+    std::vector<Seconds> sample_at; // labeling time per sample, oldest first
     while (!pending_.empty()) {
         for (models::Labeled_sample& s : pending_.front().samples) {
             batch.push_back(std::move(s));
+            sample_at.push_back(pending_.front().at);
         }
         pending_.pop_front();
     }
@@ -157,6 +162,35 @@ void Ams_strategy::maybe_train_in_cloud(sim::Edge_runtime& rt) {
     // ship on the downlink.
     const Seconds service = cloud_trainer_->estimate_session_cost(batch.size())
                                 .overall_seconds();
+    // Preemption-aware resume: if the scheduler checkpoints this fine-tune,
+    // re-plan the remainder instead of replaying it verbatim. The session
+    // walks the batch oldest-first at uniform per-sample cost, so the
+    // remaining service maps to the pending tail of the batch; pending
+    // samples whose age passed the replay horizon while the job sat
+    // checkpointed are dropped from the plan (their GPU seconds would train
+    // on data about to be discarded anyway). The weight update itself still
+    // applies the whole distillation batch on completion — the near-stale
+    // samples' gradient contribution is marginal, the model prices out
+    // their GPU time, which is what repeated preemption wastes.
+    sim::Cloud_runtime::Resume_replan replan;
+    if (config_.replan_on_resume && service > 0.0) {
+        const Seconds per_sample = service / static_cast<double>(batch.size());
+        replan = [sample_at = std::move(sample_at), per_sample,
+                  horizon = config_.sample_horizon,
+                  begin = std::size_t{0}](Seconds remaining, Seconds now) mutable {
+            const std::size_t n = sample_at.size();
+            const std::size_t pending = std::min(
+                n - begin,
+                static_cast<std::size_t>(std::llround(remaining / per_sample)));
+            // `begin` persists across checkpoints: resumed progress on a
+            // re-planned tail never resurrects earlier drops.
+            begin = n - pending;
+            while (begin < n && sample_at[begin] + horizon <= now) {
+                ++begin;
+            }
+            return static_cast<double>(n - begin) * per_sample;
+        };
+    }
     rt.cloud().submit(
         rt.device_id(), service,
         [this, &rt, batch = std::move(batch)]() mutable {
@@ -176,7 +210,7 @@ void Ams_strategy::maybe_train_in_cloud(sim::Edge_runtime& rt) {
                 });
             });
         },
-        sim::Cloud_job_kind::train, drift_.rate());
+        sim::Cloud_job_kind::train, drift_.rate(), std::move(replan));
 }
 
 double Ams_strategy::drain_alpha() {

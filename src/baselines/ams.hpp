@@ -42,6 +42,14 @@ struct Ams_config {
     double alpha_threshold = 0.5;
     /// Edge-side model swap pause (fps dips while weights are installed).
     Seconds swap_seconds = 0.4;
+    /// Preemption-aware resume: when the scheduler checkpoints a fine-tune
+    /// (label-wait preemption, server failure), the job re-plans its
+    /// remaining batch on resume — samples whose age exceeds
+    /// `sample_horizon` by then are dropped from the remainder instead of
+    /// being replayed, so repeated preemption stops billing GPU seconds for
+    /// training on stale data. Off reproduces the replay-the-remainder
+    /// behavior exactly (and with no preemption the two are identical).
+    bool replan_on_resume = true;
 };
 
 class Ams_strategy final : public sim::Strategy {

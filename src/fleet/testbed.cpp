@@ -248,4 +248,62 @@ sim::Cluster_result run_sharding_cell(const Testbed& testbed, std::size_t device
     return sim::run_cluster(fleet.specs, config);
 }
 
+std::vector<sim::Gpu_profile> make_straggler_profiles(std::size_t gpu_count,
+                                                      double straggler_speed,
+                                                      Seconds mtbf, Seconds mttr) {
+    SHOG_REQUIRE(gpu_count >= 1, "profiles need at least one GPU");
+    std::vector<sim::Gpu_profile> profiles(gpu_count);
+    for (sim::Gpu_profile& profile : profiles) {
+        profile.mtbf = mtbf;
+        profile.mttr = mttr;
+    }
+    profiles.front().speed = straggler_speed;
+    return profiles;
+}
+
+std::vector<Reliability_setup> default_reliability_setups() {
+    using sim::Placement_kind;
+    using sim::Policy_kind;
+    constexpr Seconds never = std::numeric_limits<double>::infinity();
+    return {
+        // Healthy 2-GPU reference (identical to the sharded gpu2 cell).
+        Reliability_setup{"gpu2_any_healthy", 2, Placement_kind::any_free,
+                          Policy_kind::priority, 1.0, never, 10.0, 0.0, 0.0, 0},
+        // One 4x straggler: index-blind placement keeps feeding it labels.
+        Reliability_setup{"gpu2_any_straggler4x", 2, Placement_kind::any_free,
+                          Policy_kind::priority, 0.25, never, 10.0, 0.0, 0.0, 0},
+        // speed_aware sends work to the fast server first...
+        Reliability_setup{"gpu2_speed_straggler4x", 2, Placement_kind::speed_aware,
+                          Policy_kind::priority, 0.25, never, 10.0, 0.0, 0.0, 0},
+        // ...and re-queueing rescues labels the straggler still caught.
+        Reliability_setup{"gpu2_speed_straggler4x_rq2", 2, Placement_kind::speed_aware,
+                          Policy_kind::priority, 0.25, never, 10.0, 2.0, 0.0, 0},
+        // Failing fleet: every server cycles MTBF 60 s / MTTR 10 s.
+        Reliability_setup{"gpu2_speed_failures", 2, Placement_kind::speed_aware,
+                          Policy_kind::priority, 1.0, 60.0, 10.0, 0.0, 0.0, 0},
+        // A failing reserved label server must not deadlock labels.
+        Reliability_setup{"gpu2_partition1_failures", 2, Placement_kind::kind_partition,
+                          Policy_kind::priority, 1.0, 60.0, 10.0, 0.0, 0.0, 1},
+    };
+}
+
+sim::Cluster_result run_reliability_cell(const Testbed& testbed, std::size_t devices,
+                                         bool heterogeneous,
+                                         const Reliability_setup& setup,
+                                         std::uint64_t seed) {
+    Fleet fleet = make_policy_sweep_fleet(testbed, devices, heterogeneous);
+    sim::Cluster_config config;
+    config.harness.seed = seed ^ 0x8888;
+    config.cloud.gpu_count = setup.gpu_count;
+    config.cloud.placement = setup.placement;
+    config.cloud.policy = setup.policy;
+    config.cloud.preempt_label_wait = setup.preempt_label_wait;
+    config.cloud.label_reserved_gpus = setup.label_reserved_gpus;
+    config.cloud.gpu_profiles = make_straggler_profiles(
+        setup.gpu_count, setup.straggler_speed, setup.mtbf, setup.mttr);
+    config.cloud.reliability_seed = seed ^ 0xf417;
+    config.cloud.straggler_requeue_factor = setup.straggler_requeue_factor;
+    return sim::run_cluster(fleet.specs, config);
+}
+
 } // namespace shog::fleet

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -127,6 +128,52 @@ struct Sharding_setup {
                                                     std::size_t devices, bool heterogeneous,
                                                     const Sharding_setup& setup,
                                                     std::uint64_t seed);
+
+/// One cell of the cloud-reliability sweep: the sharded cloud with
+/// heterogeneous, unreliable servers. `straggler_speed` < 1 makes the
+/// lowest-index server a straggler (e.g. 0.25 = 4x slower; see
+/// make_straggler_profiles for why the slow shard gets the low index); a
+/// finite `mtbf` puts every server on an MTBF/MTTR failure/repair cycle.
+/// With the profile defaults (speed 1, MTBF = infinity, factor 0) a cell
+/// reproduces the corresponding Sharding_setup cell bit-identically.
+struct Reliability_setup {
+    const char* label;
+    std::size_t gpu_count = 2;
+    sim::Placement_kind placement = sim::Placement_kind::speed_aware;
+    sim::Policy_kind policy = sim::Policy_kind::priority;
+    /// Speed multiplier of server 0; the rest run at 1.0.
+    double straggler_speed = 1.0;
+    /// Applied to every server. Infinity = no failures.
+    Seconds mtbf = std::numeric_limits<double>::infinity();
+    Seconds mttr = 10.0;
+    double straggler_requeue_factor = 0.0; ///< Cloud_config knob; 0 = off
+    Seconds preempt_label_wait = 0.0;
+    std::size_t label_reserved_gpus = 0; ///< kind_partition only
+};
+
+/// Per-server profiles for a cloud whose *first* server is a straggler
+/// (speed `straggler_speed`) and whose every server fails at `mtbf`/`mttr`.
+/// The straggler sits at the lowest index — exactly where an index-ordered
+/// placement lands jobs first — so any_free pays the worst case while
+/// speed_aware routes around it.
+[[nodiscard]] std::vector<sim::Gpu_profile> make_straggler_profiles(
+    std::size_t gpu_count, double straggler_speed,
+    Seconds mtbf = std::numeric_limits<double>::infinity(), Seconds mttr = 10.0);
+
+/// The curated reliability comparison fleet_scaling prints: healthy
+/// reference, one 4x straggler under index-blind vs speed-aware placement
+/// (with and without straggler re-queueing), and failing fleets including
+/// the kind_partition reserved-server case.
+[[nodiscard]] std::vector<Reliability_setup> default_reliability_setups();
+
+/// Run one reliability cell on the same contended operating point (and
+/// seed) as run_sharding_cell; the failure process seeds off `seed` so
+/// cells replay bit-identically.
+[[nodiscard]] sim::Cluster_result run_reliability_cell(const Testbed& testbed,
+                                                       std::size_t devices,
+                                                       bool heterogeneous,
+                                                       const Reliability_setup& setup,
+                                                       std::uint64_t seed);
 
 /// The contended operating point the policy sweep runs on: a half-Shoggoth
 /// half-AMS fleet (fine-tune cadence halved so train jobs land within short

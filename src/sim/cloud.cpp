@@ -1,6 +1,7 @@
 #include "sim/cloud.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <utility>
 
@@ -8,12 +9,22 @@
 
 namespace shog::sim {
 
+namespace {
+
+/// Exponentially distributed delay with the given mean. uniform() is in
+/// [0, 1), so 1 - u is in (0, 1] and the log is finite.
+Seconds exponential_delay(Rng& rng, Seconds mean) {
+    return -mean * std::log(1.0 - rng.uniform());
+}
+
+} // namespace
+
 Cloud_runtime::Cloud_runtime(Event_queue& queue, Cloud_config config)
     : queue_{queue},
-      config_{config},
-      policy_{make_policy(config.policy)},
-      placement_{make_placement(config.placement, config.label_reserved_gpus)},
-      gpus_(config.gpu_count) {
+      config_{std::move(config)},
+      policy_{make_policy(config_.policy)},
+      placement_{make_placement(config_.placement, config_.label_reserved_gpus)},
+      gpus_(config_.gpu_count) {
     SHOG_REQUIRE(config_.gpu_count >= 1, "cloud needs at least one GPU");
     SHOG_REQUIRE(config_.max_batch >= 1, "max_batch must be >= 1");
     SHOG_REQUIRE(config_.batch_efficiency > 0.0 && config_.batch_efficiency <= 1.0,
@@ -25,6 +36,26 @@ Cloud_runtime::Cloud_runtime(Event_queue& queue, Cloud_config config)
                  "kind_partition must leave at least one unreserved GPU for train jobs");
     SHOG_REQUIRE(config_.preempt_label_wait >= 0.0,
                  "preempt_label_wait must be >= 0 (0 disables preemption)");
+    SHOG_REQUIRE(config_.gpu_profiles.empty() ||
+                     config_.gpu_profiles.size() == config_.gpu_count,
+                 "gpu_profiles must be empty or have one entry per GPU");
+    SHOG_REQUIRE(config_.straggler_requeue_factor == 0.0 ||
+                     config_.straggler_requeue_factor >= 1.0,
+                 "straggler_requeue_factor must be 0 (off) or >= 1");
+    // Per-server substreams from one base: adding servers or jobs never
+    // shifts another server's failure times.
+    Rng reliability_base{config_.reliability_seed};
+    failure_rngs_.reserve(gpus_.size());
+    for (std::size_t g = 0; g < gpus_.size(); ++g) {
+        const Gpu_profile& profile = profile_of(g);
+        SHOG_REQUIRE(profile.speed > 0.0, "Gpu_profile::speed must be > 0");
+        SHOG_REQUIRE(profile.mtbf > 0.0, "Gpu_profile::mtbf must be > 0 (inf = never)");
+        SHOG_REQUIRE(!std::isfinite(profile.mtbf) || profile.mttr > 0.0,
+                     "Gpu_profile::mttr must be > 0 when mtbf is finite");
+        gpus_[g].speed = profile.speed;
+        failure_rngs_.push_back(reliability_base.split(g));
+        schedule_failure(g);
+    }
 }
 
 void Cloud_runtime::ensure_device(std::size_t device_id) {
@@ -50,7 +81,7 @@ Sched_job Cloud_runtime::take_waiting(std::size_t index) {
 }
 
 void Cloud_runtime::submit(std::size_t device_id, Seconds service, Completion done,
-                           Cloud_job_kind kind, double drift_rate) {
+                           Cloud_job_kind kind, double drift_rate, Resume_replan replan) {
     SHOG_REQUIRE(service >= 0.0, "job service time must be >= 0");
     ensure_device(device_id);
     const std::uint64_t id = next_job_id_++;
@@ -62,6 +93,7 @@ void Cloud_runtime::submit(std::size_t device_id, Seconds service, Completion do
     job.kind = kind;
     job.id = id;
     job.drift_rate = drift_rate;
+    job.replan = std::move(replan);
     enqueue(std::move(job));
     dispatch();
     if (config_.preempt_label_wait > 0.0 && kind == Cloud_job_kind::label &&
@@ -82,9 +114,13 @@ void Cloud_runtime::account_direct(std::size_t device_id, Seconds gpu_seconds) {
 }
 
 void Cloud_runtime::dispatch() {
+    // Capacity just changed (a dispatch completed, a server was repaired, a
+    // checkpoint freed one): labels stuck past their straggler bound get
+    // first claim on any faster server that opened up.
+    requeue_overdue_stragglers();
     while (!waiting_.empty()) {
-        if (busy_gpu_count() == gpus_.size()) {
-            break; // every server busy: no placement or policy scan needed
+        if (available_gpu_count() == 0) {
+            break; // every server busy or failed: nothing can be placed
         }
         // Head job: the scheduling policy's pick (overdue labels first). If
         // the placement policy cannot put it on any free server — a train
@@ -173,6 +209,10 @@ void Cloud_runtime::dispatch() {
             active->service *= config_.affinity_warm_factor;
             ++warm_dispatches_;
         }
+        // Server speed: a straggler shard holds the dispatch (and bills its
+        // occupancy) for nominal / speed wall seconds. speed 1 divides
+        // exactly, so default profiles stay bit-identical.
+        active->service /= gpus_[where.gpu].speed;
         // Bill the dispatch total across members in proportion to raw
         // service, so which member arrived first cannot skew any device's
         // GPU-seconds ledger (the first-job full-price term — and the warm
@@ -195,6 +235,26 @@ void Cloud_runtime::dispatch() {
             Dispatch_interval{active->started, active->service, active->gpu});
         active_.push_back(active);
         queue_.schedule_in(active->service, [this, active] { complete(active); });
+        // Straggler bound: only a server too slow to finish this label
+        // dispatch within factor x nominal service is ever checked (on a
+        // speed-1 server the bound falls past completion and no event is
+        // scheduled, so healthy clouds pay nothing). A dispatch is checked
+        // while it carries at least one member that has never escaped a
+        // straggler — a batch that coalesced a requeued remainder with
+        // fresh labels must not strand the fresh ones — and never when all
+        // members are already requeued (see Sched_job::straggler_requeued
+        // for the termination argument).
+        if (config_.straggler_requeue_factor > 0.0 && !active->all_train) {
+            bool all_requeued = true;
+            for (const Sched_job& job : active->jobs) {
+                all_requeued = all_requeued && job.straggler_requeued;
+            }
+            const Seconds nominal = active->service * gpus_[active->gpu].speed;
+            const Seconds bound = config_.straggler_requeue_factor * nominal;
+            if (!all_requeued && nominal > 0.0 && bound < active->service) {
+                queue_.schedule_in(bound, [this, active] { straggler_check(active); });
+            }
+        }
         if (active->all_train && config_.preempt_label_wait > 0.0) {
             // Defensive backstop for the wait bound: if a train dispatch
             // ever starts while an overdue label is still queued, re-arm its
@@ -253,11 +313,14 @@ std::size_t Cloud_runtime::find_overdue() const {
     if (config_.preempt_label_wait == 0.0 || waiting_labels_ == 0) {
         return waiting_.size();
     }
-    // Labels are never re-enqueued (only preempted train remainders are),
-    // so among waiting labels queue position order == submission order and
-    // the *first* label is the oldest. If it is not clock-overdue, no label
-    // is — except a younger one whose bound timer ran earlier within this
-    // same instant and marked it (ulp corner); only then scan deeper.
+    // Among never-checkpointed labels queue position order == submission
+    // order, so the *first* label is the oldest of those; if it is not
+    // clock-overdue, none of them are. Labels CAN re-enter at the back with
+    // an older submission time (failure/straggler checkpoints re-queue
+    // them), but every such label is covered by the overdue_ids_ deep scan
+    // below: checkpoint() marks it synchronously when its bound already
+    // expired and re-arms its check timer otherwise (a younger label marked
+    // within this same instant — the ulp corner — is covered the same way).
     for (std::size_t i = 0; i < waiting_.size(); ++i) {
         if (waiting_[i].kind != Cloud_job_kind::label) {
             continue;
@@ -330,6 +393,11 @@ void Cloud_runtime::preempt_check(std::uint64_t job_id) {
 }
 
 void Cloud_runtime::preempt(const std::shared_ptr<Active_dispatch>& active) {
+    ++preemptions_;
+    checkpoint(active);
+}
+
+void Cloud_runtime::checkpoint(std::shared_ptr<Active_dispatch> active) {
     const Seconds elapsed = queue_.now() - active->started;
     const double frac_done = active->service > 0.0 ? elapsed / active->service : 1.0;
     // Refund the unexecuted share of each member's bill and truncate the
@@ -346,17 +414,164 @@ void Cloud_runtime::preempt(const std::shared_ptr<Active_dispatch>& active) {
     active->cancelled = true;
     active_.erase(std::find(active_.begin(), active_.end(), active));
     gpus_[active->gpu].busy = false;
-    ++preemptions_;
     // Checkpoint/resume: the unexecuted remainder goes back in the queue as
     // the same jobs with proportionally reduced service; `submitted` stays
     // at first submission so latency covers the interruption. The warm
-    // discount (if any) was baked into active->service, so frac_done prices
-    // the remainder consistently.
+    // discount and server speed (if any) were baked into active->service,
+    // so frac_done prices the raw remainder consistently on whichever
+    // server resumes it. A job with a resume planner may shrink its
+    // remainder further (an AMS fine-tune drops samples that went stale
+    // while checkpointed) — never grow it, so billing stays conservative.
     for (Sched_job& job : active->jobs) {
-        job.service *= 1.0 - frac_done;
+        Seconds remainder = job.service * (1.0 - frac_done);
+        if (job.replan) {
+            remainder = std::clamp(job.replan(remainder, queue_.now()), 0.0, remainder);
+        }
+        const bool is_label = job.kind == Cloud_job_kind::label;
+        const std::uint64_t id = job.id;
+        const Seconds submitted = job.submitted;
+        job.service = remainder;
         enqueue(std::move(job));
+        // Re-arm the wait bound for re-queued *labels* (failure and
+        // straggler checkpoints re-queue them; pre-reliability only train
+        // remainders were ever re-enqueued): the submit-time one-shot timer
+        // is long spent, so without this the bound would silently lapse —
+        // the exact bug class the overdue mark fixed for the waiting path.
+        // The bound still measures from first submission. A label already
+        // past it is marked overdue *synchronously*: the caller's very next
+        // dispatch() must see the override (find_overdue's deep scan keys
+        // off overdue_ids_), or a policy could hand the freed server to a
+        // train that the 0-delay check would then immediately preempt. The
+        // scheduled check still runs for the eviction itself.
+        if (is_label && config_.preempt_label_wait > 0.0) {
+            const Seconds expires = submitted + config_.preempt_label_wait;
+            if (queue_.now() >= expires) {
+                overdue_ids_.insert(id);
+            }
+            queue_.schedule_in(std::max(0.0, expires - queue_.now()),
+                               [this, id] { preempt_check(id); });
+        }
     }
     peak_depth_ = std::max(peak_depth_, waiting_.size());
+}
+
+void Cloud_runtime::schedule_failure(std::size_t g) {
+    const Gpu_profile& profile = profile_of(g);
+    if (!std::isfinite(profile.mtbf)) {
+        return; // never fails; draws nothing from its substream
+    }
+    queue_.schedule_in(exponential_delay(failure_rngs_[g], profile.mtbf),
+                       [this, g] { fail_server(g); });
+}
+
+void Cloud_runtime::fail_server(std::size_t g) {
+    gpus_[g].failed = true;
+    ++failures_;
+    if (gpus_[g].busy) {
+        // Checkpoint the in-flight dispatch exactly like a preemption: the
+        // executed share stays billed, the remainder re-queues at the
+        // original submission time. A dispatch completing at this very
+        // instant is left to its completion event (nothing to reclaim; the
+        // failed flag keeps the server unplaceable once busy clears).
+        for (std::size_t i = 0; i < active_.size(); ++i) {
+            if (active_[i]->gpu == g) {
+                if (active_[i]->started + active_[i]->service - queue_.now() > 0.0) {
+                    checkpoint(active_[i]);
+                }
+                break;
+            }
+        }
+    }
+    queue_.schedule_in(exponential_delay(failure_rngs_[g], profile_of(g).mttr),
+                       [this, g] { repair_server(g); });
+    // A checkpointed remainder (or queued work) may fit on another server.
+    dispatch();
+}
+
+void Cloud_runtime::repair_server(std::size_t g) {
+    gpus_[g].failed = false;
+    schedule_failure(g); // next failure clock starts at repair
+    dispatch();
+}
+
+bool Cloud_runtime::is_in_flight(const std::shared_ptr<Active_dispatch>& active) const {
+    return !active->cancelled &&
+           std::find(active_.begin(), active_.end(), active) != active_.end();
+}
+
+bool Cloud_runtime::faster_server_free(double speed) const {
+    for (const Gpu_state& gpu : gpus_) {
+        if (gpu.available() && gpu.speed > speed) {
+            return true;
+        }
+    }
+    return false;
+}
+
+void Cloud_runtime::straggler_check(const std::shared_ptr<Active_dispatch>& active) {
+    if (!is_in_flight(active)) {
+        return; // completed, or some other checkpoint already re-queued it
+    }
+    if (faster_server_free(gpus_[active->gpu].speed)) {
+        ++straggler_requeues_;
+        for (Sched_job& job : active->jobs) {
+            job.straggler_requeued = true;
+        }
+        checkpoint(active);
+        dispatch();
+        return;
+    }
+    // No faster server free right now. Mark the dispatch overdue instead of
+    // polling: dispatch() re-examines marked stragglers at every capacity
+    // change (completion, repair, checkpoint), which are exactly the
+    // instants a faster server can open up.
+    active->straggler_overdue = true;
+}
+
+void Cloud_runtime::requeue_overdue_stragglers() {
+    if (config_.straggler_requeue_factor <= 0.0 || active_.empty()) {
+        return;
+    }
+    // Collect first: checkpoint() erases from active_. Victims are examined
+    // in dispatch-start order, so the re-queue order is deterministic. Two
+    // guards keep a job's single straggler escape from being wasted: a
+    // dispatch completing at this very instant has nothing left to reclaim
+    // (its completion event fires later within this same tick — same
+    // remaining > 0 rule as preempt_check and fail_server), and each victim
+    // must be matched to its *own* strictly faster free server (greedy
+    // one-to-one reservation) — checkpointing two stragglers against one
+    // freed fast server would re-place the loser on a slow shard with its
+    // escape burned, the stuck-label outcome this machinery exists to
+    // prevent. (The dispatch loop below may still hand a reserved server to
+    // an older queued job — that job is starved too; capacity freed is
+    // capacity used.)
+    std::vector<bool> reserved(gpus_.size(), false);
+    std::vector<std::shared_ptr<Active_dispatch>> victims;
+    for (const auto& active : active_) {
+        if (!active->straggler_overdue ||
+            active->started + active->service - queue_.now() <= 0.0) {
+            continue;
+        }
+        std::size_t fastest = no_gpu;
+        for (std::size_t g = 0; g < gpus_.size(); ++g) {
+            if (gpus_[g].available() && !reserved[g] &&
+                gpus_[g].speed > gpus_[active->gpu].speed &&
+                (fastest == no_gpu || gpus_[g].speed > gpus_[fastest].speed)) {
+                fastest = g;
+            }
+        }
+        if (fastest != no_gpu) {
+            reserved[fastest] = true;
+            victims.push_back(active);
+        }
+    }
+    for (const auto& victim : victims) {
+        ++straggler_requeues_;
+        for (Sched_job& job : victim->jobs) {
+            job.straggler_requeued = true;
+        }
+        checkpoint(victim);
+    }
 }
 
 Seconds Cloud_runtime::device_gpu_seconds(std::size_t device_id) const {

@@ -20,16 +20,37 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <unordered_set>
 #include <vector>
 
 #include "common/event_queue.hpp"
+#include "common/rng.hpp"
 #include "common/units.hpp"
 #include "sim/placement.hpp"
 #include "sim/policy.hpp"
 
 namespace shog::sim {
+
+/// Reliability profile of one GPU server. The defaults (speed 1, MTBF =
+/// infinity) are an exact no-op: a cloud of default profiles is bit-identical
+/// to one with no profiles at all (no RNG draws, no failure events, service
+/// times untouched).
+struct Gpu_profile {
+    /// Service-speed multiplier: a dispatch of nominal service S occupies
+    /// this server for S / speed wall seconds (and bills that occupancy).
+    /// 1.0 is the reference server; 0.25 is a 4x straggler.
+    double speed = 1.0;
+    /// Mean time between failures (exponential). A failure checkpoints any
+    /// in-flight dispatch exactly like label-wait preemption — the executed
+    /// share stays billed, the remainder is re-queued at the original
+    /// submission time — and the server takes no work until repaired.
+    /// Infinity (the default) means the server never fails.
+    Seconds mtbf = std::numeric_limits<double>::infinity();
+    /// Mean time to repair (exponential); read only when mtbf is finite.
+    Seconds mttr = 20.0;
+};
 
 struct Cloud_config {
     /// Parallel GPU servers in the cloud.
@@ -71,11 +92,32 @@ struct Cloud_config {
     /// by an ulp at the timer's own firing time; the mark is immune). 0
     /// disables preemption.
     Seconds preempt_label_wait = 0.0;
+    /// Per-server reliability profiles. Empty (the default) means every
+    /// server runs the default profile; otherwise the size must equal
+    /// gpu_count.
+    std::vector<Gpu_profile> gpu_profiles;
+    /// Base seed of the per-server failure RNG substreams (server g draws
+    /// its failure/repair times from split(g), so fleets of any size replay
+    /// bit-identically and adding a server never shifts another's failures).
+    std::uint64_t reliability_seed = 0x7e11ab1e;
+    /// If >= 1: a *label* dispatch running on a straggling server past
+    /// `straggler_requeue_factor x` its nominal (speed-1) service is
+    /// checkpointed and re-queued as soon as a strictly faster server is
+    /// free — executed share billed, remainder re-queued at the original
+    /// submission time — so one slow shard cannot pin a label's latency when
+    /// healthy capacity opens up. Only dispatches whose server would hold
+    /// them past the bound (speed < 1 / factor) are ever checked, and a job
+    /// escapes at most once (Sched_job::straggler_requeued) — where the
+    /// remainder lands is still the placement policy's call. 0 disables
+    /// straggler re-queueing.
+    double straggler_requeue_factor = 0.0;
 };
 
 class Cloud_runtime {
 public:
     using Completion = std::function<void()>;
+    /// Resume planner: see Sched_job::replan.
+    using Resume_replan = std::function<Seconds(Seconds, Seconds)>;
 
     Cloud_runtime(Event_queue& queue, Cloud_config config = {});
 
@@ -83,9 +125,12 @@ public:
     /// fires on the shared clock once a server has executed the job (after
     /// any queueing delay behind other devices' jobs). `drift_rate` is the
     /// device's current model-drift estimate (|d alpha / dt|); the staleness
-    /// policy uses it to label the fastest-rotting device first.
+    /// policy uses it to label the fastest-rotting device first. `replan`,
+    /// if set, re-prices the job's remainder whenever a checkpoint re-queues
+    /// it (see Sched_job::replan).
     void submit(std::size_t device_id, Seconds service, Completion done,
-                Cloud_job_kind kind = Cloud_job_kind::label, double drift_rate = 0.0);
+                Cloud_job_kind kind = Cloud_job_kind::label, double drift_rate = 0.0,
+                Resume_replan replan = {});
 
     /// Account GPU time for analytically-modeled work that bypasses the
     /// queue (Cloud-Only's synchronous per-frame pipeline).
@@ -127,6 +172,21 @@ public:
     [[nodiscard]] std::size_t preemptions() const noexcept { return preemptions_; }
     /// Dispatches that started on a warm server (device_affinity hit).
     [[nodiscard]] std::size_t warm_dispatches() const noexcept { return warm_dispatches_; }
+    /// Server failure events (each checkpoints any in-flight dispatch).
+    [[nodiscard]] std::size_t failures() const noexcept { return failures_; }
+    /// Label dispatches checkpointed off a straggling server onto a faster
+    /// one (straggler_requeue_factor hits).
+    [[nodiscard]] std::size_t straggler_requeues() const noexcept {
+        return straggler_requeues_;
+    }
+    /// Servers currently down (failed, not yet repaired).
+    [[nodiscard]] std::size_t failed_gpu_count() const noexcept {
+        std::size_t failed = 0;
+        for (const Gpu_state& gpu : gpus_) {
+            failed += gpu.failed ? 1 : 0;
+        }
+        return failed;
+    }
 
     /// Completion - submission per finished job (wait + service), all kinds.
     [[nodiscard]] const std::vector<Seconds>& job_latencies() const noexcept {
@@ -158,6 +218,9 @@ private:
         std::size_t gpu = no_gpu; ///< server this dispatch occupies
         bool all_train = false;
         bool cancelled = false;
+        /// Label dispatch past its straggler bound with no faster server
+        /// free at check time; the next capacity change re-examines it.
+        bool straggler_overdue = false;
         std::size_t interval_index = 0; ///< into dispatches_, for truncation
     };
 
@@ -175,6 +238,35 @@ private:
     /// could refuse labels).
     void preempt_check(std::uint64_t job_id);
     void preempt(const std::shared_ptr<Active_dispatch>& active);
+    /// Shared checkpoint/resume core of preemption, server failure and
+    /// straggler re-queueing: refund the unexecuted share of the bill,
+    /// truncate the occupancy interval to what ran, cancel the completion
+    /// event, free the server and re-queue each member's remainder (replan
+    /// hook applied) at its original submission time. The caller bumps its
+    /// own counter. Takes the pointer *by value* on purpose: this function
+    /// erases from active_, so a caller-supplied reference into that vector
+    /// (e.g. `checkpoint(active_[i])`) would dangle onto the next element
+    /// mid-function — freeing the wrong server and re-queueing the wrong
+    /// jobs. The copy pins the dispatch for the whole call.
+    void checkpoint(std::shared_ptr<Active_dispatch> active);
+    /// Arm the failure timer of server `g` (no-op when its MTBF is
+    /// infinite). Failure and repair delays come from the server's own RNG
+    /// substream, so the process is independent of the job stream.
+    void schedule_failure(std::size_t g);
+    void fail_server(std::size_t g);
+    void repair_server(std::size_t g);
+    /// Fired `straggler_requeue_factor x nominal` after a label dispatch
+    /// started on a server too slow to finish it by then: checkpoint it onto
+    /// a strictly faster free server, or mark it for the next capacity
+    /// change (see requeue_overdue_stragglers).
+    void straggler_check(const std::shared_ptr<Active_dispatch>& active);
+    /// Re-queue marked straggler dispatches for which a strictly faster
+    /// server has become free. Runs at the top of dispatch(), i.e. at every
+    /// capacity change.
+    void requeue_overdue_stragglers();
+    [[nodiscard]] bool is_in_flight(const std::shared_ptr<Active_dispatch>& active) const;
+    /// A free, non-failed server strictly faster than `speed`.
+    [[nodiscard]] bool faster_server_free(double speed) const;
     [[nodiscard]] bool is_waiting(std::uint64_t job_id) const {
         return waiting_ids_.count(job_id) != 0;
     }
@@ -199,6 +291,17 @@ private:
         }
         return busy;
     }
+    [[nodiscard]] std::size_t available_gpu_count() const noexcept {
+        std::size_t available = 0;
+        for (const Gpu_state& gpu : gpus_) {
+            available += gpu.available() ? 1 : 0;
+        }
+        return available;
+    }
+    [[nodiscard]] const Gpu_profile& profile_of(std::size_t g) const noexcept {
+        static constexpr Gpu_profile default_profile{};
+        return g < config_.gpu_profiles.size() ? config_.gpu_profiles[g] : default_profile;
+    }
 
     Event_queue& queue_;
     Cloud_config config_;
@@ -214,9 +317,14 @@ private:
     std::unordered_set<std::uint64_t> overdue_ids_;
     std::vector<std::shared_ptr<Active_dispatch>> active_;
     std::vector<Gpu_state> gpus_;
+    /// Per-server failure RNG substreams (only servers with a finite MTBF
+    /// ever draw from theirs).
+    std::vector<Rng> failure_rngs_;
     std::size_t peak_depth_ = 0;
     std::size_t preemptions_ = 0;
     std::size_t warm_dispatches_ = 0;
+    std::size_t failures_ = 0;
+    std::size_t straggler_requeues_ = 0;
     std::uint64_t next_job_id_ = 0;
     std::uint64_t next_seq_ = 0;
     Seconds queued_busy_seconds_ = 0.0;

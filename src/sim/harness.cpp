@@ -173,6 +173,8 @@ Cluster_result run_cluster(const std::vector<Device_spec>& devices,
     cluster.peak_queue_depth = cloud.peak_queue_depth();
     cluster.preemptions = cloud.preemptions();
     cluster.warm_dispatches = cloud.warm_dispatches();
+    cluster.failures = cloud.failures();
+    cluster.straggler_requeues = cloud.straggler_requeues();
     return cluster;
 }
 

@@ -117,6 +117,12 @@ struct Cluster_result {
     std::size_t preemptions = 0;
     /// Dispatches that started on a warm server (device_affinity hits).
     std::size_t warm_dispatches = 0;
+    /// Cloud server failure events (each checkpoints in-flight work and
+    /// takes the server down until repair; see Gpu_profile).
+    std::size_t failures = 0;
+    /// Label dispatches checkpointed off a straggling server onto a faster
+    /// one (Cloud_config::straggler_requeue_factor hits).
+    std::size_t straggler_requeues = 0;
     /// Mean of the per-device headline mAPs.
     double fleet_map = 0.0;
 

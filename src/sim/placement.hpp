@@ -22,6 +22,17 @@
 //                        labeling path keeps a dedicated fast lane. Label
 //                        jobs may use any server (reserved ones are at the
 //                        low indices, so labels fill them first).
+//  - `speed_aware`     — labels take the fastest free server, trains the
+//                        slowest (heterogeneous clouds: a straggler shard
+//                        should soak latency-insensitive fine-tunes, not be
+//                        the server a label job lands on by index accident
+//                        — or the only idle one left because a train took
+//                        the fast shard). Among equal speeds the warm
+//                        server wins (affinity tie-break, with the same
+//                        warm-start discount), then the lowest index.
+//
+// Every policy skips *failed* servers (Gpu_state::failed — a server down
+// between its MTBF/MTTR events takes no dispatches until repaired).
 //
 // Placement is deterministic: equal GPU states always yield the same server.
 #pragma once
@@ -36,12 +47,12 @@ namespace shog::sim {
 
 enum class Cloud_job_kind;
 
-enum class Placement_kind { any_free, device_affinity, kind_partition };
+enum class Placement_kind { any_free, device_affinity, kind_partition, speed_aware };
 
 [[nodiscard]] const char* to_string(Placement_kind kind) noexcept;
 
-/// Inverse of to_string ("any_free", "device_affinity", "kind_partition");
-/// throws on unknown names (bench CLI input).
+/// Inverse of to_string ("any_free", "device_affinity", "kind_partition",
+/// "speed_aware"); throws on unknown names (bench CLI input).
 [[nodiscard]] Placement_kind placement_by_name(const char* name);
 
 /// No GPU available / no device resident.
@@ -51,10 +62,20 @@ inline constexpr std::size_t no_device = static_cast<std::size_t>(-1);
 /// One GPU server of the sharded cloud as the placement policy sees it.
 struct Gpu_state {
     bool busy = false;
+    /// Down between a failure event and its repair (Cloud_runtime drives the
+    /// MTBF/MTTR process). A failed server takes no dispatches.
+    bool failed = false;
+    /// Service-speed multiplier (Gpu_profile::speed): a dispatch of nominal
+    /// service S occupies this server for S / speed wall seconds. 1.0 is the
+    /// reference server; 0.25 is a 4x straggler.
+    double speed = 1.0;
     /// Device whose weights the server last loaded (set when a dispatch
     /// starts; survives completion and preemption). device_affinity treats a
     /// matching free server as warm.
     std::size_t resident_device = no_device;
+
+    /// Free to take a dispatch right now.
+    [[nodiscard]] bool available() const noexcept { return !busy && !failed; }
 };
 
 struct Placement_decision {

@@ -61,6 +61,23 @@ struct Sched_job {
     /// Cloud_runtime::submit); only the staleness policy reads it. 0 means
     /// "no signal" and falls back to the policy's drift floor.
     double drift_rate = 0.0;
+    /// Optional resume planner: when a checkpoint (preemption, server
+    /// failure, straggler re-queue) puts this job's remainder back in the
+    /// queue, the scheduler calls `replan(remainder, now)` and re-queues the
+    /// returned service instead — clamped to [0, remainder], so a planner
+    /// can only *shrink* the remaining work (an AMS fine-tune drops samples
+    /// that went stale while it sat checkpointed), never inflate the bill.
+    std::function<Seconds(Seconds, Seconds)> replan;
+    /// This job was already re-queued off a straggling server. A dispatch
+    /// whose members have all escaped once is never checked again: a
+    /// placement that puts the remainder straight back on the slow shard
+    /// (index-ordered ones do) would otherwise re-checkpoint it forever —
+    /// the remainder halves each round until the time increment underflows
+    /// and stops shrinking at all. A marked job can escape again only by
+    /// coalescing with a never-requeued label (the fresh member must not be
+    /// stranded), and every escape marks all members, so total re-queues
+    /// are bounded by the number of labels ever submitted.
+    bool straggler_requeued = false;
 };
 
 /// Queue-order comparison shared by the policies and the scheduler's

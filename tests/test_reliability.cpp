@@ -1,0 +1,515 @@
+// Tests for the cloud reliability layer: per-server Gpu_profile (straggler
+// speed multipliers, MTBF/MTTR failure processes off deterministic RNG
+// substreams), failure checkpointing of in-flight dispatches, failure-aware
+// placement (including the kind_partition all-reserved-failed fallback),
+// the speed_aware placement, straggler re-queueing of overdue labels, and
+// the preemption-aware resume planner (AMS-style stale-sample dropping).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "fleet/testbed.hpp"
+#include "sim/cloud.hpp"
+#include "sim/harness.hpp"
+#include "sim/placement.hpp"
+
+namespace shog::sim {
+namespace {
+
+constexpr Seconds never = std::numeric_limits<double>::infinity();
+
+// ---------------------------------------------------------------------------
+// Config surface.
+// ---------------------------------------------------------------------------
+
+TEST(Reliability, SpeedAwareNameRoundTrips) {
+    EXPECT_EQ(placement_by_name("speed_aware"), Placement_kind::speed_aware);
+    EXPECT_STREQ(make_placement(Placement_kind::speed_aware, 0)->name(), "speed_aware");
+}
+
+TEST(Reliability, ProfileValidation) {
+    Event_queue queue;
+    Cloud_config config;
+    config.gpu_count = 2;
+    config.gpu_profiles = {Gpu_profile{}}; // size mismatch
+    EXPECT_THROW((Cloud_runtime{queue, config}), std::invalid_argument);
+    config.gpu_profiles = {Gpu_profile{}, Gpu_profile{0.0, never, 10.0}}; // speed 0
+    EXPECT_THROW((Cloud_runtime{queue, config}), std::invalid_argument);
+    config.gpu_profiles = {Gpu_profile{}, Gpu_profile{1.0, 60.0, 0.0}}; // mttr 0
+    EXPECT_THROW((Cloud_runtime{queue, config}), std::invalid_argument);
+    config.gpu_profiles = {Gpu_profile{}, Gpu_profile{0.5, 60.0, 10.0}};
+    EXPECT_NO_THROW((Cloud_runtime{queue, config}));
+    config.straggler_requeue_factor = 0.5; // must be 0 or >= 1
+    EXPECT_THROW((Cloud_runtime{queue, config}), std::invalid_argument);
+    config.straggler_requeue_factor = 1.0;
+    EXPECT_NO_THROW((Cloud_runtime{queue, config}));
+}
+
+// ---------------------------------------------------------------------------
+// Straggler speed: wall time and billing scale together.
+// ---------------------------------------------------------------------------
+
+TEST(Reliability, StragglerSpeedScalesServiceAndBilling) {
+    Event_queue queue;
+    Cloud_config config;
+    config.gpu_profiles = {Gpu_profile{0.5, never, 10.0}}; // 2x slow
+    Cloud_runtime cloud{queue, config};
+    cloud.submit(0, 3.0, {});
+    (void)queue.run_until(60.0);
+    ASSERT_EQ(cloud.jobs_completed(), 1u);
+    // 3 s of nominal service occupy the half-speed server for 6 wall
+    // seconds, and the bill is the occupancy.
+    EXPECT_DOUBLE_EQ(cloud.job_latencies()[0], 6.0);
+    EXPECT_DOUBLE_EQ(cloud.device_gpu_seconds(0), 6.0);
+    EXPECT_DOUBLE_EQ(cloud.busy_seconds(), 6.0);
+}
+
+// ---------------------------------------------------------------------------
+// speed_aware placement.
+// ---------------------------------------------------------------------------
+
+TEST(Reliability, SpeedAwareRoutesLabelsFastAndTrainsSlow) {
+    Event_queue queue;
+    Cloud_config config;
+    config.gpu_count = 2;
+    config.placement = Placement_kind::speed_aware;
+    config.gpu_profiles = {Gpu_profile{0.25, never, 10.0}, Gpu_profile{}};
+    Cloud_runtime cloud{queue, config};
+    // Both servers free: the train must soak the straggler (server 0), the
+    // label must take the fast server (server 1).
+    cloud.submit(0, 4.0, {}, Cloud_job_kind::train);
+    cloud.submit(1, 1.0, {}, Cloud_job_kind::label);
+    (void)queue.run_until(100.0);
+    ASSERT_EQ(cloud.jobs_completed(), 2u);
+    const std::vector<Seconds> per_gpu = cloud.per_gpu_busy_within(100.0);
+    EXPECT_DOUBLE_EQ(per_gpu[0], 16.0); // train: 4 s nominal at speed 0.25
+    EXPECT_DOUBLE_EQ(per_gpu[1], 1.0);  // label: fast server, full speed
+}
+
+TEST(Reliability, SpeedAwareTieBreaksToTheWarmServer) {
+    Event_queue queue;
+    Cloud_config config;
+    config.gpu_count = 2;
+    config.placement = Placement_kind::speed_aware;
+    config.affinity_warm_factor = 0.8;
+    Cloud_runtime cloud{queue, config};
+    // Warm server 1 with device 7, then let both servers free up. Device
+    // 7's next label must return to server 1 (equal speeds, warm beats
+    // lower index) at the warm discount.
+    cloud.submit(3, 1.0, {});
+    cloud.submit(7, 1.0, {});
+    queue.schedule(5.0, [&] { cloud.submit(7, 1.0, {}); });
+    (void)queue.run_until(100.0);
+    ASSERT_EQ(cloud.jobs_completed(), 3u);
+    EXPECT_DOUBLE_EQ(cloud.job_latencies()[2], 0.8);
+    EXPECT_EQ(cloud.warm_dispatches(), 1u);
+    const std::vector<Seconds> per_gpu = cloud.per_gpu_busy_within(100.0);
+    EXPECT_DOUBLE_EQ(per_gpu[1], 1.8);
+}
+
+TEST(Reliability, AllPlacementsSkipFailedServers) {
+    // Pure placement units: a failed server is never picked even when idle.
+    std::vector<Gpu_state> gpus(2);
+    gpus[0].failed = true;
+    for (Placement_kind kind :
+         {Placement_kind::any_free, Placement_kind::device_affinity,
+          Placement_kind::kind_partition, Placement_kind::speed_aware}) {
+        const auto placement = make_placement(kind, 1);
+        for (Cloud_job_kind job_kind : {Cloud_job_kind::label, Cloud_job_kind::train}) {
+            EXPECT_EQ(placement->place(job_kind, 0, gpus).gpu, 1u) << placement->name();
+            EXPECT_EQ(placement->eligible_free(job_kind, gpus), 1u) << placement->name();
+        }
+    }
+    // device_affinity: a warm but failed server is not warm capacity.
+    gpus[0].resident_device = 4;
+    const auto affinity = make_placement(Placement_kind::device_affinity, 0);
+    const Placement_decision where = affinity->place(Cloud_job_kind::label, 4, gpus);
+    EXPECT_EQ(where.gpu, 1u);
+    EXPECT_FALSE(where.warm);
+}
+
+// ---------------------------------------------------------------------------
+// Failures: checkpoint/resume, billing conservation, determinism.
+// ---------------------------------------------------------------------------
+
+TEST(Reliability, FailureCheckpointsInFlightWorkAndConservesBilling) {
+    Event_queue queue;
+    Cloud_config config;
+    config.gpu_profiles = {Gpu_profile{1.0, 6.0, 2.0}}; // fails every ~6 s
+    Cloud_runtime cloud{queue, config};
+    Seconds done_at = -1.0;
+    const Seconds service = 30.0; // long enough to be interrupted
+    cloud.submit(0, service, [&] { done_at = queue.now(); });
+    (void)queue.run_until(2000.0);
+    ASSERT_EQ(cloud.jobs_completed(), 1u);
+    EXPECT_GE(cloud.failures(), 1u);
+    // Downtime stretches the latency past the service time...
+    EXPECT_GT(done_at, service);
+    // ...but the bill is conserved exactly: every checkpoint refunds the
+    // unexecuted share, every resume re-bills it, and the executed pieces
+    // sum back to the full service.
+    EXPECT_NEAR(cloud.device_gpu_seconds(0), service, 1e-9);
+    EXPECT_NEAR(cloud.busy_seconds(), service, 1e-9);
+    EXPECT_NEAR(cloud.busy_seconds_within(2000.0), service, 1e-9);
+}
+
+TEST(Reliability, FailureProcessIsDeterministicAcrossReruns) {
+    const auto run_script = [] {
+        Event_queue queue;
+        Cloud_config config;
+        config.gpu_count = 2;
+        config.placement = Placement_kind::speed_aware;
+        config.policy = Policy_kind::priority;
+        config.gpu_profiles = {Gpu_profile{0.5, 15.0, 3.0}, Gpu_profile{1.0, 25.0, 5.0}};
+        config.straggler_requeue_factor = 2.0;
+        config.preempt_label_wait = 2.0;
+        Cloud_runtime cloud{queue, config};
+        for (int i = 0; i < 12; ++i) {
+            queue.schedule(1.5 * i, [&cloud, i] {
+                cloud.submit(static_cast<std::size_t>(i % 4), 1.0,
+                             {}, Cloud_job_kind::label, 0.1 * i);
+                if (i % 3 == 0) {
+                    cloud.submit(static_cast<std::size_t>(i % 4), 6.0, {},
+                                 Cloud_job_kind::train);
+                }
+            });
+        }
+        (void)queue.run_until(400.0);
+        return std::tuple{cloud.job_latencies(), cloud.failures(),
+                          cloud.straggler_requeues(), cloud.busy_seconds()};
+    };
+    const auto a = run_script();
+    const auto b = run_script();
+    ASSERT_EQ(std::get<0>(a).size(), std::get<0>(b).size());
+    for (std::size_t i = 0; i < std::get<0>(a).size(); ++i) {
+        EXPECT_DOUBLE_EQ(std::get<0>(a)[i], std::get<0>(b)[i]) << "job " << i;
+    }
+    EXPECT_EQ(std::get<1>(a), std::get<1>(b));
+    EXPECT_EQ(std::get<2>(a), std::get<2>(b));
+    EXPECT_DOUBLE_EQ(std::get<3>(a), std::get<3>(b));
+    EXPECT_GE(std::get<1>(a), 1u); // the scenario actually exercises failures
+}
+
+TEST(Reliability, KindPartitionServesLabelsWhenEveryReservedServerFails) {
+    // The reserved label server goes down (and stays down); queued labels
+    // must fall through to the unreserved server instead of deadlocking on
+    // their dedicated lane.
+    Event_queue queue;
+    Cloud_config config;
+    config.gpu_count = 2;
+    config.placement = Placement_kind::kind_partition;
+    config.label_reserved_gpus = 1;
+    config.gpu_profiles = {Gpu_profile{1.0, 0.001, 1.0e9}, // fails instantly, stays down
+                           Gpu_profile{}};
+    Cloud_runtime cloud{queue, config};
+    std::size_t labels_done = 0;
+    queue.schedule(1.0, [&] {
+        cloud.submit(0, 5.0, {}, Cloud_job_kind::train);
+        cloud.submit(1, 1.0, [&] { ++labels_done; });
+        cloud.submit(2, 1.0, [&] { ++labels_done; });
+    });
+    (void)queue.run_until(100.0);
+    EXPECT_EQ(cloud.failures(), 1u);
+    EXPECT_EQ(labels_done, 2u); // served on the unreserved server
+    EXPECT_EQ(cloud.jobs_completed(), 3u);
+    const std::vector<Seconds> per_gpu = cloud.per_gpu_busy_within(100.0);
+    EXPECT_DOUBLE_EQ(per_gpu[0], 0.0); // the dead reserved server ran nothing
+}
+
+// ---------------------------------------------------------------------------
+// Straggler re-queueing.
+// ---------------------------------------------------------------------------
+
+TEST(Reliability, OverdueLabelMovesOffTheStragglerWhenAFasterServerFrees) {
+    Event_queue queue;
+    Cloud_config config;
+    config.gpu_count = 2;
+    config.placement = Placement_kind::speed_aware;
+    config.gpu_profiles = {Gpu_profile{}, Gpu_profile{0.25, never, 10.0}};
+    config.straggler_requeue_factor = 2.0;
+    Cloud_runtime cloud{queue, config};
+    Seconds slow_label_done = -1.0;
+    // Label A occupies the fast server until t=8; label B must settle for
+    // the straggler (nominal 3 s -> wall 12). Its bound fires at
+    // 0.1 + 2 x 3 = 6.1 with the fast server still busy, so it is marked;
+    // when A completes at t=8 the mark is honored: B checkpoints (7.9 of 12
+    // wall seconds executed -> remainder 3 x (1 - 7.9/12) nominal) and
+    // finishes on the fast server instead of grinding to t=12.1.
+    cloud.submit(0, 8.0, {});
+    queue.schedule(0.1, [&] {
+        cloud.submit(1, 3.0, [&] { slow_label_done = queue.now(); });
+    });
+    (void)queue.run_until(100.0);
+    ASSERT_EQ(cloud.jobs_completed(), 2u);
+    EXPECT_EQ(cloud.straggler_requeues(), 1u);
+    const Seconds remainder = 3.0 * (1.0 - 7.9 / 12.0);
+    EXPECT_NEAR(slow_label_done, 8.0 + remainder, 1e-9);
+    // Billing follows occupancy: 7.9 wall seconds on the straggler plus the
+    // remainder on the fast server.
+    EXPECT_NEAR(cloud.device_gpu_seconds(1), 7.9 + remainder, 1e-9);
+}
+
+TEST(Reliability, StragglerRequeueIsOffByDefaultAndBoundedToStragglers) {
+    // factor 0 disables the machinery entirely; with it on, a full-speed
+    // server never arms a check (the bound falls past completion).
+    Event_queue queue;
+    Cloud_config config;
+    config.gpu_count = 2;
+    config.placement = Placement_kind::speed_aware;
+    config.straggler_requeue_factor = 3.0;
+    Cloud_runtime cloud{queue, config};
+    cloud.submit(0, 2.0, {});
+    cloud.submit(1, 2.0, {});
+    (void)queue.run_until(50.0);
+    EXPECT_EQ(cloud.straggler_requeues(), 0u);
+    EXPECT_DOUBLE_EQ(cloud.job_latencies()[0], 2.0);
+    EXPECT_DOUBLE_EQ(cloud.job_latencies()[1], 2.0);
+}
+
+TEST(Reliability, RequeuedLabelKeepsItsPreemptionBound) {
+    // A failure checkpoints a running label back into the queue; its
+    // submit-time wait-bound timer is long spent. The re-queue must re-arm
+    // the bound, or the label sits out an entire fine-tune — the silent
+    // lapse the overdue machinery exists to prevent. Server 0 fails early
+    // (mean 0.5 s) and never repairs; server 1 is mid-way through a 2000 s
+    // train. Without the re-arm the label waits for the train's completion.
+    Event_queue queue;
+    Cloud_config config;
+    config.gpu_count = 2;
+    config.preempt_label_wait = 2.0;
+    config.gpu_profiles = {Gpu_profile{1.0, 0.5, 1.0e9}, Gpu_profile{}};
+    Cloud_runtime cloud{queue, config};
+    Seconds label_done = -1.0;
+    cloud.submit(0, 1000.0, [&] { label_done = queue.now(); }); // server 0
+    cloud.submit(1, 2000.0, {}, Cloud_job_kind::train);         // server 1
+    (void)queue.run_until(3000.0);
+    ASSERT_GE(cloud.failures(), 1u); // the label really was checkpointed
+    EXPECT_EQ(cloud.preemptions(), 1u);
+    ASSERT_GE(label_done, 0.0);
+    // The re-armed bound evicted the train within ~preempt_label_wait of
+    // the failure, so the label finishes around its service time — not
+    // after the train's 2000 s.
+    EXPECT_LT(label_done, 1100.0);
+}
+
+TEST(Reliability, OneFreedServerRescuesOneStragglerAtATime) {
+    // Two labels are stuck past their bound on two 4x stragglers when the
+    // single fast server frees. Only one may checkpoint against it — the
+    // other must keep its single escape for the *next* capacity change
+    // (burning both against one server would re-place the loser on a slow
+    // shard, permanently stuck). Here both escape in sequence: A rides the
+    // fast server first, B follows the moment A's remainder completes.
+    Event_queue queue;
+    Cloud_config config;
+    config.gpu_count = 3;
+    config.placement = Placement_kind::speed_aware;
+    config.gpu_profiles = {Gpu_profile{0.25, never, 10.0}, Gpu_profile{0.25, never, 10.0},
+                           Gpu_profile{}};
+    config.straggler_requeue_factor = 2.0;
+    Cloud_runtime cloud{queue, config};
+    Seconds a_done = -1.0;
+    Seconds b_done = -1.0;
+    cloud.submit(9, 8.0, {}); // fast server (gpu 2) busy until t=8
+    queue.schedule(0.1, [&] {
+        cloud.submit(0, 3.0, [&] { a_done = queue.now(); }); // gpu 0, wall 12
+    });
+    queue.schedule(0.2, [&] {
+        cloud.submit(1, 3.0, [&] { b_done = queue.now(); }); // gpu 1, wall 12
+    });
+    (void)queue.run_until(100.0);
+    ASSERT_EQ(cloud.jobs_completed(), 3u);
+    EXPECT_EQ(cloud.straggler_requeues(), 2u);
+    // A checkpoints at t=8 (7.9 of 12 wall executed) and finishes on the
+    // fast server; B checkpoints only when A's remainder completes.
+    const Seconds a_remainder = 3.0 * (1.0 - 7.9 / 12.0);
+    EXPECT_NEAR(a_done, 8.0 + a_remainder, 1e-9);
+    const Seconds b_elapsed = 8.0 + a_remainder - 0.2;
+    const Seconds b_remainder = 3.0 * (1.0 - b_elapsed / 12.0);
+    EXPECT_NEAR(b_done, 8.0 + a_remainder + b_remainder, 1e-9);
+    // Both beat grinding out the straggler walls (t=12.1 / t=12.2).
+    EXPECT_LT(b_done, 12.0);
+}
+
+TEST(Reliability, StragglerRequeueSkipsADispatchCompletingThisInstant) {
+    // Label A (fast server) and label B (straggler) both finish at t=2.
+    // B is marked straggler-overdue at t=1.5; A's completion at t=2 runs
+    // first and triggers the requeue scan while B has zero service left.
+    // Checkpointing B there would burn its single straggler escape (and a
+    // requeue counter) on a no-op — the remaining > 0 guard must skip it.
+    Event_queue queue;
+    Cloud_config config;
+    config.gpu_count = 2;
+    config.placement = Placement_kind::speed_aware;
+    config.gpu_profiles = {Gpu_profile{}, Gpu_profile{0.5, never, 10.0}};
+    config.straggler_requeue_factor = 1.5;
+    Cloud_runtime cloud{queue, config};
+    cloud.submit(0, 2.0, {}); // fastest first: server 0, done t=2
+    cloud.submit(1, 1.0, {}); // straggler: wall 2, bound at t=1.5, done t=2
+    (void)queue.run_until(50.0);
+    ASSERT_EQ(cloud.jobs_completed(), 2u);
+    EXPECT_EQ(cloud.straggler_requeues(), 0u);
+    EXPECT_DOUBLE_EQ(cloud.job_latencies()[0], 2.0);
+    EXPECT_DOUBLE_EQ(cloud.job_latencies()[1], 2.0);
+}
+
+TEST(Reliability, CoalescedFreshLabelIsNotStrandedByARequeuedBatchMate) {
+    // A once-requeued remainder can coalesce with a fresh label onto the
+    // straggler (last eligible free server). The batch must still arm a
+    // straggler check for the fresh member's sake — skipping it whenever
+    // any member was requeued would strand the fresh label on the slow
+    // shard with its escape unused.
+    Event_queue queue;
+    Cloud_config config;
+    config.gpu_count = 2;
+    config.placement = Placement_kind::speed_aware;
+    config.gpu_profiles = {Gpu_profile{0.25, never, 10.0}, Gpu_profile{}};
+    config.straggler_requeue_factor = 2.0;
+    config.max_batch = 2;
+    config.batch_efficiency = 1.0; // keep the service arithmetic exact
+    Cloud_runtime cloud{queue, config};
+    Seconds b_done = -1.0;
+    cloud.submit(9, 30.0, {}); // fast server busy until t=30
+    queue.schedule(0.1, [&] {
+        cloud.submit(0, 8.0, {}); // A -> straggler, wall 32; marked at t=16.1
+    });
+    queue.schedule(25.0, [&] { cloud.submit(8, 6.0, {}); });  // L1, queued
+    queue.schedule(26.0, [&] {
+        cloud.submit(1, 2.0, [&] { b_done = queue.now(); }); // B, queued
+    });
+    // t=30: A is rescued onto nothing yet — L1 takes the fast server, so
+    // B coalesces with A's remainder on the straggler (batch wall 10.1 s).
+    // The batch is marked at t=35.05 (fast busy); when L1 completes at
+    // t=36 the batch checkpoints and B finishes on the fast server.
+    (void)queue.run_until(200.0);
+    ASSERT_EQ(cloud.jobs_completed(), 4u);
+    EXPECT_EQ(cloud.straggler_requeues(), 2u); // A at t=30, the batch at t=36
+    const Seconds a_remainder = 8.0 * (1.0 - 29.9 / 32.0);      // 0.525
+    const Seconds batch_wall = (2.0 + a_remainder) / 0.25;      // 10.1
+    const Seconds b_remainder = 2.0 * (1.0 - 6.0 / batch_wall); // post-checkpoint
+    EXPECT_NEAR(b_done, 36.0 + b_remainder, 1e-9);
+    EXPECT_LT(b_done, 40.0); // not the batch's full straggler wall (t=40.1)
+}
+
+// ---------------------------------------------------------------------------
+// speed_aware vs any_free under one 4x straggler: the headline claim.
+// ---------------------------------------------------------------------------
+
+TEST(Reliability, SpeedAwareBeatsAnyFreeOnP95WithOne4xStraggler) {
+    // The full contended fleet (N=8 heterogeneous, half AMS) on 2 GPUs
+    // whose *first* server is a 4x straggler — the index any_free fills
+    // first. speed_aware keeps labels on the fast shard and parks
+    // fine-tunes on the slow one; at this operating point the p95 gap is
+    // wide (~29 s vs ~45 s at 90 s streams), not a knife edge, and the
+    // faster labeling loop also completes more label jobs.
+    const fleet::Testbed testbed = fleet::make_testbed("waymo", 8, 19, 90.0);
+    fleet::Reliability_setup any_free;
+    any_free.label = "any_free_straggler";
+    any_free.placement = Placement_kind::any_free;
+    any_free.straggler_speed = 0.25;
+    fleet::Reliability_setup speed_aware = any_free;
+    speed_aware.label = "speed_aware_straggler";
+    speed_aware.placement = Placement_kind::speed_aware;
+    const Cluster_result a =
+        fleet::run_reliability_cell(testbed, 8, /*heterogeneous=*/true, any_free, 19);
+    const Cluster_result s =
+        fleet::run_reliability_cell(testbed, 8, /*heterogeneous=*/true, speed_aware, 19);
+    EXPECT_LT(s.p95_label_latency, 0.75 * a.p95_label_latency);
+    EXPECT_GT(s.label_jobs, a.label_jobs);
+}
+
+// ---------------------------------------------------------------------------
+// Preemption-aware resume planning (the AMS satellite, at the scheduler).
+// ---------------------------------------------------------------------------
+
+TEST(Reliability, ReplanDropsStaleWorkUnderRepeatedPreemption) {
+    // An AMS-style fine-tune of 10 uniform-cost samples, all labeled at
+    // t=0 with a 4 s replay horizon. Labels force a preemption roughly
+    // every 2 s; once the clock passes t=4 the pending tail is stale and a
+    // re-planning job drops it instead of replaying it — fewer GPU seconds
+    // billed and an earlier completion than the replay-the-remainder run.
+    const auto run_session = [](bool replanning) {
+        Event_queue queue;
+        Cloud_config config;
+        config.preempt_label_wait = 1.0;
+        Cloud_runtime cloud{queue, config};
+        Seconds train_done = -1.0;
+        Cloud_runtime::Resume_replan replan;
+        if (replanning) {
+            replan = [sample_at = std::vector<Seconds>(10, 0.0), per_sample = 1.0,
+                      horizon = 4.0,
+                      begin = std::size_t{0}](Seconds remaining, Seconds now) mutable {
+                const std::size_t n = sample_at.size();
+                const std::size_t pending = std::min(
+                    n - begin,
+                    static_cast<std::size_t>(std::llround(remaining / per_sample)));
+                begin = n - pending;
+                while (begin < n && sample_at[begin] + horizon <= now) {
+                    ++begin;
+                }
+                return static_cast<double>(n - begin) * per_sample;
+            };
+        }
+        cloud.submit(0, 10.0, [&] { train_done = queue.now(); },
+                     Cloud_job_kind::train, 0.0, std::move(replan));
+        for (int i = 0; i < 4; ++i) {
+            queue.schedule(0.5 + 2.0 * i, [&cloud] {
+                cloud.submit(1, 0.2, {}, Cloud_job_kind::label);
+            });
+        }
+        (void)queue.run_until(200.0);
+        EXPECT_EQ(cloud.jobs_completed(), 5u);
+        return std::pair{cloud.device_gpu_seconds(0), train_done};
+    };
+    const auto [replay_gpu_s, replay_done] = run_session(false);
+    const auto [replan_gpu_s, replan_done] = run_session(true);
+    // Replaying the remainder grinds through the full 10 GPU seconds.
+    EXPECT_NEAR(replay_gpu_s, 10.0, 1e-9);
+    // Re-planning prices out the stale tail: strictly fewer GPU seconds and
+    // an earlier weight update.
+    EXPECT_LT(replan_gpu_s, replay_gpu_s - 2.0);
+    EXPECT_LT(replan_done, replay_done);
+    EXPECT_GE(replan_gpu_s, 1.0); // the executed shares stay billed
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identity: default profiles are a perfect no-op through the full stack.
+// ---------------------------------------------------------------------------
+
+TEST(Reliability, DefaultProfilesReproduceShardingCellBitIdentically) {
+    // run_reliability_cell always installs profiles, a reliability seed and
+    // the requeue knob; with the profile defaults (speed 1, MTBF infinity,
+    // factor 0) it must reproduce the PR 3 sharding path to the last bit —
+    // no RNG draw, no event, no service-time perturbation.
+    const fleet::Testbed testbed = fleet::make_testbed("ua_detrac", 4, 23, 40.0);
+    fleet::Sharding_setup sharding;
+    sharding.label = "gpu2_any_priority";
+    sharding.gpu_count = 2;
+    sharding.placement = Placement_kind::any_free;
+    sharding.policy = Policy_kind::priority;
+    fleet::Reliability_setup reliability;
+    reliability.label = "gpu2_any_healthy";
+    reliability.gpu_count = 2;
+    reliability.placement = Placement_kind::any_free;
+    reliability.policy = Policy_kind::priority;
+    const Cluster_result a =
+        fleet::run_sharding_cell(testbed, 4, /*heterogeneous=*/true, sharding, 23);
+    const Cluster_result b =
+        fleet::run_reliability_cell(testbed, 4, /*heterogeneous=*/true, reliability, 23);
+    ASSERT_EQ(a.devices.size(), b.devices.size());
+    for (std::size_t i = 0; i < a.devices.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a.devices[i].map, b.devices[i].map) << "device " << i;
+        EXPECT_DOUBLE_EQ(a.devices[i].up_kbps, b.devices[i].up_kbps);
+        EXPECT_DOUBLE_EQ(a.devices[i].cloud_gpu_seconds, b.devices[i].cloud_gpu_seconds);
+    }
+    EXPECT_DOUBLE_EQ(a.gpu_busy_seconds, b.gpu_busy_seconds);
+    EXPECT_DOUBLE_EQ(a.mean_label_latency, b.mean_label_latency);
+    EXPECT_DOUBLE_EQ(a.p95_label_latency, b.p95_label_latency);
+    EXPECT_EQ(a.cloud_jobs, b.cloud_jobs);
+    EXPECT_EQ(b.failures, 0u);
+    EXPECT_EQ(b.straggler_requeues, 0u);
+}
+
+} // namespace
+} // namespace shog::sim
