@@ -1,9 +1,17 @@
 // Fleet-scaling bench: one JSON line per run so future PRs can track the
 // devices-per-GPU scaling curve and the policy/latency knee over time.
 //
-//   ./bench_fleet [duration_seconds] [seed] [max_devices]
+//   ./bench_fleet [duration_seconds] [seed] [max_devices] [scale_max_devices] [workers]
+//                 [scale_stride]
 //
-// Four sections:
+// `workers` feeds sim::run_sweep: the parameter sweeps (sections 1-4) are
+// independent cells fanned across a worker pool, and because run_sweep
+// merges results in cell order the emitted JSON is byte-identical for any
+// worker count (workers=0 means one per hardware thread). The timed
+// sections (5 and 6) always run sequentially: wall-clock and peak-RSS
+// samples would be polluted by concurrent cells.
+//
+// Six sections:
 //  1. the homogeneous FIFO scaling sweep (strategy x fleet size), the PR 1
 //     curve:
 //       {"bench":"fleet","strategy":"Shoggoth","devices":4,...}
@@ -37,78 +45,181 @@
 //     is_waiting/overdue indexes (the pre-index scheduler was quadratic in
 //     queue depth: ~1.4 s for the fifo+preempt storm vs ~0.09 s now):
 //       {"bench":"fleet_sched_micro","policy":"fifo","preempt_s":2.0,...}
+//  6. the city-scale curve: wall-clock and peak RSS of one heterogeneous
+//     mixed-strategy run at N in {64, 256, 1000, 4000, 10000} (clamped to
+//     scale_max_devices), devices sharing a 64-camera pool. The eval
+//     stride grows with N — it strides the *measurement* of accuracy, not
+//     the simulated system, so it is quality-neutral per device and keeps
+//     10^4 devices in single-digit minutes. Rows run in ascending N
+//     because peak_rss_mb() is a process-wide high-water mark:
+//       {"bench":"fleet_scale","devices":1000,"eval_stride":27,
+//        "wall_ms":...,"peak_rss_mb":...,...}
 #include <chrono>
 #include <cmath>
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
 #include <string>
+#include <vector>
 
+#include "bench_util.hpp"
 #include "fleet/testbed.hpp"
+#include "sim/sweep.hpp"
 
 using namespace shog;
 
 namespace {
 
-void emit_scaling_json(const char* strategy, std::size_t devices,
-                       const sim::Cluster_result& r) {
+std::string formatf(const char* fmt, ...) {
+    va_list args;
+    va_start(args, fmt);
+    va_list probe;
+    va_copy(probe, args);
+    const int n = std::vsnprintf(nullptr, 0, fmt, probe);
+    va_end(probe);
+    std::string out(n > 0 ? static_cast<std::size_t>(n) : 0, '\0');
+    if (n > 0) {
+        std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+    }
+    va_end(args);
+    return out;
+}
+
+std::string format_scaling_json(const char* strategy, std::size_t devices,
+                                const sim::Cluster_result& r) {
     std::string maps;
     for (const sim::Run_result& d : r.devices) {
         if (!maps.empty()) {
             maps += ',';
         }
-        char buffer[32];
-        std::snprintf(buffer, sizeof buffer, "%.4f", d.map);
-        maps += buffer;
+        maps += formatf("%.4f", d.map);
     }
-    std::printf("{\"bench\":\"fleet\",\"strategy\":\"%s\",\"devices\":%zu,"
-                "\"gpu_utilization\":%.4f,\"gpu_seconds_per_device\":%.2f,"
-                "\"mean_label_latency_s\":%.3f,\"p95_label_latency_s\":%.3f,"
-                "\"mean_label_wait_s\":%.3f,\"cloud_jobs\":%zu,"
-                "\"fleet_map\":%.4f,\"map_per_device\":[%s]}\n",
-                strategy, devices, r.gpu_utilization, r.gpu_seconds_per_device(),
-                r.mean_label_latency, r.p95_label_latency, r.mean_label_wait, r.cloud_jobs,
-                r.fleet_map, maps.c_str());
+    return formatf("{\"bench\":\"fleet\",\"strategy\":\"%s\",\"devices\":%zu,"
+                   "\"gpu_utilization\":%.4f,\"gpu_seconds_per_device\":%.2f,"
+                   "\"mean_label_latency_s\":%.3f,\"p95_label_latency_s\":%.3f,"
+                   "\"mean_label_wait_s\":%.3f,\"cloud_jobs\":%zu,"
+                   "\"fleet_map\":%.4f,\"map_per_device\":[%s]}\n",
+                   strategy, devices, r.gpu_utilization, r.gpu_seconds_per_device(),
+                   r.mean_label_latency, r.p95_label_latency, r.mean_label_wait,
+                   r.cloud_jobs, r.fleet_map, maps.c_str());
 }
 
-void emit_policy_json(const char* policy, double preempt_s, const char* mix,
-                      const char* scenario, std::size_t shoggoth_devices,
-                      std::size_t ams_devices, const sim::Cluster_result& r) {
-    std::printf("{\"bench\":\"fleet_policy\",\"policy\":\"%s\",\"preempt_s\":%.1f,"
-                "\"mix\":\"%s\",\"scenario\":\"%s\",\"devices\":%zu,"
-                "\"shoggoth\":%zu,\"ams\":%zu,"
-                "\"gpu_utilization\":%.4f,\"mean_label_latency_s\":%.3f,"
-                "\"p95_label_latency_s\":%.3f,\"mean_label_wait_s\":%.3f,"
-                "\"cloud_jobs\":%zu,\"preemptions\":%zu,\"peak_queue_depth\":%zu,"
-                "\"fleet_map\":%.4f}\n",
-                policy, preempt_s, mix, scenario, shoggoth_devices + ams_devices,
-                shoggoth_devices, ams_devices, r.gpu_utilization, r.mean_label_latency,
-                r.p95_label_latency, r.mean_label_wait, r.cloud_jobs, r.preemptions,
-                r.peak_queue_depth, r.fleet_map);
+std::string format_policy_json(const char* policy, double preempt_s, const char* mix,
+                               const char* scenario, std::size_t shoggoth_devices,
+                               std::size_t ams_devices, const sim::Cluster_result& r) {
+    return formatf("{\"bench\":\"fleet_policy\",\"policy\":\"%s\",\"preempt_s\":%.1f,"
+                   "\"mix\":\"%s\",\"scenario\":\"%s\",\"devices\":%zu,"
+                   "\"shoggoth\":%zu,\"ams\":%zu,"
+                   "\"gpu_utilization\":%.4f,\"mean_label_latency_s\":%.3f,"
+                   "\"p95_label_latency_s\":%.3f,\"mean_label_wait_s\":%.3f,"
+                   "\"cloud_jobs\":%zu,\"preemptions\":%zu,\"peak_queue_depth\":%zu,"
+                   "\"fleet_map\":%.4f}\n",
+                   policy, preempt_s, mix, scenario, shoggoth_devices + ams_devices,
+                   shoggoth_devices, ams_devices, r.gpu_utilization, r.mean_label_latency,
+                   r.p95_label_latency, r.mean_label_wait, r.cloud_jobs, r.preemptions,
+                   r.peak_queue_depth, r.fleet_map);
 }
 
-void emit_sharding_json(const fleet::Sharding_setup& setup, std::size_t devices,
-                        const sim::Cluster_result& r) {
-    std::printf("{\"bench\":\"fleet_sharding\",\"cell\":\"%s\",\"gpus\":%zu,"
-                "\"placement\":\"%s\",\"policy\":\"%s\",\"preempt_s\":%.1f,"
-                "\"max_batch\":%zu,\"label_reserved_gpus\":%zu,\"devices\":%zu,"
-                "\"gpu_utilization\":%.4f,\"mean_label_latency_s\":%.3f,"
-                "\"p95_label_latency_s\":%.3f,\"label_jobs\":%zu,\"cloud_jobs\":%zu,"
-                "\"labels_per_s\":%.3f,\"preemptions\":%zu,\"warm_dispatches\":%zu,"
-                "\"peak_queue_depth\":%zu,\"fleet_map\":%.4f}\n",
-                setup.label, setup.gpu_count, to_string(setup.placement),
-                to_string(setup.policy), setup.preempt_label_wait, setup.max_batch,
-                setup.label_reserved_gpus, devices, r.gpu_utilization,
-                r.mean_label_latency, r.p95_label_latency, r.label_jobs, r.cloud_jobs,
-                r.duration > 0.0 ? static_cast<double>(r.label_jobs) / r.duration : 0.0,
-                r.preemptions, r.warm_dispatches, r.peak_queue_depth, r.fleet_map);
+std::string format_sharding_json(const fleet::Sharding_setup& setup, std::size_t devices,
+                                 const sim::Cluster_result& r) {
+    return formatf("{\"bench\":\"fleet_sharding\",\"cell\":\"%s\",\"gpus\":%zu,"
+                   "\"placement\":\"%s\",\"policy\":\"%s\",\"preempt_s\":%.1f,"
+                   "\"max_batch\":%zu,\"label_reserved_gpus\":%zu,\"devices\":%zu,"
+                   "\"gpu_utilization\":%.4f,\"mean_label_latency_s\":%.3f,"
+                   "\"p95_label_latency_s\":%.3f,\"label_jobs\":%zu,\"cloud_jobs\":%zu,"
+                   "\"labels_per_s\":%.3f,\"preemptions\":%zu,\"warm_dispatches\":%zu,"
+                   "\"peak_queue_depth\":%zu,\"fleet_map\":%.4f}\n",
+                   setup.label, setup.gpu_count, to_string(setup.placement),
+                   to_string(setup.policy), setup.preempt_label_wait, setup.max_batch,
+                   setup.label_reserved_gpus, devices, r.gpu_utilization,
+                   r.mean_label_latency, r.p95_label_latency, r.label_jobs, r.cloud_jobs,
+                   r.duration > 0.0 ? static_cast<double>(r.label_jobs) / r.duration : 0.0,
+                   r.preemptions, r.warm_dispatches, r.peak_queue_depth, r.fleet_map);
+}
+
+std::string format_reliability_json(const fleet::Reliability_setup& setup,
+                                    std::size_t devices, const sim::Cluster_result& r) {
+    return formatf("{\"bench\":\"fleet_reliability\",\"cell\":\"%s\",\"gpus\":%zu,"
+                   "\"placement\":\"%s\",\"policy\":\"%s\",\"straggler_speed\":%.2f,"
+                   "\"mtbf_s\":%.1f,\"mttr_s\":%.1f,\"requeue_factor\":%.1f,"
+                   "\"devices\":%zu,\"gpu_utilization\":%.4f,"
+                   "\"mean_label_latency_s\":%.3f,\"p95_label_latency_s\":%.3f,"
+                   "\"label_jobs\":%zu,\"failures\":%zu,\"straggler_requeues\":%zu,"
+                   "\"preemptions\":%zu,\"fleet_map\":%.4f}\n",
+                   setup.label, setup.gpu_count, to_string(setup.placement),
+                   to_string(setup.policy), setup.straggler_speed,
+                   std::isfinite(setup.mtbf) ? setup.mtbf : -1.0, setup.mttr,
+                   setup.straggler_requeue_factor, devices, r.gpu_utilization,
+                   r.mean_label_latency, r.p95_label_latency, r.label_jobs, r.failures,
+                   r.straggler_requeues, r.preemptions, r.fleet_map);
+}
+
+void print_merged(const std::vector<std::string>& lines) {
+    std::fputs(sim::merge_sweep_lines(lines).c_str(), stdout);
+    std::fflush(stdout);
+}
+
+void run_scaling_sweep(const fleet::Testbed& testbed, std::size_t max_devices,
+                       const sim::Cluster_config& config,
+                       const sim::Sweep_options& sweep) {
+    struct Cell {
+        const char* strategy;
+        std::size_t devices;
+    };
+    std::vector<Cell> cells;
+    for (std::size_t n = 1; n <= max_devices; n *= 2) {
+        cells.push_back(Cell{"Shoggoth", n});
+        cells.push_back(Cell{"AMS", n});
+    }
+    print_merged(sim::run_sweep(
+        cells.size(),
+        [&](std::size_t i) {
+            const Cell& cell = cells[i];
+            fleet::Fleet fleet =
+                std::string{cell.strategy} == "Shoggoth"
+                    ? fleet::make_shoggoth_fleet(testbed, cell.devices)
+                    : fleet::make_ams_fleet(testbed, cell.devices);
+            return format_scaling_json(cell.strategy, cell.devices,
+                                       sim::run_cluster(fleet.specs, config));
+        },
+        sweep));
+}
+
+void run_policy_sweep(const fleet::Testbed& testbed, const char* scenario,
+                      std::size_t devices, std::uint64_t seed,
+                      const sim::Sweep_options& sweep) {
+    const std::size_t ams_devices = devices / 2;
+    const std::size_t shoggoth_devices = devices - ams_devices;
+    struct Cell {
+        const char* mix;
+        fleet::Policy_setup setup;
+    };
+    std::vector<Cell> cells;
+    for (const char* mix : {"homogeneous", "heterogeneous"}) {
+        for (const fleet::Policy_setup& setup : fleet::default_policy_setups()) {
+            cells.push_back(Cell{mix, setup});
+        }
+    }
+    print_merged(sim::run_sweep(
+        cells.size(),
+        [&](std::size_t i) {
+            const Cell& cell = cells[i];
+            const bool heterogeneous = std::string{cell.mix} == "heterogeneous";
+            return format_policy_json(
+                cell.setup.label, cell.setup.preempt_label_wait, cell.mix, scenario,
+                shoggoth_devices, ams_devices,
+                fleet::run_policy_cell(testbed, devices, heterogeneous, cell.setup, seed));
+        },
+        sweep));
 }
 
 void run_sharding_sweep(const fleet::Testbed& testbed, std::size_t devices,
-                        std::uint64_t seed) {
+                        std::uint64_t seed, const sim::Sweep_options& sweep) {
     // Full cross of the sharding knobs: the knee is where adding GPUs or
     // batch depth stops buying p95 label latency. kind_partition needs a
     // server left for trains, so it only appears at gpu_count >= 2.
+    std::vector<fleet::Sharding_setup> cells;
     for (std::size_t gpus : {std::size_t{1}, std::size_t{2}}) {
         for (sim::Placement_kind placement :
              {sim::Placement_kind::any_free, sim::Placement_kind::device_affinity,
@@ -127,10 +238,7 @@ void run_sharding_sweep(const fleet::Testbed& testbed, std::size_t devices,
                     setup.max_batch = max_batch;
                     setup.label_reserved_gpus =
                         placement == sim::Placement_kind::kind_partition ? 1 : 0;
-                    emit_sharding_json(setup, devices,
-                                       fleet::run_sharding_cell(testbed, devices,
-                                                                /*heterogeneous=*/true,
-                                                                setup, seed));
+                    cells.push_back(setup);
                 }
             }
         }
@@ -142,37 +250,28 @@ void run_sharding_sweep(const fleet::Testbed& testbed, std::size_t devices,
         setup.gpu_count = gpus;
         setup.policy = sim::Policy_kind::fifo;
         setup.preempt_label_wait = 2.0;
-        emit_sharding_json(setup, devices,
-                           fleet::run_sharding_cell(testbed, devices,
-                                                    /*heterogeneous=*/true, setup, seed));
+        cells.push_back(setup);
     }
-}
-
-void emit_reliability_json(const fleet::Reliability_setup& setup, std::size_t devices,
-                           const sim::Cluster_result& r) {
-    std::printf("{\"bench\":\"fleet_reliability\",\"cell\":\"%s\",\"gpus\":%zu,"
-                "\"placement\":\"%s\",\"policy\":\"%s\",\"straggler_speed\":%.2f,"
-                "\"mtbf_s\":%.1f,\"mttr_s\":%.1f,\"requeue_factor\":%.1f,"
-                "\"devices\":%zu,\"gpu_utilization\":%.4f,"
-                "\"mean_label_latency_s\":%.3f,\"p95_label_latency_s\":%.3f,"
-                "\"label_jobs\":%zu,\"failures\":%zu,\"straggler_requeues\":%zu,"
-                "\"preemptions\":%zu,\"fleet_map\":%.4f}\n",
-                setup.label, setup.gpu_count, to_string(setup.placement),
-                to_string(setup.policy), setup.straggler_speed,
-                std::isfinite(setup.mtbf) ? setup.mtbf : -1.0, setup.mttr,
-                setup.straggler_requeue_factor, devices, r.gpu_utilization,
-                r.mean_label_latency, r.p95_label_latency, r.label_jobs, r.failures,
-                r.straggler_requeues, r.preemptions, r.fleet_map);
+    print_merged(sim::run_sweep(
+        cells.size(),
+        [&](std::size_t i) {
+            return format_sharding_json(cells[i], devices,
+                                        fleet::run_sharding_cell(testbed, devices,
+                                                                 /*heterogeneous=*/true,
+                                                                 cells[i], seed));
+        },
+        sweep));
 }
 
 void run_reliability_sweep(const fleet::Testbed& testbed, std::size_t devices,
-                           std::uint64_t seed) {
+                           std::uint64_t seed, const sim::Sweep_options& sweep) {
     // Straggler slowdown x failure rate x placement at the contended 2-GPU
     // share: does placement dodge the slow shard, and does label latency
     // survive servers flapping? The straggler re-queue bound only matters
     // when there is a straggler to escape, so factor 2 rows are emitted for
     // the slowed cells only.
     constexpr double never = std::numeric_limits<double>::infinity();
+    std::vector<fleet::Reliability_setup> cells;
     for (sim::Placement_kind placement :
          {sim::Placement_kind::any_free, sim::Placement_kind::speed_aware}) {
         for (double straggler_speed : {1.0, 0.25}) {
@@ -190,10 +289,7 @@ void run_reliability_sweep(const fleet::Testbed& testbed, std::size_t devices,
                     setup.mtbf = mtbf;
                     setup.mttr = 10.0;
                     setup.straggler_requeue_factor = requeue;
-                    emit_reliability_json(
-                        setup, devices,
-                        fleet::run_reliability_cell(testbed, devices,
-                                                    /*heterogeneous=*/true, setup, seed));
+                    cells.push_back(setup);
                 }
             }
         }
@@ -201,11 +297,17 @@ void run_reliability_sweep(const fleet::Testbed& testbed, std::size_t devices,
     // The curated cells fleet_scaling prints (incl. the failing
     // kind_partition reserved-server case).
     for (const fleet::Reliability_setup& setup : fleet::default_reliability_setups()) {
-        emit_reliability_json(setup, devices,
-                              fleet::run_reliability_cell(testbed, devices,
-                                                          /*heterogeneous=*/true, setup,
-                                                          seed));
+        cells.push_back(setup);
     }
+    print_merged(sim::run_sweep(
+        cells.size(),
+        [&](std::size_t i) {
+            return format_reliability_json(
+                cells[i], devices,
+                fleet::run_reliability_cell(testbed, devices, /*heterogeneous=*/true,
+                                            cells[i], seed));
+        },
+        sweep));
 }
 
 void run_sched_micro() {
@@ -250,18 +352,72 @@ void run_sched_micro() {
     }
 }
 
-void run_policy_sweep(const fleet::Testbed& testbed, const char* scenario,
-                      std::size_t devices, std::uint64_t seed) {
-    const std::size_t ams_devices = devices / 2;
-    const std::size_t shoggoth_devices = devices - ams_devices;
-    for (const char* mix : {"homogeneous", "heterogeneous"}) {
-        const bool heterogeneous = std::string{mix} == "heterogeneous";
-        for (const fleet::Policy_setup& setup : fleet::default_policy_setups()) {
-            emit_policy_json(setup.label, setup.preempt_label_wait, mix, scenario,
-                             shoggoth_devices, ams_devices,
-                             fleet::run_policy_cell(testbed, devices, heterogeneous,
-                                                    setup, seed));
+/// Accuracy-measurement stride for an N-device city-scale row. Striding the
+/// evaluator samples the same per-device quality signal more sparsely; it
+/// does not change what the simulated devices do, so it is the one knob
+/// that may grow with N without changing the system under test.
+std::size_t scale_eval_stride(std::size_t devices) {
+    // Grows with N so each row's accuracy-measurement cost stays bounded
+    // (eval inference dominates small-N wall time; by N=10^4 the simulated
+    // system itself is the bulk, so the top tier backs measurement off to
+    // a few samples per device — the fleet mean still pools 10^4 devices).
+    if (devices <= 64) {
+        return 9;
+    }
+    if (devices <= 256) {
+        return 27;
+    }
+    if (devices <= 1000) {
+        return 81;
+    }
+    if (devices <= 4000) {
+        return 243;
+    }
+    return 2187;
+}
+
+void run_fleet_scale(double duration, std::uint64_t seed, std::size_t scale_max_devices,
+                     std::size_t stride_override) {
+    // One shared 64-camera pool; devices wrap onto it (make_scale_fleet).
+    // Rows ascend in N: peak_rss_mb() is the process high-water mark, so
+    // each row's sample is dominated by its own footprint only when no
+    // larger row preceded it.
+    const std::size_t cameras = std::min<std::size_t>(scale_max_devices, 64);
+    const fleet::Testbed testbed = fleet::make_testbed("waymo", cameras, seed, duration);
+    for (std::size_t devices :
+         {std::size_t{64}, std::size_t{256}, std::size_t{1000}, std::size_t{4000},
+          std::size_t{10000}}) {
+        if (devices > scale_max_devices) {
+            break;
         }
+        const std::size_t gpus = std::max<std::size_t>(1, devices / 256);
+        sim::Cluster_config config;
+        config.harness.seed = seed ^ 0x8888;
+        config.harness.eval_stride =
+            stride_override > 0 ? stride_override : scale_eval_stride(devices);
+        config.cloud.gpu_count = gpus;
+        config.cloud.policy = sim::Policy_kind::priority;
+
+        const auto setup_start = std::chrono::steady_clock::now();
+        fleet::Fleet fleet =
+            fleet::make_scale_fleet(testbed, devices, /*heterogeneous=*/true);
+        const auto run_start = std::chrono::steady_clock::now();
+        const sim::Cluster_result r = sim::run_cluster(fleet.specs, config);
+        const auto run_stop = std::chrono::steady_clock::now();
+
+        std::printf(
+            "{\"bench\":\"fleet_scale\",\"devices\":%zu,\"cameras\":%zu,"
+            "\"duration_s\":%.1f,\"eval_stride\":%zu,\"gpus\":%zu,"
+            "\"setup_ms\":%.1f,\"wall_ms\":%.1f,\"peak_rss_mb\":%.1f,"
+            "\"gpu_utilization\":%.4f,\"cloud_jobs\":%zu,\"label_jobs\":%zu,"
+            "\"mean_label_latency_s\":%.3f,\"p95_label_latency_s\":%.3f,"
+            "\"peak_queue_depth\":%zu,\"fleet_map\":%.4f}\n",
+            devices, cameras, duration, config.harness.eval_stride, gpus,
+            std::chrono::duration<double, std::milli>(run_start - setup_start).count(),
+            std::chrono::duration<double, std::milli>(run_stop - run_start).count(),
+            benchutil::peak_rss_mb(), r.gpu_utilization, r.cloud_jobs, r.label_jobs,
+            r.mean_label_latency, r.p95_label_latency, r.peak_queue_depth, r.fleet_map);
+        std::fflush(stdout);
     }
 }
 
@@ -272,9 +428,17 @@ int main(int argc, char** argv) {
     const std::uint64_t seed = argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 19;
     const std::size_t max_devices =
         argc > 3 ? static_cast<std::size_t>(std::atoll(argv[3])) : 8;
+    const std::size_t scale_max_devices =
+        argc > 4 ? static_cast<std::size_t>(std::atoll(argv[4])) : 0;
+    sim::Sweep_options sweep;
+    sweep.workers = argc > 5 ? static_cast<std::size_t>(std::atoll(argv[5])) : 1;
+    const std::size_t scale_stride =
+        argc > 6 ? static_cast<std::size_t>(std::atoll(argv[6])) : 0;
     if (duration <= 0.0 || max_devices < 1) {
         std::fprintf(stderr,
-                     "usage: bench_fleet [duration_seconds>0] [seed] [max_devices>=1]\n");
+                     "usage: bench_fleet [duration_seconds>0] [seed] [max_devices>=1] "
+                     "[scale_max_devices] [workers (0=auto)] "
+                     "[scale_stride (0=per-N schedule)]\n");
         return 1;
     }
 
@@ -282,21 +446,19 @@ int main(int argc, char** argv) {
     sim::Cluster_config config;
     config.harness.seed = seed ^ 0x8888;
 
-    for (std::size_t n = 1; n <= max_devices; n *= 2) {
-        fleet::Fleet shoggoth = fleet::make_shoggoth_fleet(testbed, n);
-        emit_scaling_json("Shoggoth", n, sim::run_cluster(shoggoth.specs, config));
-        fleet::Fleet ams = fleet::make_ams_fleet(testbed, n);
-        emit_scaling_json("AMS", n, sim::run_cluster(ams.specs, config));
-    }
+    run_scaling_sweep(testbed, max_devices, config, sweep);
 
-    run_policy_sweep(testbed, "steady", max_devices, seed);
+    run_policy_sweep(testbed, "steady", max_devices, seed, sweep);
 
     const fleet::Testbed correlated =
         fleet::make_correlated_drift_testbed("waymo", max_devices, seed, duration);
-    run_policy_sweep(correlated, "correlated_drift", max_devices, seed);
+    run_policy_sweep(correlated, "correlated_drift", max_devices, seed, sweep);
 
-    run_sharding_sweep(testbed, max_devices, seed);
-    run_reliability_sweep(testbed, max_devices, seed);
+    run_sharding_sweep(testbed, max_devices, seed, sweep);
+    run_reliability_sweep(testbed, max_devices, seed, sweep);
     run_sched_micro();
+    if (scale_max_devices >= 64) {
+        run_fleet_scale(duration, seed, scale_max_devices, scale_stride);
+    }
     return 0;
 }

@@ -3,6 +3,7 @@
 // the sampling controller.
 #include <benchmark/benchmark.h>
 
+#include "common/event_queue.hpp"
 #include "core/adaptive_trainer.hpp"
 #include "core/controller.hpp"
 #include "core/replay_memory.hpp"
@@ -111,6 +112,38 @@ void BM_h264_batch(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_h264_batch);
+
+/// The event-engine hot loop at fleet-bench scale: schedule 1M uniformly
+/// distributed events, then drain them. Templated over the calendar queue
+/// (Event_queue) and the binary-heap reference (Heap_event_queue) so the
+/// two substrates stay directly comparable — the calendar's O(1) amortized
+/// schedule/step is the whole point of the city-scale engine.
+template <typename Queue>
+void BM_event_queue_burst(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        state.PauseTiming();
+        Rng rng{42};
+        std::vector<double> times(n);
+        for (auto& t : times) {
+            t = rng.uniform() * 600.0;
+        }
+        Queue queue;
+        std::size_t executed = 0;
+        state.ResumeTiming();
+        for (const double t : times) {
+            queue.schedule(t, [&executed] { ++executed; });
+        }
+        while (!queue.empty()) {
+            queue.step();
+        }
+        benchmark::DoNotOptimize(executed);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_event_queue_burst<Event_queue>)->Arg(100000)->Arg(1000000);
+BENCHMARK(BM_event_queue_burst<Heap_event_queue>)->Arg(100000)->Arg(1000000);
 
 void BM_map_evaluation(benchmark::State& state) {
     Rng rng{11};

@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include <sys/resource.h>
+
 #include "baselines/ams.hpp"
 #include "baselines/cloud_only.hpp"
 #include "baselines/edge_only.hpp"
@@ -19,6 +21,18 @@
 #include "video/presets.hpp"
 
 namespace shog::benchutil {
+
+/// Peak resident set size of this process in MiB (getrusage ru_maxrss,
+/// kilobytes on Linux). Process-wide high-water mark: it only ever grows,
+/// so benches sampling it per row must run rows in ascending memory order
+/// (the fleet_scale sweep runs N ascending for exactly this reason).
+inline double peak_rss_mb() {
+    rusage usage{};
+    if (getrusage(RUSAGE_SELF, &usage) != 0) {
+        return -1.0;
+    }
+    return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
 
 struct Testbed {
     video::Dataset_preset preset;

@@ -9,11 +9,6 @@ namespace shog::detect {
 
 namespace {
 
-struct Scored_hit {
-    double confidence;
-    bool true_positive;
-};
-
 /// Collect confidence-scored TP/FP flags for one class across frames,
 /// matching per frame (class-restricted).
 std::pair<std::vector<Scored_hit>, std::size_t> scored_hits(
@@ -45,9 +40,8 @@ std::pair<std::vector<Scored_hit>, std::size_t> scored_hits(
 
 } // namespace
 
-std::optional<double> average_precision(const std::vector<Frame_eval>& frames,
-                                        std::size_t class_id, double iou_threshold) {
-    auto [hits, total_gt] = scored_hits(frames, class_id, iou_threshold);
+std::optional<double> average_precision_from_hits(std::vector<Scored_hit> hits,
+                                                  std::size_t total_gt) {
     if (total_gt == 0) {
         return std::nullopt;
     }
@@ -80,6 +74,12 @@ std::optional<double> average_precision(const std::vector<Frame_eval>& frames,
         ap += (recall[i] - recall[i - 1]) * precision[i];
     }
     return ap;
+}
+
+std::optional<double> average_precision(const std::vector<Frame_eval>& frames,
+                                        std::size_t class_id, double iou_threshold) {
+    auto [hits, total_gt] = scored_hits(frames, class_id, iou_threshold);
+    return average_precision_from_hits(std::move(hits), total_gt);
 }
 
 double mean_average_precision(const std::vector<Frame_eval>& frames, std::size_t num_classes,
@@ -119,17 +119,85 @@ Stream_evaluator::Stream_evaluator(std::size_t num_classes, double iou_threshold
 }
 
 void Stream_evaluator::add_frame(double timestamp, Frame_eval frame) {
-    SHOG_REQUIRE(timestamps_.empty() || timestamp >= timestamps_.back(),
+    SHOG_REQUIRE(frames_.empty() || timestamp >= frames_.back().timestamp,
                  "frames must arrive in time order");
-    timestamps_.push_back(timestamp);
-    frames_.push_back(std::move(frame));
+
+    // Whole-frame matching (all classes together) feeds the running matched
+    // IoU totals in the same frame/detection order the batch
+    // mean_matched_iou() accumulates in, so the sums agree bit-for-bit.
+    const Match_result full_match =
+        match_detections(frame.detections, frame.ground_truth, iou_threshold_);
+    for (std::size_t i = 0; i < frame.detections.size(); ++i) {
+        if (full_match.detection_to_gt[i] != Match_result::npos) {
+            matched_iou_total_ += full_match.matched_iou[i];
+            ++matched_iou_count_;
+        }
+    }
+
+    // Class-restricted matching, recorded per class in detection order —
+    // exactly the hit sequence scored_hits() would produce for this frame.
+    Frame_record record;
+    record.timestamp = timestamp;
+    for (std::size_t c = 1; c <= num_classes_; ++c) {
+        std::vector<Detection> dets;
+        for (const Detection& d : frame.detections) {
+            if (d.class_id == c) {
+                dets.push_back(d);
+            }
+        }
+        std::vector<Ground_truth> gts;
+        for (const Ground_truth& g : frame.ground_truth) {
+            if (g.class_id == c) {
+                gts.push_back(g);
+            }
+        }
+        if (dets.empty() && gts.empty()) {
+            continue;
+        }
+        Class_record cls;
+        cls.class_id = static_cast<std::uint32_t>(c);
+        cls.gt_count = static_cast<std::uint32_t>(gts.size());
+        const Match_result match = match_detections(dets, gts, iou_threshold_);
+        cls.hits.reserve(dets.size());
+        for (std::size_t i = 0; i < dets.size(); ++i) {
+            cls.hits.push_back(
+                Scored_hit{dets[i].confidence, match.detection_to_gt[i] != Match_result::npos});
+        }
+        record.classes.push_back(std::move(cls));
+    }
+    frames_.push_back(std::move(record));
 }
 
-double Stream_evaluator::map() const {
-    return mean_average_precision(frames_, num_classes_, iou_threshold_);
+double Stream_evaluator::map_over(std::size_t begin, std::size_t end) const {
+    double total = 0.0;
+    std::size_t counted = 0;
+    for (std::size_t c = 1; c <= num_classes_; ++c) {
+        std::vector<Scored_hit> hits;
+        std::size_t total_gt = 0;
+        for (std::size_t f = begin; f < end; ++f) {
+            for (const Class_record& cls : frames_[f].classes) {
+                if (cls.class_id == c) {
+                    hits.insert(hits.end(), cls.hits.begin(), cls.hits.end());
+                    total_gt += cls.gt_count;
+                    break;
+                }
+            }
+        }
+        if (const auto ap = average_precision_from_hits(std::move(hits), total_gt)) {
+            total += *ap;
+            ++counted;
+        }
+    }
+    return counted > 0 ? total / static_cast<double>(counted) : 0.0;
 }
 
-double Stream_evaluator::average_iou() const { return mean_matched_iou(frames_, iou_threshold_); }
+double Stream_evaluator::map() const { return map_over(0, frames_.size()); }
+
+double Stream_evaluator::average_iou() const {
+    return matched_iou_count_ > 0
+               ? matched_iou_total_ / static_cast<double>(matched_iou_count_)
+               : 0.0;
+}
 
 std::vector<std::pair<double, double>> Stream_evaluator::windowed_map(
     double window_seconds) const {
@@ -138,20 +206,18 @@ std::vector<std::pair<double, double>> Stream_evaluator::windowed_map(
     if (frames_.empty()) {
         return out;
     }
-    const double start = timestamps_.front();
+    const double start = frames_.front().timestamp;
     std::size_t begin = 0;
     while (begin < frames_.size()) {
         const double window_start =
-            start + std::floor((timestamps_[begin] - start) / window_seconds) * window_seconds;
+            start +
+            std::floor((frames_[begin].timestamp - start) / window_seconds) * window_seconds;
         const double window_end = window_start + window_seconds;
         std::size_t end = begin;
-        std::vector<Frame_eval> window_frames;
-        while (end < frames_.size() && timestamps_[end] < window_end) {
-            window_frames.push_back(frames_[end]);
+        while (end < frames_.size() && frames_[end].timestamp < window_end) {
             ++end;
         }
-        out.emplace_back(window_start,
-                         mean_average_precision(window_frames, num_classes_, iou_threshold_));
+        out.emplace_back(window_start, map_over(begin, end));
         begin = end;
     }
     return out;

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -17,12 +18,26 @@ struct Frame_eval {
     std::vector<Ground_truth> ground_truth;
 };
 
+/// One class-restricted detection outcome: its confidence and whether the
+/// per-frame greedy matching paired it with a ground-truth box.
+struct Scored_hit {
+    double confidence;
+    bool true_positive;
+};
+
 /// Average precision for one class over a set of frames, using greedy
 /// per-frame matching at `iou_threshold` and all-point interpolation of the
 /// precision envelope. Returns nullopt when the class has no ground truth.
 [[nodiscard]] std::optional<double> average_precision(const std::vector<Frame_eval>& frames,
                                                       std::size_t class_id,
                                                       double iou_threshold);
+
+/// All-point-interpolated AP from pre-matched hits (sorted internally by
+/// descending confidence). The shared core of average_precision() and the
+/// incremental Stream_evaluator: both feed it the same hit sequence, so the
+/// two paths agree bit-for-bit. Returns nullopt when total_gt is zero.
+[[nodiscard]] std::optional<double> average_precision_from_hits(std::vector<Scored_hit> hits,
+                                                                std::size_t total_gt);
 
 /// Mean AP over all classes that appear in the ground truth.
 [[nodiscard]] double mean_average_precision(const std::vector<Frame_eval>& frames,
@@ -33,6 +48,15 @@ struct Frame_eval {
                                       double iou_threshold);
 
 /// Accumulates frames over time and reports stream-level and windowed scores.
+///
+/// Matching happens once, at add_frame() time (greedy matching is
+/// frame-local, so deferring it buys nothing); only compact per-class
+/// (confidence, matched) records and running IoU totals are retained.
+/// Queries replay the identical hit sequences through the identical AP
+/// code, so every reported number is bit-for-bit the value the original
+/// store-all-frames evaluator computed — pinned by the metrics tests —
+/// while memory stays O(detections) instead of O(frames x boxes) and
+/// end-of-run queries do no box matching at all.
 class Stream_evaluator {
 public:
     Stream_evaluator(std::size_t num_classes, double iou_threshold);
@@ -55,10 +79,29 @@ public:
     [[nodiscard]] double iou_threshold() const noexcept { return iou_threshold_; }
 
 private:
+    /// Match outcome of one class within one frame.
+    struct Class_record {
+        std::uint32_t class_id = 0;
+        std::uint32_t gt_count = 0;
+        std::vector<Scored_hit> hits; ///< in detection order
+    };
+    /// Compact residue of one evaluated frame.
+    struct Frame_record {
+        double timestamp = 0.0;
+        std::vector<Class_record> classes; ///< ascending class_id; only
+                                           ///< classes with a det or a gt
+    };
+
+    /// mAP over frames_[begin, end): concatenates each class's per-frame hit
+    /// sequences (frame order, detection order — the order the reference
+    /// scored_hits() produces) and runs the shared AP core.
+    [[nodiscard]] double map_over(std::size_t begin, std::size_t end) const;
+
     std::size_t num_classes_;
     double iou_threshold_;
-    std::vector<double> timestamps_;
-    std::vector<Frame_eval> frames_;
+    std::vector<Frame_record> frames_;
+    double matched_iou_total_ = 0.0;
+    std::size_t matched_iou_count_ = 0;
 };
 
 } // namespace shog::detect

@@ -82,52 +82,60 @@ namespace {
 
 /// `factory(student, device_index)` builds one device's strategy around its
 /// cloned student (the index lets heterogeneous fleets pick per-device
-/// hardware at construction time).
+/// hardware at construction time). With `wrap_cameras`, device i watches
+/// stream i mod cameras — the city-scale fleets reuse a camera pool far
+/// smaller than the fleet so stream construction stays O(cameras), not
+/// O(devices); without it, oversubscribing the testbed is an error.
 template <typename Factory>
 void grow_fleet(Fleet& fleet, const Testbed& testbed, std::size_t devices,
-                Factory&& factory) {
+                Factory&& factory, bool wrap_cameras = false) {
     for (std::size_t i = 0; i < devices; ++i) {
-        const std::size_t camera = fleet.specs.size();
+        const std::size_t device = fleet.specs.size();
+        const std::size_t camera =
+            wrap_cameras ? device % testbed.streams.size() : device;
         SHOG_REQUIRE(camera < testbed.streams.size(),
                      "fleet size must fit the testbed's cameras");
         fleet.students.push_back(testbed.pristine->clone());
-        fleet.strategies.push_back(factory(*fleet.students.back(), camera));
+        // The factory keys off the device position (not the camera) so the
+        // per-device edge-class cycle stays aligned with
+        // assign_heterogeneous_hardware even when cameras wrap.
+        fleet.strategies.push_back(factory(*fleet.students.back(), device));
         fleet.specs.push_back(sim::Device_spec{fleet.strategies.back().get(),
                                                testbed.streams[camera].get(),
                                                {}});
     }
 }
 
-template <typename Factory>
-Fleet build_fleet(const Testbed& testbed, std::size_t devices, Factory&& factory) {
-    SHOG_REQUIRE(devices >= 1, "fleet needs at least one device");
+/// Start a fleet with its own teacher copy (see the Fleet doc: parallel
+/// sweep cells must not share the testbed's mutable teacher).
+Fleet seed_fleet(const Testbed& testbed) {
     Fleet fleet;
-    grow_fleet(fleet, testbed, devices, std::forward<Factory>(factory));
+    fleet.teacher = testbed.teacher->clone();
     return fleet;
 }
 
-auto shoggoth_factory(const Testbed& testbed, core::Shoggoth_config config,
+auto shoggoth_factory(models::Detector& teacher, core::Shoggoth_config config,
                       device::Compute_model cloud_device,
                       std::vector<Edge_class> classes = {}) {
     // With edge classes, device i trains on its own accelerator (the trainer
     // prices session wall time from it); without, every device is a TX2.
-    return [&testbed, config = std::move(config), cloud_device = std::move(cloud_device),
+    return [&teacher, config = std::move(config), cloud_device = std::move(cloud_device),
             classes = std::move(classes)](models::Detector& student, std::size_t i) {
         const device::Compute_model edge =
             classes.empty() ? device::jetson_tx2() : classes[i % classes.size()].device;
         return std::make_unique<core::Shoggoth_strategy>(
-            student, *testbed.teacher, config, models::Deployed_profile::yolov4_resnet18(),
+            student, teacher, config, models::Deployed_profile::yolov4_resnet18(),
             edge, cloud_device);
     };
 }
 
-auto ams_factory(const Testbed& testbed, baselines::Ams_config config,
+auto ams_factory(models::Detector& teacher, baselines::Ams_config config,
                  device::Compute_model cloud_device) {
-    return [&testbed, config = std::move(config),
+    return [&teacher, config = std::move(config),
             cloud_device = std::move(cloud_device)](models::Detector& student,
                                                     std::size_t) {
         return std::make_unique<baselines::Ams_strategy>(
-            student, *testbed.teacher, config,
+            student, teacher, config,
             models::Deployed_profile::yolov4_resnet18(), cloud_device);
     };
 }
@@ -137,14 +145,20 @@ auto ams_factory(const Testbed& testbed, baselines::Ams_config config,
 Fleet make_shoggoth_fleet(const Testbed& testbed, std::size_t devices,
                           core::Shoggoth_config config,
                           device::Compute_model cloud_device) {
-    return build_fleet(testbed, devices,
-                       shoggoth_factory(testbed, std::move(config), std::move(cloud_device)));
+    SHOG_REQUIRE(devices >= 1, "fleet needs at least one device");
+    Fleet fleet = seed_fleet(testbed);
+    grow_fleet(fleet, testbed, devices,
+               shoggoth_factory(*fleet.teacher, std::move(config), std::move(cloud_device)));
+    return fleet;
 }
 
 Fleet make_ams_fleet(const Testbed& testbed, std::size_t devices, baselines::Ams_config config,
                      device::Compute_model cloud_device) {
-    return build_fleet(testbed, devices,
-                       ams_factory(testbed, std::move(config), std::move(cloud_device)));
+    SHOG_REQUIRE(devices >= 1, "fleet needs at least one device");
+    Fleet fleet = seed_fleet(testbed);
+    grow_fleet(fleet, testbed, devices,
+               ams_factory(*fleet.teacher, std::move(config), std::move(cloud_device)));
+    return fleet;
 }
 
 Fleet make_mixed_fleet(const Testbed& testbed, std::size_t shoggoth_devices,
@@ -152,11 +166,11 @@ Fleet make_mixed_fleet(const Testbed& testbed, std::size_t shoggoth_devices,
                        baselines::Ams_config ams_config,
                        device::Compute_model cloud_device) {
     SHOG_REQUIRE(shoggoth_devices + ams_devices >= 1, "fleet needs at least one device");
-    Fleet fleet;
+    Fleet fleet = seed_fleet(testbed);
     grow_fleet(fleet, testbed, shoggoth_devices,
-               shoggoth_factory(testbed, std::move(shoggoth_config), cloud_device));
+               shoggoth_factory(*fleet.teacher, std::move(shoggoth_config), cloud_device));
     grow_fleet(fleet, testbed, ams_devices,
-               ams_factory(testbed, std::move(ams_config), std::move(cloud_device)));
+               ams_factory(*fleet.teacher, std::move(ams_config), std::move(cloud_device)));
     return fleet;
 }
 
@@ -182,12 +196,41 @@ Fleet make_policy_sweep_fleet(const Testbed& testbed, std::size_t devices,
     // cadence can push the first fine-tune past the end of the stream).
     baselines::Ams_config ams_config;
     ams_config.frames_per_session = 30;
-    Fleet fleet;
+    Fleet fleet = seed_fleet(testbed);
     grow_fleet(fleet, testbed, shoggoth_devices,
-               shoggoth_factory(testbed, {}, cloud_share,
+               shoggoth_factory(*fleet.teacher, {}, cloud_share,
                                 heterogeneous ? default_edge_classes()
                                               : std::vector<Edge_class>{}));
-    grow_fleet(fleet, testbed, ams_devices, ams_factory(testbed, ams_config, cloud_share));
+    grow_fleet(fleet, testbed, ams_devices,
+               ams_factory(*fleet.teacher, ams_config, cloud_share));
+    if (heterogeneous) {
+        assign_heterogeneous_hardware(fleet);
+    }
+    return fleet;
+}
+
+Fleet make_scale_fleet(const Testbed& testbed, std::size_t devices, bool heterogeneous) {
+    SHOG_REQUIRE(devices >= 1, "fleet needs at least one device");
+    // Same contended operating point as make_policy_sweep_fleet (mixed
+    // Shoggoth/AMS on the scaled-down cloud share), but device i watches
+    // stream i mod cameras: the testbed's camera pool is reused so a
+    // 10^4-device fleet does not need 10^4 track populations. Devices
+    // sharing a camera still diverge — distinct harness RNG substreams,
+    // distinct edge classes, distinct cloud contention histories.
+    const device::Compute_model cloud_share{"v100_share", 1.5};
+    baselines::Ams_config ams_config;
+    ams_config.frames_per_session = 30;
+    const std::size_t ams_devices = devices / 2;
+    const std::size_t shoggoth_devices = devices - ams_devices;
+    Fleet fleet = seed_fleet(testbed);
+    grow_fleet(fleet, testbed, shoggoth_devices,
+               shoggoth_factory(*fleet.teacher, {}, cloud_share,
+                                heterogeneous ? default_edge_classes()
+                                              : std::vector<Edge_class>{}),
+               /*wrap_cameras=*/true);
+    grow_fleet(fleet, testbed, ams_devices,
+               ams_factory(*fleet.teacher, ams_config, cloud_share),
+               /*wrap_cameras=*/true);
     if (heterogeneous) {
         assign_heterogeneous_hardware(fleet);
     }

@@ -58,7 +58,15 @@ struct Edge_class {
 
 /// One runnable fleet: owns the per-device students and strategies backing
 /// `specs`. Keep it alive across run_cluster.
+///
+/// The fleet also owns a deep copy of the testbed's teacher: detect() runs
+/// through mutable network state, so sweep cells sharing one teacher would
+/// race when sim::run_sweep runs them on parallel workers. Teacher
+/// detections are a pure function of weights and frame (the per-frame RNG
+/// reseeds from the detector config), so the clone is output-identical to
+/// sharing — cells stay bit-identical to the sequential path.
 struct Fleet {
+    std::unique_ptr<models::Detector> teacher;
     std::vector<std::unique_ptr<models::Detector>> students;
     std::vector<std::unique_ptr<sim::Strategy>> strategies;
     std::vector<sim::Device_spec> specs;
@@ -181,6 +189,15 @@ struct Reliability_setup {
 /// where dispatch order decides whether labeling starves behind training.
 [[nodiscard]] Fleet make_policy_sweep_fleet(const Testbed& testbed, std::size_t devices,
                                             bool heterogeneous);
+
+/// City-scale variant of make_policy_sweep_fleet: `devices` may exceed the
+/// testbed's camera count — device i watches stream i mod cameras, so the
+/// expensive per-camera track populations are built once and shared while
+/// every device keeps its own student, strategy state, RNG substream and
+/// (optionally heterogeneous) hardware. Used by the fleet_scale bench to
+/// push N to 10^4 without 10^4 stream constructions.
+[[nodiscard]] Fleet make_scale_fleet(const Testbed& testbed, std::size_t devices,
+                                     bool heterogeneous);
 
 /// Run one sweep cell: the sweep fleet under `setup`, seeded like the
 /// scaling runs (bench_fleet and fleet_scaling share this so their numbers

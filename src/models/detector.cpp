@@ -51,9 +51,12 @@ Detector_net::Output Detector_net::infer(const Tensor& features) {
     SHOG_REQUIRE(features.rank() == 2 && features.cols() == feature_dim_,
                  "feature batch width mismatch");
     Output out;
-    const Tensor trunk_out = trunk_->forward(features, /*training=*/false);
-    out.class_probs = nn::softmax(class_head_->forward(trunk_out, false));
-    out.box_offsets = box_head_->forward(trunk_out, false);
+    // Cache-free inference path (bit-identical to forward(..., false)); the
+    // eval stride drives this for every device, so the backward caches that
+    // forward() keeps alive would be pure overhead at fleet scale.
+    const Tensor trunk_out = trunk_->infer(features);
+    out.class_probs = nn::softmax(class_head_->infer(trunk_out));
+    out.box_offsets = box_head_->infer(trunk_out);
     out.box_offsets *= max_offset_scale_;
     return out;
 }

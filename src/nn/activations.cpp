@@ -19,6 +19,17 @@ Tensor Relu::forward(const Tensor& input, bool /*training*/) {
     return out;
 }
 
+Tensor Relu::infer(const Tensor& input) {
+    width_ = input.rank() == 2 ? input.cols() : input.size();
+    Tensor out = input;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        if (!(out.at(i) > 0.0)) {
+            out.at(i) = 0.0;
+        }
+    }
+    return out;
+}
+
 Tensor Relu::backward(const Tensor& grad_output) {
     SHOG_REQUIRE(!mask_.empty(), "Relu backward before forward");
     SHOG_REQUIRE(grad_output.shape() == mask_.shape(), "Relu grad shape mismatch");
@@ -39,6 +50,13 @@ Leaky_relu::Leaky_relu(double slope) : slope_{slope} {
 Tensor Leaky_relu::forward(const Tensor& input, bool /*training*/) {
     width_ = input.rank() == 2 ? input.cols() : input.size();
     cached_input_ = input;
+    Tensor out = input;
+    out.apply([this](double x) { return x > 0.0 ? x : slope_ * x; });
+    return out;
+}
+
+Tensor Leaky_relu::infer(const Tensor& input) {
+    width_ = input.rank() == 2 ? input.cols() : input.size();
     Tensor out = input;
     out.apply([this](double x) { return x > 0.0 ? x : slope_ * x; });
     return out;
@@ -65,6 +83,13 @@ Tensor Tanh::forward(const Tensor& input, bool /*training*/) {
     Tensor out = input;
     out.apply([](double x) { return std::tanh(x); });
     cached_output_ = out;
+    return out;
+}
+
+Tensor Tanh::infer(const Tensor& input) {
+    width_ = input.rank() == 2 ? input.cols() : input.size();
+    Tensor out = input;
+    out.apply([](double x) { return std::tanh(x); });
     return out;
 }
 

@@ -12,6 +12,7 @@ public:
     Relu() = default;
 
     [[nodiscard]] Tensor forward(const Tensor& input, bool training) override;
+    [[nodiscard]] Tensor infer(const Tensor& input) override;
     [[nodiscard]] Tensor backward(const Tensor& grad_output) override;
     [[nodiscard]] Flops flops(std::size_t batch) const override;
     [[nodiscard]] std::unique_ptr<Layer> clone() const override {
@@ -30,6 +31,7 @@ public:
     explicit Leaky_relu(double slope = 0.1);
 
     [[nodiscard]] Tensor forward(const Tensor& input, bool training) override;
+    [[nodiscard]] Tensor infer(const Tensor& input) override;
     [[nodiscard]] Tensor backward(const Tensor& grad_output) override;
     [[nodiscard]] Flops flops(std::size_t batch) const override;
     [[nodiscard]] std::unique_ptr<Layer> clone() const override {
@@ -48,6 +50,7 @@ public:
     Tanh() = default;
 
     [[nodiscard]] Tensor forward(const Tensor& input, bool training) override;
+    [[nodiscard]] Tensor infer(const Tensor& input) override;
     [[nodiscard]] Tensor backward(const Tensor& grad_output) override;
     [[nodiscard]] Flops flops(std::size_t batch) const override;
     [[nodiscard]] std::unique_ptr<Layer> clone() const override {

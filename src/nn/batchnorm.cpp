@@ -65,6 +65,27 @@ Tensor Batch_norm::forward(const Tensor& input, bool training) {
     return out;
 }
 
+Tensor Batch_norm::infer(const Tensor& input) {
+    SHOG_REQUIRE(input.rank() == 2 && input.cols() == features_, "Batch_norm width mismatch");
+    // Eval-statistics path of forward() with no caches. Every output element
+    // is an independent scalar chain ((x - mu) * inv_std, then gamma/beta),
+    // so reproducing the expressions keeps the result bit-identical.
+    const std::size_t m = input.rows();
+    std::vector<double> inv_std(features_);
+    for (std::size_t c = 0; c < features_; ++c) {
+        inv_std[c] = 1.0 / std::sqrt(running_var_.at(c) + epsilon_);
+    }
+    Tensor out{m, features_};
+    for (std::size_t r = 0; r < m; ++r) {
+        for (std::size_t c = 0; c < features_; ++c) {
+            const double centered = input.at(r, c) - running_mean_.at(c);
+            const double xhat = centered * inv_std[c];
+            out.at(r, c) = gamma_.value.at(c) * xhat + beta_.value.at(c);
+        }
+    }
+    return out;
+}
+
 Tensor Batch_norm::backward(const Tensor& grad_output) {
     SHOG_REQUIRE(!cached_xhat_.empty(), "Batch_norm backward before forward");
     SHOG_REQUIRE(grad_output.shape() == cached_xhat_.shape(), "Batch_norm grad shape mismatch");
@@ -215,6 +236,25 @@ Tensor Batch_renorm::forward(const Tensor& input, bool training) {
         for (std::size_t c = 0; c < features_; ++c) {
             running_mean_.at(c) += momentum_ * (batch_mean.at(c) - running_mean_.at(c));
             running_var_.at(c) += momentum_ * (batch_var.at(c) - running_var_.at(c));
+        }
+    }
+    return out;
+}
+
+Tensor Batch_renorm::infer(const Tensor& input) {
+    SHOG_REQUIRE(input.rank() == 2 && input.cols() == features_, "Batch_renorm width mismatch");
+    // Inference path of forward() with no caches; bit-identical (see
+    // Batch_norm::infer).
+    const std::size_t m = input.rows();
+    std::vector<double> inv_std(features_);
+    for (std::size_t c = 0; c < features_; ++c) {
+        inv_std[c] = 1.0 / std::sqrt(running_var_.at(c) + epsilon_);
+    }
+    Tensor out{m, features_};
+    for (std::size_t r = 0; r < m; ++r) {
+        for (std::size_t c = 0; c < features_; ++c) {
+            const double xhat = (input.at(r, c) - running_mean_.at(c)) * inv_std[c];
+            out.at(r, c) = gamma_.value.at(c) * xhat + beta_.value.at(c);
         }
     }
     return out;

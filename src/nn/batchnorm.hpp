@@ -21,6 +21,7 @@ public:
     Batch_norm(std::size_t features, double momentum = 0.1, double epsilon = 1e-5);
 
     [[nodiscard]] Tensor forward(const Tensor& input, bool training) override;
+    [[nodiscard]] Tensor infer(const Tensor& input) override;
     [[nodiscard]] Tensor backward(const Tensor& grad_output) override;
     [[nodiscard]] std::vector<Parameter*> parameters() override { return {&gamma_, &beta_}; }
     [[nodiscard]] Flops flops(std::size_t batch) const override;
@@ -65,6 +66,7 @@ public:
                  double r_max = 3.0, double d_max = 5.0);
 
     [[nodiscard]] Tensor forward(const Tensor& input, bool training) override;
+    [[nodiscard]] Tensor infer(const Tensor& input) override;
     [[nodiscard]] Tensor backward(const Tensor& grad_output) override;
     [[nodiscard]] std::vector<Parameter*> parameters() override { return {&gamma_, &beta_}; }
     [[nodiscard]] Flops flops(std::size_t batch) const override;

@@ -31,6 +31,15 @@ Tensor Dense::forward(const Tensor& input, bool /*training*/) {
     return out;
 }
 
+Tensor Dense::infer(const Tensor& input) {
+    SHOG_REQUIRE(input.rank() == 2 && input.cols() == in_features_,
+                 "Dense input width mismatch");
+    // Same arithmetic as forward() without the cached_input_ copy.
+    Tensor out = matmul(input, weight_.value);
+    out.add_row_vector(bias_.value);
+    return out;
+}
+
 Tensor Dense::backward(const Tensor& grad_output) {
     SHOG_REQUIRE(grad_output.rank() == 2 && grad_output.cols() == out_features_,
                  "Dense grad width mismatch");

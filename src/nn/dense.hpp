@@ -12,6 +12,7 @@ public:
     Dense(std::size_t in_features, std::size_t out_features, Rng& rng);
 
     [[nodiscard]] Tensor forward(const Tensor& input, bool training) override;
+    [[nodiscard]] Tensor infer(const Tensor& input) override;
     [[nodiscard]] Tensor backward(const Tensor& grad_output) override;
     [[nodiscard]] std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
     [[nodiscard]] Flops flops(std::size_t batch) const override;

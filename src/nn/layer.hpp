@@ -57,6 +57,14 @@ public:
     /// normalization layers.
     [[nodiscard]] virtual Tensor forward(const Tensor& input, bool training) = 0;
 
+    /// Pure-inference forward: numerically identical to
+    /// forward(input, false) but with no backward caches and no cache
+    /// allocations/copies. The default delegates to forward(); hot layers
+    /// override it with a cache-free path (same per-element operation
+    /// order, so outputs stay bit-identical — pinned by the nn tests).
+    /// Must NOT be followed by backward().
+    [[nodiscard]] virtual Tensor infer(const Tensor& input) { return forward(input, false); }
+
     /// Backward pass: accumulates parameter gradients, returns gradient with
     /// respect to the forward input. Must be called after forward().
     [[nodiscard]] virtual Tensor backward(const Tensor& grad_output) = 0;

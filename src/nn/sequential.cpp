@@ -48,6 +48,14 @@ Tensor Sequential::forward(const Tensor& input, bool training) {
     return forward_range(0, entries_.size(), input, training);
 }
 
+Tensor Sequential::infer(const Tensor& input) {
+    Tensor x = input;
+    for (const Entry& entry : entries_) {
+        x = entry.layer->infer(x);
+    }
+    return x;
+}
+
 Tensor Sequential::backward(const Tensor& grad_output) {
     return backward_range(0, entries_.size(), grad_output);
 }

@@ -39,6 +39,7 @@ public:
     // -- full-network Layer interface -----------------------------------------
 
     [[nodiscard]] Tensor forward(const Tensor& input, bool training) override;
+    [[nodiscard]] Tensor infer(const Tensor& input) override;
     [[nodiscard]] Tensor backward(const Tensor& grad_output) override;
     [[nodiscard]] std::vector<Parameter*> parameters() override;
     [[nodiscard]] Flops flops(std::size_t batch) const override;

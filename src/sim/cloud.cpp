@@ -24,7 +24,8 @@ Cloud_runtime::Cloud_runtime(Event_queue& queue, Cloud_config config)
       config_{std::move(config)},
       policy_{make_policy(config_.policy)},
       placement_{make_placement(config_.placement, config_.label_reserved_gpus)},
-      gpus_(config_.gpu_count) {
+      gpus_(config_.gpu_count),
+      gpu_finalized_busy_(config_.gpu_count, 0.0) {
     SHOG_REQUIRE(config_.gpu_count >= 1, "cloud needs at least one GPU");
     SHOG_REQUIRE(config_.max_batch >= 1, "max_batch must be >= 1");
     SHOG_REQUIRE(config_.batch_efficiency > 0.0 && config_.batch_efficiency <= 1.0,
@@ -230,9 +231,6 @@ void Cloud_runtime::dispatch() {
         gpus_[where.gpu].busy = true;
         gpus_[where.gpu].resident_device = active->jobs.front().device;
         active->started = queue_.now();
-        active->interval_index = dispatches_.size();
-        dispatches_.push_back(
-            Dispatch_interval{active->started, active->service, active->gpu});
         active_.push_back(active);
         queue_.schedule_in(active->service, [this, active] { complete(active); });
         // Straggler bound: only a server too slow to finish this label
@@ -281,12 +279,15 @@ void Cloud_runtime::complete(const std::shared_ptr<Active_dispatch>& active) {
     const Seconds completed = queue_.now();
     active_.erase(std::find(active_.begin(), active_.end(), active));
     gpus_[active->gpu].busy = false;
+    finalize_occupancy(active->gpu, active->service);
     for (const Sched_job& job : active->jobs) {
         waits_.push_back(active->started - job.submitted);
         latencies_.push_back(completed - job.submitted);
         if (job.kind == Cloud_job_kind::label) {
-            label_waits_.push_back(active->started - job.submitted);
-            label_latencies_.push_back(completed - job.submitted);
+            ++labels_completed_;
+            label_wait_sum_ += active->started - job.submitted;
+            label_latency_sum_ += completed - job.submitted;
+            label_latency_p95_.add(completed - job.submitted);
         }
     }
     // Completions may submit follow-up work (AMS chains a training job
@@ -410,7 +411,7 @@ void Cloud_runtime::checkpoint(std::shared_ptr<Active_dispatch> active) {
         queued_busy_seconds_ -= refund;
         per_device_seconds_[job.device] -= refund;
     }
-    dispatches_[active->interval_index].service = elapsed;
+    finalize_occupancy(active->gpu, elapsed);
     active->cancelled = true;
     active_.erase(std::find(active_.begin(), active_.end(), active));
     gpus_[active->gpu].busy = false;
@@ -578,26 +579,37 @@ Seconds Cloud_runtime::device_gpu_seconds(std::size_t device_id) const {
     return device_id < per_device_seconds_.size() ? per_device_seconds_[device_id] : 0.0;
 }
 
+void Cloud_runtime::finalize_occupancy(std::size_t gpu, Seconds elapsed) {
+    gpu_finalized_busy_[gpu] += elapsed;
+    finalized_busy_ += elapsed;
+    max_finalized_end_ = std::max(max_finalized_end_, queue_.now());
+}
+
 Seconds Cloud_runtime::busy_seconds_within(Seconds horizon) const {
-    // Clamp each dispatch interval to the horizon so a job straddling the
-    // end of the run only counts its in-horizon part.
-    Seconds in_horizon = 0.0;
-    for (const Dispatch_interval& d : dispatches_) {
-        if (d.start >= horizon) {
+    // Finished dispatches were folded into the accumulators as they ended;
+    // only the handful still in flight need clamping to the horizon (a job
+    // straddling the end of the run counts its in-horizon part only).
+    SHOG_REQUIRE(horizon >= max_finalized_end_,
+                 "occupancy horizon precedes an already-finished dispatch");
+    Seconds in_horizon = finalized_busy_;
+    for (const auto& active : active_) {
+        if (active->started >= horizon) {
             continue;
         }
-        in_horizon += std::min(d.service, horizon - d.start);
+        in_horizon += std::min(active->service, horizon - active->started);
     }
     return in_horizon + direct_seconds_;
 }
 
 std::vector<Seconds> Cloud_runtime::per_gpu_busy_within(Seconds horizon) const {
-    std::vector<Seconds> per_gpu(gpus_.size(), 0.0);
-    for (const Dispatch_interval& d : dispatches_) {
-        if (d.start >= horizon) {
+    SHOG_REQUIRE(horizon >= max_finalized_end_,
+                 "occupancy horizon precedes an already-finished dispatch");
+    std::vector<Seconds> per_gpu = gpu_finalized_busy_;
+    for (const auto& active : active_) {
+        if (active->started >= horizon) {
             continue;
         }
-        per_gpu[d.gpu] += std::min(d.service, horizon - d.start);
+        per_gpu[active->gpu] += std::min(active->service, horizon - active->started);
     }
     return per_gpu;
 }
@@ -607,27 +619,21 @@ double Cloud_runtime::utilization(Seconds horizon) const {
     return busy_seconds_within(horizon) / (horizon * static_cast<double>(config_.gpu_count));
 }
 
-namespace {
-
-Seconds mean_of(const std::vector<Seconds>& values) {
-    if (values.empty()) {
-        return 0.0;
-    }
-    double total = 0.0;
-    for (Seconds s : values) {
-        total += s;
-    }
-    return total / static_cast<double>(values.size());
+Seconds Cloud_runtime::mean_label_latency() const {
+    // Running sums accumulate in completion order — the same order the
+    // former per-label vectors were summed in, so the means agree exactly.
+    return labels_completed_ > 0
+               ? label_latency_sum_ / static_cast<double>(labels_completed_)
+               : 0.0;
 }
-
-} // namespace
-
-Seconds Cloud_runtime::mean_label_latency() const { return mean_of(label_latencies_); }
 
 Seconds Cloud_runtime::p95_label_latency() const {
-    return label_latencies_.empty() ? 0.0 : quantile(label_latencies_, 0.95);
+    return label_latency_p95_.empty() ? 0.0 : label_latency_p95_.value();
 }
 
-Seconds Cloud_runtime::mean_label_wait() const { return mean_of(label_waits_); }
+Seconds Cloud_runtime::mean_label_wait() const {
+    return labels_completed_ > 0 ? label_wait_sum_ / static_cast<double>(labels_completed_)
+                                 : 0.0;
+}
 
 } // namespace shog::sim

@@ -27,6 +27,7 @@
 
 #include "common/event_queue.hpp"
 #include "common/rng.hpp"
+#include "common/stats.hpp"
 #include "common/units.hpp"
 #include "sim/placement.hpp"
 #include "sim/policy.hpp"
@@ -146,11 +147,16 @@ public:
     [[nodiscard]] Seconds busy_seconds() const noexcept {
         return queued_busy_seconds_ + direct_seconds_;
     }
-    /// GPU seconds spent inside [0, horizon]: dispatch intervals clamped to
-    /// the horizon, plus direct accounting.
+    /// GPU seconds spent inside [0, horizon]: finished dispatches are
+    /// accounted incrementally as they complete or checkpoint (no end-of-run
+    /// interval scan); only the <= gpu_count dispatches still in flight are
+    /// clamped at query time. `horizon` must therefore not precede any
+    /// already-finished dispatch — true for every run_until(horizon) caller,
+    /// since completions past the horizon never execute.
     [[nodiscard]] Seconds busy_seconds_within(Seconds horizon) const;
     /// Per-server GPU seconds inside [0, horizon] (no direct accounting —
     /// direct work never touches a specific server). Shard balance metric.
+    /// Same horizon contract as busy_seconds_within().
     [[nodiscard]] std::vector<Seconds> per_gpu_busy_within(Seconds horizon) const;
     /// GPU seconds attributed to one device.
     [[nodiscard]] Seconds device_gpu_seconds(std::size_t device_id) const;
@@ -159,9 +165,7 @@ public:
     [[nodiscard]] double utilization(Seconds horizon) const;
 
     [[nodiscard]] std::size_t jobs_completed() const noexcept { return latencies_.size(); }
-    [[nodiscard]] std::size_t labels_completed() const noexcept {
-        return label_latencies_.size();
-    }
+    [[nodiscard]] std::size_t labels_completed() const noexcept { return labels_completed_; }
     [[nodiscard]] std::size_t jobs_pending() const noexcept {
         return waiting_.size() + busy_gpu_count();
     }
@@ -197,17 +201,14 @@ public:
     [[nodiscard]] const std::vector<Seconds>& job_waits() const noexcept { return waits_; }
 
     /// Label-job statistics (training jobs excluded, so an AMS fleet's
-    /// fine-tunes don't masquerade as label latency).
+    /// fine-tunes don't masquerade as label latency). Maintained as running
+    /// sums plus an exact streaming quantile — no per-label vectors, no
+    /// end-of-run sort — and bit-identical to the former sort-at-end values.
     [[nodiscard]] Seconds mean_label_latency() const;
     [[nodiscard]] Seconds p95_label_latency() const;
     [[nodiscard]] Seconds mean_label_wait() const;
 
 private:
-    struct Dispatch_interval {
-        Seconds start;
-        Seconds service;
-        std::size_t gpu;
-    };
     /// One in-flight dispatch (needed for preemption: the completion event
     /// cannot be removed from the queue, so it checks `cancelled` instead).
     struct Active_dispatch {
@@ -221,7 +222,6 @@ private:
         /// Label dispatch past its straggler bound with no faster server
         /// free at check time; the next capacity change re-examines it.
         bool straggler_overdue = false;
-        std::size_t interval_index = 0; ///< into dispatches_, for truncation
     };
 
     /// Start dispatches while an eligible server is idle and jobs wait.
@@ -249,6 +249,9 @@ private:
     /// mid-function — freeing the wrong server and re-queueing the wrong
     /// jobs. The copy pins the dispatch for the whole call.
     void checkpoint(std::shared_ptr<Active_dispatch> active);
+    /// Fold a finished occupancy interval [started, started + elapsed) on
+    /// server `gpu` into the incremental busy accumulators.
+    void finalize_occupancy(std::size_t gpu, Seconds elapsed);
     /// Arm the failure timer of server `g` (no-op when its MTBF is
     /// infinite). Failure and repair delays come from the server's own RNG
     /// substream, so the process is independent of the job stream.
@@ -330,11 +333,19 @@ private:
     Seconds queued_busy_seconds_ = 0.0;
     Seconds direct_seconds_ = 0.0;
     std::vector<Seconds> per_device_seconds_;
-    std::vector<Dispatch_interval> dispatches_;
+    /// Occupancy of dispatches that already finished (completed or
+    /// checkpointed), accumulated as they finish — replaces the former
+    /// unbounded interval log + end-of-run scan. `finalize_occupancy`
+    /// updates all three together.
+    std::vector<Seconds> gpu_finalized_busy_;
+    Seconds finalized_busy_ = 0.0;
+    Seconds max_finalized_end_ = 0.0;
     std::vector<Seconds> latencies_;
     std::vector<Seconds> waits_;
-    std::vector<Seconds> label_latencies_;
-    std::vector<Seconds> label_waits_;
+    std::size_t labels_completed_ = 0;
+    Seconds label_latency_sum_ = 0.0;
+    Seconds label_wait_sum_ = 0.0;
+    Streaming_quantile label_latency_p95_{0.95};
 };
 
 } // namespace shog::sim

@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
-#include <memory>
 
+#include "common/arena.hpp"
 #include "device/monitor.hpp"
 
 namespace shog::sim {
@@ -64,21 +64,22 @@ Cluster_result run_cluster(const std::vector<Device_spec>& devices,
     Event_queue queue;
     Cloud_runtime cloud{queue, config.cloud};
 
-    std::vector<std::unique_ptr<Device_state>> states;
-    states.reserve(devices.size());
+    // Device state lives in a chunked arena: event closures capture &state
+    // for the whole run, so addresses must be stable, and adjacent devices
+    // sharing chunks keeps the per-event working set tight at fleet scale.
+    Stable_arena<Device_state> states;
     Seconds horizon = 0.0;
     for (std::size_t i = 0; i < devices.size(); ++i) {
-        states.push_back(std::make_unique<Device_state>(
-            i, devices[i], queue, cloud, config.harness,
-            effective_hardware(devices[i], config.harness)));
+        states.emplace_back(i, devices[i], queue, cloud, config.harness,
+                            effective_hardware(devices[i], config.harness));
         horizon = std::max(horizon, devices[i].stream->duration());
     }
 
     // Per device: evaluation events (stride over frames, query the strategy,
     // score) and fps sampling ticks. Scheduling order matters only for the
     // FIFO tiebreak of simultaneous events and is deterministic.
-    for (const auto& state_ptr : states) {
-        Device_state& state = *state_ptr;
+    for (std::size_t i = 0; i < states.size(); ++i) {
+        Device_state& state = states[i];
         const video::Video_stream& stream = *state.spec.stream;
         for (std::size_t idx = 0; idx < stream.frame_count();
              idx += config.harness.eval_stride) {
@@ -120,16 +121,16 @@ Cluster_result run_cluster(const std::vector<Device_spec>& devices,
         }
     }
 
-    for (const auto& state_ptr : states) {
-        state_ptr->spec.strategy->start(state_ptr->runtime);
+    for (std::size_t i = 0; i < states.size(); ++i) {
+        states[i].spec.strategy->start(states[i].runtime);
     }
     (void)queue.run_until(horizon);
 
     Cluster_result cluster;
     cluster.duration = horizon;
     cluster.devices.reserve(states.size());
-    for (const auto& state_ptr : states) {
-        Device_state& state = *state_ptr;
+    for (std::size_t i = 0; i < states.size(); ++i) {
+        Device_state& state = states[i];
         const Seconds duration = state.spec.stream->duration();
 
         Run_result result;

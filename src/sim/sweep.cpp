@@ -1,0 +1,97 @@
+#include "sim/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <thread>
+
+#include "common/require.hpp"
+
+namespace shog::sim {
+
+std::uint64_t sweep_cell_seed(std::uint64_t base_seed, std::size_t cell_index) noexcept {
+    if (cell_index == 0) {
+        return base_seed;
+    }
+    // splitmix64 finalizer over a golden-ratio stride.
+    std::uint64_t z =
+        base_seed + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(cell_index);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::vector<std::string> run_sweep(std::size_t cell_count,
+                                   const std::function<std::string(std::size_t)>& cell,
+                                   const Sweep_options& options) {
+    SHOG_REQUIRE(cell != nullptr, "run_sweep needs a cell function");
+    std::vector<std::string> results(cell_count);
+    if (cell_count == 0) {
+        return results;
+    }
+
+    std::size_t workers = options.workers;
+    if (workers == 0) {
+        workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    }
+    workers = std::min(workers, cell_count);
+
+    std::vector<std::exception_ptr> errors(cell_count);
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < cell_count; ++i) {
+            try {
+                results[i] = cell(i);
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        }
+    } else {
+        // Work stealing off a shared counter: completion order varies with
+        // scheduling, but every result is written to its own index slot, so
+        // the returned vector is order-independent by construction.
+        std::atomic<std::size_t> next{0};
+        const auto worker = [&] {
+            for (;;) {
+                const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= cell_count) {
+                    return;
+                }
+                try {
+                    results[i] = cell(i);
+                } catch (...) {
+                    errors[i] = std::current_exception();
+                }
+            }
+        };
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (std::size_t w = 0; w < workers; ++w) {
+            pool.emplace_back(worker);
+        }
+        for (std::thread& t : pool) {
+            t.join();
+        }
+    }
+
+    for (const std::exception_ptr& error : errors) {
+        if (error) {
+            std::rethrow_exception(error);
+        }
+    }
+    return results;
+}
+
+std::string merge_sweep_lines(const std::vector<std::string>& results) {
+    std::size_t total = 0;
+    for (const std::string& r : results) {
+        total += r.size();
+    }
+    std::string merged;
+    merged.reserve(total);
+    for (const std::string& r : results) {
+        merged += r;
+    }
+    return merged;
+}
+
+} // namespace shog::sim

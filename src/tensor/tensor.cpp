@@ -277,6 +277,24 @@ std::string Tensor::shape_str() const {
     return os.str();
 }
 
+namespace {
+
+/// crow[j] += a * brow[j] for j in [0, n). Each j is an independent
+/// multiply-then-add, so the avx2 clone (SIMD across j, no FMA — the avx2
+/// target does not enable fma, so mul and add stay separate roundings)
+/// produces bit-identical results to the scalar clone. This row update is
+/// the inner loop of matmul and matmul_tn; matmul_nt's dot-product loop is
+/// a genuine reduction and deliberately stays scalar (vectorizing it would
+/// reassociate the sum and change low bits).
+__attribute__((target_clones("avx2", "default"))) void
+add_scaled_row(double* crow, const double a, const double* brow, const std::size_t n) {
+    for (std::size_t j = 0; j < n; ++j) {
+        crow[j] += a * brow[j];
+    }
+}
+
+} // namespace
+
 Tensor matmul(const Tensor& a, const Tensor& b) {
     SHOG_REQUIRE(a.rank() == 2 && b.rank() == 2, "matmul needs rank-2 operands");
     SHOG_REQUIRE(a.cols() == b.rows(), "matmul inner dimension mismatch");
@@ -293,11 +311,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
             if (aip == 0.0) {
                 continue;
             }
-            const double* brow = bd + p * n;
-            double* crow = cd + i * n;
-            for (std::size_t j = 0; j < n; ++j) {
-                crow[j] += aip * brow[j];
-            }
+            add_scaled_row(cd + i * n, aip, bd + p * n, n);
         }
     }
     return c;
@@ -345,10 +359,7 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
             if (aval == 0.0) {
                 continue;
             }
-            double* crow = cd + i * n;
-            for (std::size_t j = 0; j < n; ++j) {
-                crow[j] += aval * brow[j];
-            }
+            add_scaled_row(cd + i * n, aval, brow, n);
         }
     }
     return c;

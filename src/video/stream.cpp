@@ -99,6 +99,22 @@ void Video_stream::generate_tracks() {
         track.vy = rng.gaussian(0.0, 4.0);
         tracks_.push_back(std::move(track));
     }
+
+    // Time index: iterate tracks in order so every bucket lists its live
+    // tracks ascending — frame_at then visits candidates in exactly the
+    // order the former full scan did.
+    const auto bucket_count = static_cast<std::size_t>(std::ceil(config_.duration));
+    tracks_by_second_.assign(std::max<std::size_t>(bucket_count, 1), {});
+    for (std::size_t i = 0; i < tracks_.size(); ++i) {
+        const Track& track = tracks_[i];
+        const auto first = static_cast<std::size_t>(std::max(track.spawn, 0.0));
+        for (std::size_t b = first; b < tracks_by_second_.size(); ++b) {
+            if (static_cast<double>(b) >= track.exit) {
+                break;
+            }
+            tracks_by_second_[b].push_back(static_cast<std::uint32_t>(i));
+        }
+    }
 }
 
 detect::Box Video_stream::track_box(const Track& t, Seconds time) const noexcept {
@@ -126,7 +142,10 @@ Frame Video_stream::frame_at(std::size_t index) const {
 
     const double min_area = 0.0002 * config_.image_width * config_.image_height;
     double moving_area = 0.0;
-    for (const Track& t : tracks_) {
+    const std::size_t bucket =
+        std::min(static_cast<std::size_t>(frame.timestamp), tracks_by_second_.size() - 1);
+    for (const std::uint32_t track_index : tracks_by_second_[bucket]) {
+        const Track& t = tracks_[track_index];
         if (frame.timestamp < t.spawn || frame.timestamp >= t.exit) {
             continue;
         }

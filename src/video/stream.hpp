@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -109,6 +110,11 @@ private:
     Domain_schedule schedule_;
     std::size_t frame_count_;
     std::vector<Track> tracks_;
+    /// Per-second index: tracks alive at any instant of second [b, b+1), in
+    /// ascending track order. frame_at scans only the handful of tracks
+    /// live near its timestamp instead of the whole population — same
+    /// candidate set and iteration order, so rendering is bit-identical.
+    std::vector<std::vector<std::uint32_t>> tracks_by_second_;
 
     void generate_tracks();
     [[nodiscard]] detect::Box track_box(const Track& t, Seconds time) const noexcept;

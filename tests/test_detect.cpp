@@ -256,6 +256,50 @@ TEST(StreamEvaluator, AccumulatesAndWindows) {
     EXPECT_LT(eval.map(), 0.6);
 }
 
+TEST(StreamEvaluator, MatchesBatchMetricsBitForBitOnRandomStreams) {
+    // The incremental evaluator keeps only per-class hit records, but its
+    // queries must reproduce the store-all-frames batch path exactly: same
+    // matching, same hit order, same AP core => bit-identical doubles.
+    for (std::uint64_t seed : {3u, 4u, 5u}) {
+        Rng rng{seed};
+        const std::size_t num_classes = 3;
+        const double threshold = 0.5;
+        Stream_evaluator eval{num_classes, threshold};
+        std::vector<Frame_eval> batch;
+        for (int i = 0; i < 60; ++i) {
+            Frame_eval f;
+            const std::size_t gts = rng.index(4);
+            for (std::size_t g = 0; g < gts; ++g) {
+                f.ground_truth.push_back(Ground_truth{
+                    Box::from_center(rng.uniform(0, 200), rng.uniform(0, 200),
+                                     rng.uniform(10, 40), rng.uniform(10, 40)),
+                    1 + rng.index(num_classes)});
+            }
+            const std::size_t dets = rng.index(5);
+            for (std::size_t d = 0; d < dets; ++d) {
+                // Half the detections jitter a ground-truth box (plausible
+                // matches), half are random (false positives).
+                Box box = !f.ground_truth.empty() && rng.chance(0.5)
+                              ? f.ground_truth[rng.index(f.ground_truth.size())].box
+                              : Box::from_center(rng.uniform(0, 200), rng.uniform(0, 200),
+                                                 rng.uniform(10, 40), rng.uniform(10, 40));
+                f.detections.push_back(
+                    Detection{box, 1 + rng.index(num_classes), rng.uniform()});
+            }
+            batch.push_back(f);
+            eval.add_frame(i * 0.5, std::move(f));
+            // Equality must hold at every prefix, not just at end of run.
+            if (i % 15 == 14) {
+                EXPECT_EQ(eval.map(),
+                          mean_average_precision(batch, num_classes, threshold))
+                    << "seed " << seed << " frame " << i;
+                EXPECT_EQ(eval.average_iou(), mean_matched_iou(batch, threshold))
+                    << "seed " << seed << " frame " << i;
+            }
+        }
+    }
+}
+
 TEST(StreamEvaluator, RejectsOutOfOrderFrames) {
     Stream_evaluator eval{1, 0.5};
     eval.add_frame(5.0, Frame_eval{});

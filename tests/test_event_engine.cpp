@@ -1,0 +1,235 @@
+// The calendar event queue against its reference: Event_queue (bucketed
+// rungs + overflow) must execute any schedule in exactly the order the old
+// binary heap (Heap_event_queue) does — same times, same stable-FIFO tie
+// order — because the whole simulator's bit-for-bit reproducibility hangs
+// on that order. These tests drive both implementations side by side on
+// randomized traces (ties, re-entrant scheduling, bursty and long-range
+// time distributions that force window rebuilds) and pin the run_until
+// horizon semantics the harness relies on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "common/event_queue.hpp"
+#include "common/rng.hpp"
+
+namespace shog {
+namespace {
+
+struct Trace_entry {
+    int id;
+    double at;
+};
+
+bool operator==(const Trace_entry& a, const Trace_entry& b) {
+    return a.id == b.id && a.at == b.at;
+}
+
+/// Replay one randomized schedule on a queue implementation: `initial`
+/// events are scheduled up front, and each executed event re-enters
+/// `reschedule_per_event` future events from inside its callback (the
+/// pattern the cloud runtime uses for dispatch/complete chains). Returns
+/// the execution trace (id, execution-time clock).
+template <typename Queue>
+std::vector<Trace_entry> replay(std::uint64_t seed, int initial, int reschedule_per_event,
+                                double horizon, double spread, bool integer_times) {
+    Queue queue;
+    Rng rng{seed};
+    std::vector<Trace_entry> trace;
+    int next_id = 0;
+
+    // The self-referential scheduler: events may schedule more events.
+    struct Driver {
+        Queue& queue;
+        Rng& rng;
+        std::vector<Trace_entry>& trace;
+        int& next_id;
+        int reschedule;
+        double spread;
+        bool integer_times;
+
+        void schedule_one(double not_before) {
+            const int id = next_id++;
+            double at = not_before + rng.uniform() * spread;
+            if (integer_times) {
+                // Coarse grid => massive tie populations, the FIFO
+                // tie-order stress case.
+                at = std::floor(at);
+            }
+            queue.schedule(at, [this, id] {
+                trace.push_back(Trace_entry{id, queue.now()});
+                for (int r = 0; r < reschedule; ++r) {
+                    if (rng.chance(0.4)) {
+                        schedule_one(queue.now());
+                    }
+                }
+            });
+        }
+    };
+    Driver driver{queue, rng, trace, next_id, reschedule_per_event, spread, integer_times};
+    for (int i = 0; i < initial; ++i) {
+        driver.schedule_one(rng.uniform() * spread);
+    }
+    (void)queue.run_until(horizon);
+    return trace;
+}
+
+void expect_identical_traces(std::uint64_t seed, int initial, int reschedule, double horizon,
+                             double spread, bool integer_times) {
+    const std::vector<Trace_entry> heap =
+        replay<Heap_event_queue>(seed, initial, reschedule, horizon, spread, integer_times);
+    const std::vector<Trace_entry> calendar =
+        replay<Event_queue>(seed, initial, reschedule, horizon, spread, integer_times);
+    ASSERT_EQ(heap.size(), calendar.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < heap.size(); ++i) {
+        EXPECT_TRUE(heap[i] == calendar[i])
+            << "seed " << seed << " diverged at event " << i << ": heap (" << heap[i].id
+            << ", " << heap[i].at << ") vs calendar (" << calendar[i].id << ", "
+            << calendar[i].at << ")";
+        if (!(heap[i] == calendar[i])) {
+            break;
+        }
+    }
+}
+
+TEST(EventEngine, RandomTracesMatchHeapReference) {
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        expect_identical_traces(seed, 200, 2, 1.0e9, 50.0, false);
+    }
+}
+
+TEST(EventEngine, TieHeavyTracesMatchHeapReference) {
+    // Integer-grid times: dozens of events share each timestamp, so this is
+    // pure stable-FIFO tie-order coverage.
+    for (std::uint64_t seed = 11; seed <= 16; ++seed) {
+        expect_identical_traces(seed, 300, 2, 1.0e9, 12.0, true);
+    }
+}
+
+TEST(EventEngine, LongRangeTracesForceWindowRebuilds) {
+    // Spread far beyond the initial 64-bucket window so inserts land in the
+    // overflow rung and run_until crosses several window rebuilds.
+    for (std::uint64_t seed = 21; seed <= 24; ++seed) {
+        expect_identical_traces(seed, 150, 1, 1.0e12, 1.0e6, false);
+    }
+}
+
+TEST(EventEngine, PartialHorizonsMatchHeapReference) {
+    // Stop mid-schedule (events remain pending), then the next run_until
+    // continues: both engines must agree at every horizon.
+    const auto drive = [](auto queue_tag, std::uint64_t seed) {
+        using Queue = decltype(queue_tag);
+        Queue queue;
+        Rng rng{seed};
+        std::vector<Trace_entry> trace;
+        for (int i = 0; i < 400; ++i) {
+            const int id = i;
+            const double at = rng.uniform() * 100.0;
+            queue.schedule(at, [&trace, &queue, id] {
+                trace.push_back(Trace_entry{id, queue.now()});
+            });
+        }
+        for (double horizon : {10.0, 30.0, 30.0, 55.5, 100.0}) {
+            (void)queue.run_until(horizon);
+        }
+        EXPECT_EQ(queue.pending(), 0u);
+        return trace;
+    };
+    for (std::uint64_t seed = 31; seed <= 34; ++seed) {
+        const auto heap = drive(Heap_event_queue{}, seed);
+        const auto calendar = drive(Event_queue{}, seed);
+        ASSERT_EQ(heap.size(), calendar.size());
+        for (std::size_t i = 0; i < heap.size(); ++i) {
+            ASSERT_TRUE(heap[i] == calendar[i]) << "seed " << seed << " event " << i;
+        }
+    }
+}
+
+TEST(EventEngine, CallbackSchedulingAtExactHorizonExecutes) {
+    // A callback that schedules a new event at exactly the run_until bound
+    // during the final step must still see that event execute in the same
+    // run (next_time() <= until admits it). The harness depends on this:
+    // fps ticks scheduled at `duration` by the last eval event must land.
+    const auto drive = [](auto queue_tag) {
+        using Queue = decltype(queue_tag);
+        Queue queue;
+        int fired = 0;
+        queue.schedule(10.0, [&queue, &fired] {
+            queue.schedule(10.0, [&fired] { fired += 10; });
+            fired += 1;
+        });
+        const std::size_t executed = queue.run_until(10.0);
+        EXPECT_EQ(executed, 2u);
+        EXPECT_EQ(fired, 11);
+        EXPECT_EQ(queue.pending(), 0u);
+        EXPECT_DOUBLE_EQ(queue.now(), 10.0);
+        return fired;
+    };
+    EXPECT_EQ(drive(Event_queue{}), drive(Heap_event_queue{}));
+}
+
+TEST(EventEngine, ScheduleAtNowRunsBeforeLaterEvents) {
+    // schedule(at == now) from inside a callback executes in the same pass,
+    // after other already-pending same-time events but before later ones,
+    // identically on both engines. Scheduling strictly in the past throws.
+    const auto drive = [](auto queue_tag) {
+        using Queue = decltype(queue_tag);
+        Queue queue;
+        std::vector<int> order;
+        queue.schedule(5.0, [&queue, &order] {
+            order.push_back(1);
+            queue.schedule(queue.now(), [&order] { order.push_back(2); });
+            EXPECT_THROW(queue.schedule(1.0, [] {}), std::invalid_argument);
+        });
+        queue.schedule(6.0, [&order] { order.push_back(3); });
+        (void)queue.run_until(100.0);
+        return order;
+    };
+    const auto calendar = drive(Event_queue{});
+    const auto heap = drive(Heap_event_queue{});
+    ASSERT_EQ(calendar, heap);
+    EXPECT_EQ(calendar, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventEngine, NextTimeAndSizeTrackTheSchedule) {
+    Event_queue queue;
+    EXPECT_EQ(queue.pending(), 0u);
+    queue.schedule(3.0, [] {});
+    queue.schedule(1.5, [] {});
+    queue.schedule(7.0, [] {});
+    EXPECT_EQ(queue.pending(), 3u);
+    EXPECT_DOUBLE_EQ(queue.next_time(), 1.5);
+    queue.step();
+    EXPECT_EQ(queue.pending(), 2u);
+    EXPECT_DOUBLE_EQ(queue.now(), 1.5);
+    EXPECT_DOUBLE_EQ(queue.next_time(), 3.0);
+    (void)queue.run_until(100.0);
+    EXPECT_EQ(queue.pending(), 0u);
+    EXPECT_DOUBLE_EQ(queue.now(), 100.0);
+}
+
+TEST(EventEngine, MillionEventBurstDrainsInOrder) {
+    // Volume test at fleet-bench scale: monotone non-decreasing execution
+    // times across bucket boundaries and window rebuilds.
+    Event_queue queue;
+    Rng rng{99};
+    const int n = 1'000'000;
+    std::size_t executed = 0;
+    double last = -1.0;
+    bool monotone = true;
+    for (int i = 0; i < n; ++i) {
+        queue.schedule(rng.uniform() * 600.0, [&queue, &executed, &last, &monotone] {
+            monotone = monotone && queue.now() >= last;
+            last = queue.now();
+            ++executed;
+        });
+    }
+    EXPECT_EQ(queue.run_until(600.0), static_cast<std::size_t>(n));
+    EXPECT_EQ(executed, static_cast<std::size_t>(n));
+    EXPECT_TRUE(monotone);
+}
+
+} // namespace
+} // namespace shog
