@@ -432,6 +432,11 @@ int main(int argc, char** argv) {
         argc > 4 ? static_cast<std::size_t>(std::atoll(argv[4])) : 0;
     sim::Sweep_options sweep;
     sweep.workers = argc > 5 ? static_cast<std::size_t>(std::atoll(argv[5])) : 1;
+    // Progress to stderr only: the JSON contract (stdout byte-identical for
+    // any worker count) must not see the nondeterministic completion order.
+    sweep.on_cell_done = [](std::size_t done, std::size_t cell_index) {
+        std::fprintf(stderr, "[sweep] %zu cells done (last: #%zu)\n", done, cell_index);
+    };
     const std::size_t scale_stride =
         argc > 6 ? static_cast<std::size_t>(std::atoll(argv[6])) : 0;
     if (duration <= 0.0 || max_devices < 1) {

@@ -8,6 +8,11 @@
 // fixed-size chunks: addresses are stable for the arena's lifetime,
 // neighbours share cache lines, and construction is one placement-new per
 // element plus one allocation per chunk.
+//
+// Threading: NOT thread-safe, by design — an arena belongs to one engine,
+// and each sim::run_sweep cell builds its own engine. Arena addresses are
+// also layout-dependent: they must never feed ordering or keyed iteration
+// that reaches output (shog_lint's ptr-key rule enforces this).
 #pragma once
 
 #include <cstddef>

@@ -21,6 +21,12 @@
 // so a strictly smaller index implies a strictly earlier time, and events
 // that tie on time always land in the same rung, where the exact
 // (time, seq) comparison orders them.
+//
+// Threading: deliberately NOT thread-safe. A queue is owned by exactly one
+// simulation engine, and under sim::run_sweep each parallel cell constructs
+// its own engine (and thus its own queue) — cross-thread sharing of one
+// queue would serialize the clock and is never done. shog_lint and
+// -Wthread-safety guard the sharing layer above, not this class.
 #pragma once
 
 #include <algorithm>

@@ -17,12 +17,14 @@ std::pair<std::vector<Scored_hit>, std::size_t> scored_hits(
     std::size_t total_gt = 0;
     for (const Frame_eval& frame : frames) {
         std::vector<Detection> dets;
+        dets.reserve(frame.detections.size());
         for (const Detection& d : frame.detections) {
             if (d.class_id == class_id) {
                 dets.push_back(d);
             }
         }
         std::vector<Ground_truth> gts;
+        gts.reserve(frame.ground_truth.size());
         for (const Ground_truth& g : frame.ground_truth) {
             if (g.class_id == class_id) {
                 gts.push_back(g);
@@ -140,12 +142,14 @@ void Stream_evaluator::add_frame(double timestamp, Frame_eval frame) {
     record.timestamp = timestamp;
     for (std::size_t c = 1; c <= num_classes_; ++c) {
         std::vector<Detection> dets;
+        dets.reserve(frame.detections.size());
         for (const Detection& d : frame.detections) {
             if (d.class_id == c) {
                 dets.push_back(d);
             }
         }
         std::vector<Ground_truth> gts;
+        gts.reserve(frame.ground_truth.size());
         for (const Ground_truth& g : frame.ground_truth) {
             if (g.class_id == c) {
                 gts.push_back(g);

@@ -237,6 +237,13 @@ Fleet make_scale_fleet(const Testbed& testbed, std::size_t devices, bool heterog
     return fleet;
 }
 
+// The run_*_cell family below is what sim::run_sweep workers call
+// concurrently (bench_fleet, fleet_scaling, test_sweep). The contract that
+// makes that safe: every cell builds its OWN Fleet (own students, own
+// strategies, own deep-cloned teacher — see make_policy_sweep_fleet) and its
+// own Cluster_config/engine; the only thing cells share is the const
+// Testbed&, which they read through const, stateless accessors. Nothing in
+// a cell may write through the testbed or touch process-global state.
 sim::Cluster_result run_policy_cell(const Testbed& testbed, std::size_t devices,
                                     bool heterogeneous, const Policy_setup& setup,
                                     std::uint64_t seed) {

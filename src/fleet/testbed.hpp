@@ -22,6 +22,16 @@
 
 namespace shog::fleet {
 
+/// Threading: one Testbed is shared *read-only* across parallel sweep
+/// cells (sim::run_sweep workers call run_policy_cell / run_sharding_cell
+/// / run_reliability_cell against it concurrently). That is sound because
+/// every access from a cell is const and genuinely stateless —
+/// Video_stream::frame_at(i) is pure random access on (seed, index), and
+/// `pristine` is only cloned — with ONE exception: Detector::detect() runs
+/// through mutable network state, so `teacher` must never be used from a
+/// cell directly. fleet::Fleet deep-clones it per cell instead (see below).
+/// Anything added to this struct must either stay const-and-stateless
+/// under concurrent cells or get the same clone-per-cell treatment.
 struct Testbed {
     std::vector<std::unique_ptr<video::Video_stream>> streams; ///< one per camera
     std::unique_ptr<models::Detector> pristine;                ///< cloned per device

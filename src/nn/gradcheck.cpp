@@ -32,8 +32,10 @@ Gradcheck_report gradcheck_layer(Layer& layer, const Tensor& input, Rng& rng, bo
     Tensor analytic_input_grad = layer.backward(probe);
 
     // Snapshot analytic parameter grads.
+    const std::vector<Parameter*> params = layer.parameters();
     std::vector<Tensor> analytic_param_grads;
-    for (Parameter* p : layer.parameters()) {
+    analytic_param_grads.reserve(params.size());
+    for (const Parameter* p : params) {
         analytic_param_grads.push_back(p->grad);
     }
 

@@ -32,7 +32,14 @@ public:
 
 private:
     Sgd_config config_;
-    std::unordered_map<const Parameter*, Tensor> velocity_;
+    /// Per-parameter momentum, keyed by parameter *address*. Pointer keys
+    /// are deterministic here only because the map is lookup-only: step()
+    /// walks the caller's params vector (stable order) and does
+    /// try_emplace/find per entry; nothing ever iterates the map or sorts
+    /// by key, so allocator address layout cannot reach the weights.
+    /// tests/test_nn_training.cpp pins two identical runs to bit-identical
+    /// weights; the lint (rule ptr-key) rejects any future iteration.
+    std::unordered_map<const Parameter*, Tensor> velocity_; // shog-lint: lookup-only
 };
 
 } // namespace shog::nn

@@ -313,11 +313,17 @@ private:
     std::deque<Sched_job> waiting_; ///< insertion-ordered (== seq order)
     std::size_t waiting_labels_ = 0; ///< label jobs currently in waiting_
     /// Ids of waiting jobs: O(1) is_waiting instead of a queue scan per
-    /// label submit (quadratic in queue depth at large fleet sizes).
-    std::unordered_set<std::uint64_t> waiting_ids_;
+    /// label submit (quadratic in queue depth at large fleet sizes). Never
+    /// iterated — unordered_set iteration order is the canonical
+    /// nondeterminism leak, so the lint holds this member to
+    /// membership/insert/erase only; ordered traversal goes through
+    /// waiting_ (the seq-ordered deque).
+    std::unordered_set<std::uint64_t> waiting_ids_; // shog-lint: membership-only
     /// Waiting label jobs whose preemption bound expired (set by their
-    /// check timer; cleared on dispatch). See preempt_check.
-    std::unordered_set<std::uint64_t> overdue_ids_;
+    /// check timer; cleared on dispatch). See preempt_check. Only `empty()`
+    /// and `count()` are consulted; find_overdue's deep scan walks the
+    /// seq-ordered waiting_ deque, never this set.
+    std::unordered_set<std::uint64_t> overdue_ids_; // shog-lint: membership-only
     std::vector<std::shared_ptr<Active_dispatch>> active_;
     std::vector<Gpu_state> gpus_;
     /// Per-server failure RNG substreams (only servers with a finite MTBF

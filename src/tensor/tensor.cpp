@@ -286,7 +286,26 @@ namespace {
 /// the inner loop of matmul and matmul_tn; matmul_nt's dot-product loop is
 /// a genuine reduction and deliberately stays scalar (vectorizing it would
 /// reassociate the sum and change low bits).
-__attribute__((target_clones("avx2", "default"))) void
+///
+/// Multi-versioning is disabled under TSan: target_clones emits an IFUNC
+/// whose resolver runs during relocation, *before* libtsan has set up its
+/// thread state — the instrumented resolver's first TLS access then
+/// segfaults inside the runtime (every TSan binary linking this TU died at
+/// startup). The scalar clone is bit-identical anyway, so SHOG_SANITIZE=
+/// thread just runs that.
+#if defined(__SANITIZE_THREAD__)
+#define SHOG_UNDER_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SHOG_UNDER_TSAN 1
+#endif
+#endif
+#if defined(SHOG_UNDER_TSAN)
+#define SHOG_SIMD_CLONES
+#else
+#define SHOG_SIMD_CLONES __attribute__((target_clones("avx2", "default")))
+#endif
+SHOG_SIMD_CLONES void
 add_scaled_row(double* crow, const double a, const double* brow, const std::size_t n) {
     for (std::size_t j = 0; j < n; ++j) {
         crow[j] += a * brow[j];

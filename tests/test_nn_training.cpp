@@ -3,6 +3,8 @@
 // hidden layers and the small-batch BRN robustness claim.
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -171,6 +173,67 @@ TEST(Training, FrozenFrontStillConverges) {
     EXPECT_EQ(max_abs_diff(dynamic_cast<Dense&>(net.layer(0)).weight().value,
                            w_front_before),
               0.0);
+}
+
+TEST(Training, IdenticalRunsProduceBitIdenticalWeights) {
+    // Determinism audit pin for Sgd::velocity_ (src/nn/optimizer.hpp): the
+    // momentum map is keyed by Parameter *address*, and the two runs below
+    // place their parameters at different heap addresses on purpose. That
+    // is only safe because the map is lookup-only — step() walks the
+    // caller's stably-ordered params vector and does per-key
+    // find/try_emplace, so allocator address layout can never reach the
+    // update order. If anyone ever iterates velocity_ (the lint's ptr-key
+    // rule also forbids it), the momentum updates pick up address order
+    // and this bitwise pin breaks.
+    const auto build_and_train = [] {
+        Rng rng{42};
+        Sequential net;
+        net.add("fc1", std::make_unique<Dense>(3, 12, rng));
+        net.add("bn1", std::make_unique<Batch_renorm>(12));
+        net.add("act1", std::make_unique<Leaky_relu>(0.1));
+        net.add("fc2", std::make_unique<Dense>(12, 2, rng));
+        Tensor x{48, 3};
+        std::vector<std::size_t> y(48);
+        for (std::size_t i = 0; i < 48; ++i) {
+            x.at(i, 0) = rng.gaussian();
+            x.at(i, 1) = rng.gaussian();
+            x.at(i, 2) = rng.uniform(-1.0, 1.0);
+            y[i] = (x.at(i, 0) + x.at(i, 2) > 0.0) ? 1 : 0;
+        }
+        // weight_decay > 0 so the decay path of the update runs too.
+        Sgd opt{Sgd_config{0.05, 0.9, 1e-4}};
+        for (std::size_t s = 0; s < 120; ++s) {
+            net.zero_grad();
+            const Tensor logits = net.forward(x, true);
+            const Loss_result r = softmax_cross_entropy(logits, y);
+            (void)net.backward(r.grad);
+            opt.step(net.parameters());
+        }
+        std::vector<Tensor> weights;
+        for (const Parameter* p : net.parameters()) {
+            weights.push_back(p->value);
+        }
+        return weights;
+    };
+
+    // Perturb the allocator between the runs so equal addresses cannot
+    // mask an address-order dependence by accident.
+    const std::vector<Tensor> run_a = build_and_train();
+    const auto heap_shim = std::make_unique<Tensor>(7, 13);
+    const std::vector<Tensor> run_b = build_and_train();
+
+    ASSERT_EQ(run_a.size(), run_b.size());
+    ASSERT_FALSE(run_a.empty());
+    for (std::size_t p = 0; p < run_a.size(); ++p) {
+        ASSERT_EQ(run_a[p].size(), run_b[p].size()) << "param " << p;
+        for (std::size_t i = 0; i < run_a[p].size(); ++i) {
+            // Bit-pattern equality, not ==: -0.0 vs 0.0 or a pair of NaNs
+            // would slip through a numeric comparison.
+            const auto bits_a = std::bit_cast<std::uint64_t>(run_a[p].at(i));
+            const auto bits_b = std::bit_cast<std::uint64_t>(run_b[p].at(i));
+            ASSERT_EQ(bits_a, bits_b) << "param " << p << " element " << i;
+        }
+    }
 }
 
 } // namespace

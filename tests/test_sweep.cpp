@@ -68,6 +68,31 @@ TEST(RunSweep, EveryCellRunsExactlyOnce) {
     }
 }
 
+TEST(RunSweep, ProgressCallbackCountsEveryCellAndNeverTouchesResults) {
+    // on_cell_done is a side channel: it must see every completion exactly
+    // once with a monotonically increasing done count, and wiring it up must
+    // not change the merged output.
+    const auto cell = [](std::size_t i) { return std::to_string(i) + "\n"; };
+    const std::vector<std::string> reference = sim::run_sweep(40, cell);
+    std::vector<bool> seen(40, false);
+    std::size_t last_done = 0;
+    sim::Sweep_options options;
+    options.workers = 4;
+    options.on_cell_done = [&](std::size_t done, std::size_t cell_index) {
+        // Serialized under the pool mutex, so plain state is fine here.
+        EXPECT_EQ(done, last_done + 1);
+        last_done = done;
+        ASSERT_LT(cell_index, seen.size());
+        EXPECT_FALSE(seen[cell_index]) << "cell reported twice";
+        seen[cell_index] = true;
+    };
+    EXPECT_EQ(sim::run_sweep(40, cell, options), reference);
+    EXPECT_EQ(last_done, 40u);
+    for (std::size_t i = 0; i < seen.size(); ++i) {
+        EXPECT_TRUE(seen[i]) << "cell " << i << " never reported";
+    }
+}
+
 TEST(RunSweep, EmptySweepAndMerge) {
     const auto results = sim::run_sweep(0, [](std::size_t) { return std::string{}; });
     EXPECT_TRUE(results.empty());

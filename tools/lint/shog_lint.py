@@ -1,0 +1,513 @@
+#!/usr/bin/env python3
+"""shog_lint: rule-based determinism & concurrency lint for the shoggoth tree.
+
+The repo's contract (docs/ARCHITECTURE.md, "The determinism contract") is
+that every run is bit-reproducible from its config, for any worker count.
+The constructs that silently break that contract are boringly regular, so
+this lint bans them at CI time instead of hoping a pin test notices:
+
+  unordered-member  std::unordered_map/set declared in the deterministic
+                    kernel (src/sim, src/fleet) without an explicit
+                    `// shog-lint: membership-only` (or lookup-only)
+                    annotation. Hash-table iteration order is
+                    implementation-defined; a member that is never iterated
+                    must say so, and then the lint holds it to that.
+  unordered-iter    range-for / .begin() / std::begin over any unordered
+                    container in src/ — including allowlisted members (the
+                    annotation is a promise *not* to iterate, not a license).
+  wall-clock        std::random_device, rand(), srand(), time(),
+                    std::chrono::*_clock::now, getenv-seeded entropy in
+                    src/, tests/ or examples/. All time must be
+                    Event_queue::now(); all randomness must flow from
+                    explicit seeds through shog::Rng. bench/ and tools/ are
+                    exempt (wall-clock measurement is their job).
+  ptr-key           std::map/std::set keyed by a pointer (iteration order ==
+                    allocator address order: nondeterministic across runs),
+                    or a pointer-keyed unordered container without a
+                    `// shog-lint: lookup-only` annotation. A pointer key
+                    may never feed ordering or iteration — cf.
+                    Sgd::velocity_, which is safe only because step() walks
+                    the caller's stably-ordered params vector.
+  bare-mutex        a std::mutex/std::shared_mutex/std::recursive_mutex
+                    member: invisible to clang's thread-safety analysis.
+                    Shared state must use shog::Mutex
+                    (src/common/thread_annotations.hpp) so members can be
+                    SHOG_GUARDED_BY it — and a shog::Mutex that guards
+                    nothing (no SHOG_GUARDED_BY / SHOG_REQUIRES referencing
+                    it in its file) is flagged too.
+
+Annotation grammar (docs/ANALYSIS.md):
+  // shog-lint: membership-only   container used only for insert/erase/
+                                  count/contains/empty/clear — never iterated
+  // shog-lint: lookup-only       pointer-keyed map used only for per-key
+                                  find/at/try_emplace driven by an
+                                  externally-ordered walk — never iterated
+  // shog-lint: allow(<rule>)     targeted same-line suppression; use with a
+                                  justifying comment
+
+Usage:
+  tools/lint/shog_lint.py [--root REPO] [files...]   lint the tree (or files)
+  tools/lint/shog_lint.py --self-test                inject one violation per
+                                                     rule into a temp tree and
+                                                     assert the lint fails on
+                                                     each (CI runs this first,
+                                                     so a silently broken lint
+                                                     cannot green the build)
+Exit code: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+CODE_SUFFIXES = (".cpp", ".hpp", ".h", ".cc", ".hh")
+
+# Rule scopes, as path prefixes relative to the repo root.
+SCAN_ROOTS = ("src", "tests", "examples")
+UNORDERED_MEMBER_ROOTS = ("src/sim", "src/fleet")
+SRC_ONLY_ROOTS = ("src",)
+
+# The annotated wrapper is allowed to hold the one real std::mutex.
+BARE_MUTEX_EXEMPT = ("src/common/thread_annotations.hpp",)
+
+DIRECTIVE_RE = re.compile(r"//\s*shog-lint:\s*([a-z()_,\- ]+)")
+ALLOW_RE = re.compile(r"allow\(([a-z\-]+)\)")
+
+UNORDERED_DECL_RE = re.compile(
+    r"\bstd\s*::\s*unordered_(?:map|set|multimap|multiset)\s*<")
+ORDERED_DECL_RE = re.compile(r"\bstd\s*::\s*(?:map|set|multimap|multiset)\s*<")
+# Identifier that terminates a member/variable declaration.
+DECL_NAME_RE = re.compile(r"(\w+)\s*;\s*$")
+
+WALL_CLOCK_PATTERNS = (
+    (re.compile(r"\bstd\s*::\s*random_device\b"), "std::random_device"),
+    (re.compile(r"(?<![\w.>:])rand\s*\("), "rand()"),
+    (re.compile(r"(?<![\w.>:])srand\s*\("), "srand()"),
+    (re.compile(r"(?<![\w.>:])time\s*\("), "time()"),
+    (re.compile(r"\b\w*_clock\s*::\s*now\b"), "std::chrono::*_clock::now"),
+)
+
+BARE_MUTEX_RE = re.compile(
+    r"\bstd\s*::\s*(?:recursive_|shared_|timed_|recursive_timed_)?mutex\s+(\w+)\s*;")
+SHOG_MUTEX_RE = re.compile(r"(?<![\w:])(?:shog\s*::\s*)?Mutex\s+(\w+)\s*;")
+
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(\s*[^;()]*?:\s*([\w.\->]+)\s*\)")
+BEGIN_CALL_RE = re.compile(r"\b([\w.\->]+?)\s*\.\s*c?r?begin\s*\(")
+STD_BEGIN_RE = re.compile(r"\bstd\s*::\s*c?r?begin\s*\(\s*([\w.\->]+)\s*\)")
+
+RULES = {
+    "unordered-member": "unordered container in src/sim|src/fleet needs a "
+                        "'// shog-lint: membership-only' (or lookup-only) annotation",
+    "unordered-iter": "iteration over an unordered container (hash order is "
+                      "nondeterministic); use an ordered/indexed mirror",
+    "wall-clock": "wall-clock / global-RNG source outside bench/ and tools/; "
+                  "use Event_queue::now() and seeded shog::Rng substreams",
+    "ptr-key": "pointer-valued keys must never feed ordering or iteration",
+    "bare-mutex": "use shog::Mutex + SHOG_GUARDED_BY "
+                  "(common/thread_annotations.hpp) so clang's analysis sees it",
+}
+
+
+class Finding:
+    def __init__(self, path: str, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_strings(line: str) -> str:
+    """Blank out string/char literal contents (keeps the quotes, preserves
+    column positions well enough for reporting)."""
+    out = []
+    quote = None
+    i = 0
+    while i < len(line):
+        ch = line[i]
+        if quote:
+            if ch == "\\":
+                out.append("..")
+                i += 2
+                continue
+            if ch == quote:
+                quote = None
+                out.append(ch)
+            else:
+                out.append(".")
+        else:
+            if ch in "\"'":
+                quote = ch
+            out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+class File_scan:
+    """One file, split into code lines (comments/strings stripped) plus the
+    shog-lint directives harvested from the comments before stripping."""
+
+    def __init__(self, path: str, rel: str, text: str):
+        self.path = path
+        self.rel = rel
+        self.raw_lines = text.splitlines()
+        self.directives: dict[int, set[str]] = {}
+        self.code_lines: list[str] = []
+        in_block = False
+        for idx, raw in enumerate(self.raw_lines, start=1):
+            m = DIRECTIVE_RE.search(raw)
+            if m:
+                tokens = {t.strip() for t in re.split(r"[ ,]+", m.group(1)) if t.strip()}
+                for allow in ALLOW_RE.finditer(m.group(1)):
+                    tokens.add("allow:" + allow.group(1))
+                self.directives[idx] = tokens
+            line = strip_strings(raw)
+            # strip comments (state machine across lines for /* */)
+            out = []
+            i = 0
+            while i < len(line):
+                if in_block:
+                    end = line.find("*/", i)
+                    if end == -1:
+                        i = len(line)
+                    else:
+                        in_block = False
+                        i = end + 2
+                    continue
+                if line.startswith("//", i):
+                    break
+                if line.startswith("/*", i):
+                    in_block = True
+                    i += 2
+                    continue
+                out.append(line[i])
+                i += 1
+            self.code_lines.append("".join(out))
+
+    def has(self, lineno: int, token: str) -> bool:
+        return token in self.directives.get(lineno, set())
+
+    def allowed(self, lineno: int, rule: str) -> bool:
+        toks = self.directives.get(lineno, set())
+        return ("allow:" + rule) in toks
+
+    def under(self, roots: tuple[str, ...]) -> bool:
+        return any(self.rel == r or self.rel.startswith(r + "/") for r in roots)
+
+
+def first_template_arg(line: str, start: int) -> str:
+    """Text of the first top-level template argument after the '<' at/past
+    `start` (best effort, line-local)."""
+    lt = line.find("<", start)
+    if lt == -1:
+        return ""
+    depth = 1
+    i = lt + 1
+    arg_start = i
+    while i < len(line) and depth > 0:
+        ch = line[i]
+        if ch == "<":
+            depth += 1
+        elif ch == ">":
+            depth -= 1
+        elif ch == "," and depth == 1:
+            return line[arg_start:i]
+        i += 1
+    return line[arg_start:i - 1] if depth == 0 else line[arg_start:]
+
+
+def joined_declaration(scan: File_scan, start_idx: int, max_lines: int = 6) -> str:
+    """Join code lines from start_idx until the statement's ';' (bounded)."""
+    parts = []
+    for offset in range(max_lines):
+        idx = start_idx + offset
+        if idx >= len(scan.code_lines):
+            break
+        parts.append(scan.code_lines[idx])
+        if ";" in scan.code_lines[idx]:
+            break
+    return " ".join(parts)
+
+
+def scan_file(scan: File_scan, unordered_names: dict[str, str]) -> list[Finding]:
+    findings: list[Finding] = []
+
+    for idx, code in enumerate(scan.code_lines):
+        lineno = idx + 1
+
+        # ---- declarations of associative containers -----------------------
+        for decl_re, is_unordered in ((UNORDERED_DECL_RE, True), (ORDERED_DECL_RE, False)):
+            m = decl_re.search(code)
+            if not m:
+                continue
+            if not is_unordered and UNORDERED_DECL_RE.search(code):
+                continue  # the unordered branch already handles this line
+            stmt = joined_declaration(scan, idx)
+            name_m = DECL_NAME_RE.search(stmt.strip())
+            name = name_m.group(1) if name_m else "<unnamed>"
+            key = first_template_arg(stmt, m.start())
+            ptr_key = "*" in key
+            annotated = (scan.has(lineno, "membership-only")
+                         or scan.has(lineno, "lookup-only"))
+            if is_unordered:
+                unordered_names[name] = scan.rel
+                if ptr_key and not annotated and not scan.allowed(lineno, "ptr-key") \
+                        and scan.under(SRC_ONLY_ROOTS):
+                    findings.append(Finding(
+                        scan.rel, lineno, "ptr-key",
+                        f"'{name}' is keyed by a pointer ({key.strip()}); annotate "
+                        "'// shog-lint: lookup-only' and never iterate it"))
+                elif not annotated and scan.under(UNORDERED_MEMBER_ROOTS) \
+                        and not scan.allowed(lineno, "unordered-member"):
+                    findings.append(Finding(
+                        scan.rel, lineno, "unordered-member",
+                        f"'{name}': {RULES['unordered-member']}"))
+            else:
+                if ptr_key and scan.under(SRC_ONLY_ROOTS) \
+                        and not scan.allowed(lineno, "ptr-key"):
+                    findings.append(Finding(
+                        scan.rel, lineno, "ptr-key",
+                        f"'{name}' is an ordered container keyed by a pointer "
+                        f"({key.strip()}): iteration order is allocator address "
+                        "order — nondeterministic across runs"))
+
+        # ---- wall clock / global RNG --------------------------------------
+        for pat, label in WALL_CLOCK_PATTERNS:
+            if pat.search(code) and not scan.allowed(lineno, "wall-clock"):
+                findings.append(Finding(
+                    scan.rel, lineno, "wall-clock",
+                    f"{label}: {RULES['wall-clock']}"))
+
+        # ---- bare std::mutex members --------------------------------------
+        if scan.rel not in BARE_MUTEX_EXEMPT and scan.under(SRC_ONLY_ROOTS):
+            bm = BARE_MUTEX_RE.search(code)
+            if bm and not scan.allowed(lineno, "bare-mutex"):
+                findings.append(Finding(
+                    scan.rel, lineno, "bare-mutex",
+                    f"'{bm.group(1)}' is a bare std::mutex; {RULES['bare-mutex']}"))
+
+    return findings
+
+
+def scan_iteration(scan: File_scan, unordered_names: dict[str, str]) -> list[Finding]:
+    """Second pass (needs the full declared-name set): iteration over any
+    known unordered container, by member name, across all scanned files."""
+    findings: list[Finding] = []
+    if not scan.under(SRC_ONLY_ROOTS):
+        return findings
+    for idx, code in enumerate(scan.code_lines):
+        lineno = idx + 1
+        targets = []
+        targets.extend(m.group(1) for m in RANGE_FOR_RE.finditer(code))
+        targets.extend(m.group(1) for m in BEGIN_CALL_RE.finditer(code))
+        targets.extend(m.group(1) for m in STD_BEGIN_RE.finditer(code))
+        for target in targets:
+            base = target.split(".")[-1].split(">")[-1]  # a.b / p->b -> b
+            if base in unordered_names and not scan.allowed(lineno, "unordered-iter"):
+                findings.append(Finding(
+                    scan.rel, lineno, "unordered-iter",
+                    f"'{base}' (declared in {unordered_names[base]}) is an "
+                    f"unordered container: {RULES['unordered-iter']}"))
+    return findings
+
+
+def guard_check(scan: File_scan) -> list[Finding]:
+    """A shog::Mutex member must guard something: at least one
+    SHOG_GUARDED_BY/SHOG_PT_GUARDED_BY/SHOG_REQUIRES naming it in its file."""
+    findings: list[Finding] = []
+    if not scan.under(SRC_ONLY_ROOTS) or scan.rel in BARE_MUTEX_EXEMPT:
+        return findings
+    text = "\n".join(scan.code_lines)
+    for idx, code in enumerate(scan.code_lines):
+        lineno = idx + 1
+        m = SHOG_MUTEX_RE.search(code)
+        if not m or scan.allowed(lineno, "bare-mutex"):
+            continue
+        name = m.group(1)
+        guard = re.compile(
+            r"SHOG_(?:PT_)?(?:GUARDED_BY|REQUIRES(?:_SHARED)?|ACQUIRE|RELEASE|EXCLUDES)"
+            r"\s*\(\s*" + re.escape(name) + r"\s*\)")
+        if not guard.search(text):
+            findings.append(Finding(
+                scan.rel, lineno, "bare-mutex",
+                f"shog::Mutex '{name}' guards nothing in this file: annotate the "
+                f"state it protects with SHOG_GUARDED_BY({name}) (or the methods "
+                f"with SHOG_REQUIRES({name}))"))
+    return findings
+
+
+def collect_files(root: str, explicit: list[str]) -> list[tuple[str, str]]:
+    """(abs_path, repo_relative_path) pairs to scan."""
+    pairs = []
+    if explicit:
+        for f in explicit:
+            abspath = os.path.abspath(f)
+            rel = os.path.relpath(abspath, root).replace(os.sep, "/")
+            pairs.append((abspath, rel))
+        return pairs
+    for scan_root in SCAN_ROOTS:
+        top = os.path.join(root, scan_root)
+        for dirpath, _dirnames, filenames in os.walk(top):
+            for fn in sorted(filenames):
+                if fn.endswith(CODE_SUFFIXES):
+                    abspath = os.path.join(dirpath, fn)
+                    rel = os.path.relpath(abspath, root).replace(os.sep, "/")
+                    pairs.append((abspath, rel))
+    return pairs
+
+
+def run_lint(root: str, explicit: list[str]) -> list[Finding]:
+    scans = []
+    for abspath, rel in collect_files(root, explicit):
+        try:
+            with open(abspath, encoding="utf-8", errors="replace") as fh:
+                scans.append(File_scan(abspath, rel, fh.read()))
+        except OSError as err:
+            raise SystemExit(f"shog_lint: cannot read {abspath}: {err}")
+    unordered_names: dict[str, str] = {}
+    findings: list[Finding] = []
+    for scan in scans:
+        findings.extend(scan_file(scan, unordered_names))
+    for scan in scans:
+        findings.extend(scan_iteration(scan, unordered_names))
+        findings.extend(guard_check(scan))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+# --------------------------------------------------------------- self-test
+
+SELF_TEST_CASES = [
+    # (relative path, source, expected rule or None for must-be-clean)
+    ("src/sim/bad_member.hpp",
+     "#include <unordered_set>\n"
+     "struct S {\n"
+     "    std::unordered_set<int> ids_;\n"
+     "};\n",
+     "unordered-member"),
+    ("src/sim/bad_iter.cpp",
+     "#include <unordered_set>\n"
+     "struct S {\n"
+     "    std::unordered_set<int> ids_; // shog-lint: membership-only\n"
+     "    int sum() const {\n"
+     "        int s = 0;\n"
+     "        for (int id : ids_) { s += id; }\n"
+     "        return s;\n"
+     "    }\n"
+     "};\n",
+     "unordered-iter"),
+    ("src/core/bad_clock.cpp",
+     "#include <chrono>\n"
+     "double now_seconds() {\n"
+     "    auto t = std::chrono::steady_clock::now();\n"
+     "    return 0.0 * t.time_since_epoch().count();\n"
+     "}\n",
+     "wall-clock"),
+    ("src/core/bad_entropy.cpp",
+     "#include <random>\n"
+     "unsigned seed() { std::random_device rd; return rd(); }\n",
+     "wall-clock"),
+    ("src/nn/bad_ptr_key.hpp",
+     "#include <map>\n"
+     "struct P {};\n"
+     "struct S {\n"
+     "    std::map<const P*, int> order_;\n"
+     "};\n",
+     "ptr-key"),
+    ("src/nn/bad_ptr_key_unordered.hpp",
+     "#include <unordered_map>\n"
+     "struct P {};\n"
+     "struct S {\n"
+     "    std::unordered_map<P*, int> cache_;\n"
+     "};\n",
+     "ptr-key"),
+    ("src/sim/bad_mutex.hpp",
+     "#include <mutex>\n"
+     "struct S {\n"
+     "    std::mutex mutex_;\n"
+     "};\n",
+     "bare-mutex"),
+    ("src/sim/bad_unguarded.hpp",
+     "#include \"common/thread_annotations.hpp\"\n"
+     "struct S {\n"
+     "    shog::Mutex mutex_;\n"
+     "    int x = 0;\n"
+     "};\n",
+     "bare-mutex"),
+    ("src/sim/good.hpp",
+     "#include <unordered_set>\n"
+     "#include \"common/thread_annotations.hpp\"\n"
+     "struct S {\n"
+     "    std::unordered_set<int> ids_; // shog-lint: membership-only\n"
+     "    shog::Mutex mutex_;\n"
+     "    int completed_ SHOG_GUARDED_BY(mutex_) = 0;\n"
+     "    bool has(int id) const { return ids_.count(id) != 0; }\n"
+     "};\n",
+     None),
+]
+
+
+def self_test() -> int:
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="shog_lint_selftest_") as tmp:
+        for rel, source, expected in SELF_TEST_CASES:
+            path = os.path.join(tmp, rel)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(source)
+            findings = run_lint(tmp, [path])
+            rules = {f.rule for f in findings}
+            if expected is None:
+                if findings:
+                    failures.append(f"{rel}: expected clean, got {sorted(rules)}")
+            elif expected not in rules:
+                failures.append(f"{rel}: expected [{expected}], got {sorted(rules) or 'clean'}")
+            for f in os.listdir(os.path.dirname(path)):
+                os.remove(os.path.join(os.path.dirname(path), f))
+    if failures:
+        print("shog_lint self-test FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"shog_lint self-test passed ({len(SELF_TEST_CASES)} cases).")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: two levels above this script)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="inject known violations and assert the lint catches them")
+    parser.add_argument("--list-rules", action="store_true", help="print rule ids and exit")
+    parser.add_argument("files", nargs="*", help="lint only these files (default: whole tree)")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, desc in RULES.items():
+            print(f"{rule:18} {desc}")
+        return 0
+    if args.self_test:
+        return self_test()
+
+    root = args.root or os.path.abspath(
+        os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", ".."))
+    findings = run_lint(root, args.files)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"shog_lint: {len(findings)} finding(s).", file=sys.stderr)
+        return 1
+    print("shog_lint: clean.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
