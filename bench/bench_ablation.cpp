@@ -51,12 +51,12 @@ int main(int argc, char** argv) {
     }
     {
         core::Shoggoth_config cfg;
-        cfg.sample_horizon = 30.0;
+        cfg.sample_horizon = Sim_duration{30.0};
         run("horizon 30s", std::move(cfg));
     }
     {
         core::Shoggoth_config cfg;
-        cfg.sample_horizon = 300.0;
+        cfg.sample_horizon = Sim_duration{300.0};
         run("horizon 300s", std::move(cfg));
     }
     {

@@ -154,8 +154,8 @@ int main() {
         int shown = 0;
         for (const auto& rec : strategy.control_trace()) {
             if (shown++ % 4 == 0) {
-                std::cout << "  t=" << rec.at << " illum="
-                          << tb.stream->schedule().at(rec.at).illumination
+                std::cout << "  t=" << rec.at.value() << " illum=" // report raw seconds
+                          << tb.stream->schedule().at(rec.at.value()).illumination
                           << " rate=" << rec.rate << " alpha=" << rec.alpha
                           << " phi=" << rec.phi_bar << " lambda=" << rec.lambda << "\n";
             }

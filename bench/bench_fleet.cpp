@@ -131,7 +131,8 @@ std::string format_sharding_json(const fleet::Sharding_setup& setup, std::size_t
                    "\"labels_per_s\":%.3f,\"preemptions\":%zu,\"warm_dispatches\":%zu,"
                    "\"peak_queue_depth\":%zu,\"fleet_map\":%.4f}\n",
                    setup.label, setup.gpu_count, to_string(setup.placement),
-                   to_string(setup.policy), setup.preempt_label_wait, setup.max_batch,
+                   to_string(setup.policy), setup.preempt_label_wait.value(), // raw s
+                   setup.max_batch,
                    setup.label_reserved_gpus, devices, r.gpu_utilization,
                    r.mean_label_latency, r.p95_label_latency, r.label_jobs, r.cloud_jobs,
                    r.duration > 0.0 ? static_cast<double>(r.label_jobs) / r.duration : 0.0,
@@ -149,7 +150,8 @@ std::string format_reliability_json(const fleet::Reliability_setup& setup,
                    "\"preemptions\":%zu,\"fleet_map\":%.4f}\n",
                    setup.label, setup.gpu_count, to_string(setup.placement),
                    to_string(setup.policy), setup.straggler_speed,
-                   std::isfinite(setup.mtbf) ? setup.mtbf : -1.0, setup.mttr,
+                   std::isfinite(setup.mtbf.value()) ? setup.mtbf.value() : -1.0, // raw s
+                   setup.mttr.value(), // raw s
                    setup.straggler_requeue_factor, devices, r.gpu_utilization,
                    r.mean_label_latency, r.p95_label_latency, r.label_jobs, r.failures,
                    r.straggler_requeues, r.preemptions, r.fleet_map);
@@ -207,7 +209,8 @@ void run_policy_sweep(const fleet::Testbed& testbed, const char* scenario,
             const Cell& cell = cells[i];
             const bool heterogeneous = std::string{cell.mix} == "heterogeneous";
             return format_policy_json(
-                cell.setup.label, cell.setup.preempt_label_wait, cell.mix, scenario,
+                cell.setup.label, cell.setup.preempt_label_wait.value(), // raw s
+                cell.mix, scenario,
                 shoggoth_devices, ams_devices,
                 fleet::run_policy_cell(testbed, devices, heterogeneous, cell.setup, seed));
         },
@@ -249,7 +252,7 @@ void run_sharding_sweep(const fleet::Testbed& testbed, std::size_t devices,
         setup.label = "fifo_preempt_ref";
         setup.gpu_count = gpus;
         setup.policy = sim::Policy_kind::fifo;
-        setup.preempt_label_wait = 2.0;
+        setup.preempt_label_wait = Sim_duration{2.0};
         cells.push_back(setup);
     }
     print_merged(sim::run_sweep(
@@ -275,7 +278,7 @@ void run_reliability_sweep(const fleet::Testbed& testbed, std::size_t devices,
     for (sim::Placement_kind placement :
          {sim::Placement_kind::any_free, sim::Placement_kind::speed_aware}) {
         for (double straggler_speed : {1.0, 0.25}) {
-            for (double mtbf : {never, 45.0}) {
+            for (const double mtbf : {never, 45.0}) {
                 for (double requeue : {0.0, 2.0}) {
                     if (requeue > 0.0 && straggler_speed == 1.0) {
                         continue; // no slow shard: the bound never arms
@@ -286,8 +289,8 @@ void run_reliability_sweep(const fleet::Testbed& testbed, std::size_t devices,
                     setup.placement = placement;
                     setup.policy = sim::Policy_kind::priority;
                     setup.straggler_speed = straggler_speed;
-                    setup.mtbf = mtbf;
-                    setup.mttr = 10.0;
+                    setup.mtbf = Sim_duration{mtbf};
+                    setup.mttr = Sim_duration{10.0};
                     setup.straggler_requeue_factor = requeue;
                     cells.push_back(setup);
                 }
@@ -323,25 +326,29 @@ void run_sched_micro() {
         Event_queue queue;
         sim::Cloud_config config;
         config.policy = sim::policy_by_name(cell.policy);
-        config.preempt_label_wait = cell.preempt_s;
+        config.preempt_label_wait = Sim_duration{cell.preempt_s};
         sim::Cloud_runtime cloud{queue, config};
         const std::size_t devices = 64;
         for (std::size_t d = 0; d < devices; ++d) {
             for (int i = 0; i < 400; ++i) {
-                queue.schedule(0.5 * i + 0.001 * static_cast<double>(d), [&cloud, d] {
-                    cloud.submit(d, 0.05, {}, sim::Cloud_job_kind::label);
-                });
+                queue.schedule(Sim_time{0.5 * i + 0.001 * static_cast<double>(d)},
+                               [&cloud, d] {
+                                   cloud.submit(d, Sim_duration{0.05}, {},
+                                                sim::Cloud_job_kind::label);
+                               });
             }
             if (d % 4 == 0) {
                 for (int i = 0; i < 40; ++i) {
-                    queue.schedule(5.0 * i + 0.002 * static_cast<double>(d), [&cloud, d] {
-                        cloud.submit(d, 3.0, {}, sim::Cloud_job_kind::train);
-                    });
+                    queue.schedule(Sim_time{5.0 * i + 0.002 * static_cast<double>(d)},
+                                   [&cloud, d] {
+                                       cloud.submit(d, Sim_duration{3.0}, {},
+                                                    sim::Cloud_job_kind::train);
+                                   });
                 }
             }
         }
         const auto start = std::chrono::steady_clock::now();
-        (void)queue.run_until(1.0e9);
+        (void)queue.run_until(Sim_time{1.0e9});
         const auto stop = std::chrono::steady_clock::now();
         std::printf("{\"bench\":\"fleet_sched_micro\",\"policy\":\"%s\","
                     "\"preempt_s\":%.1f,\"devices\":%zu,\"jobs\":%zu,"

@@ -108,7 +108,7 @@ BENCHMARK(BM_controller_update);
 void BM_h264_batch(benchmark::State& state) {
     const netsim::H264_model codec;
     for (auto _ : state) {
-        benchmark::DoNotOptimize(codec.batch_bytes(8, 512, 512, 0.6, 0.3, 1.5));
+        benchmark::DoNotOptimize(codec.batch_bytes(8, 512, 512, 0.6, 0.3, Sim_duration{1.5}));
     }
 }
 BENCHMARK(BM_h264_batch);
@@ -132,7 +132,7 @@ void BM_event_queue_burst(benchmark::State& state) {
         std::size_t executed = 0;
         state.ResumeTiming();
         for (const double t : times) {
-            queue.schedule(t, [&executed] { ++executed; });
+            queue.schedule(Sim_time{t}, [&executed] { ++executed; });
         }
         while (!queue.empty()) {
             queue.step();

@@ -79,13 +79,13 @@ int main(int argc, char** argv) {
 
         std::cout << "  " << variant.name << ": mAP=" << result.map * 100.0
                   << "% sessions=" << result.training_sessions
-                  << " fwd=" << cost.forward_seconds << "s bwd=" << cost.backward_seconds
-                  << "s\n";
+                  << " fwd=" << cost.forward_seconds.value() // report in raw seconds
+                  << "s bwd=" << cost.backward_seconds.value() << "s\n";
 
         table.add_row({variant.name, Text_table::num(result.map * 100.0, 1),
-                       Text_table::num(cost.forward_seconds, 1),
-                       Text_table::num(cost.backward_seconds, 1),
-                       Text_table::num(cost.overall_seconds(), 1)});
+                       Text_table::num(cost.forward_seconds.value(), 1),
+                       Text_table::num(cost.backward_seconds.value(), 1),
+                       Text_table::num(cost.overall_seconds().value(), 1)});
     }
 
     std::cout << "\n" << table.str() << std::flush;

@@ -84,7 +84,7 @@ int main(int argc, char** argv) {
     std::printf("session: %zu mini-batches, loss %.3f -> %.3f, modeled %.1f s on a TX2, "
                 "%s\n",
                 report.minibatches, report.initial_loss, report.final_loss,
-                report.overall_seconds(),
+                report.overall_seconds().value(), // printf needs the raw seconds
                 report.committed ? "committed" : "rolled back by the validation gate");
     return 0;
 }

@@ -49,8 +49,9 @@ int main(int argc, char** argv) {
         if (shown++ % 4 != 0) {
             continue;
         }
-        const video::Domain d = stream.schedule().at(rec.at);
-        std::printf("  %5.0fs  illum=%.2f %-8s  %8.2f  %5.2f  %6.2f\n", rec.at,
+        const video::Domain d = stream.schedule().at(rec.at.value()); // frame domain
+        std::printf("  %5.0fs  illum=%.2f %-8s  %8.2f  %5.2f  %6.2f\n",
+                    rec.at.value(), // printf needs the raw seconds
                     d.illumination, video::to_string(d.weather), rec.rate, rec.alpha,
                     rec.phi_bar);
     }

@@ -16,7 +16,7 @@ Ams_strategy::Ams_strategy(models::Detector& student, models::Detector& teacher,
       profile_{profile},
       labeler_{teacher, config_.labeler},
       controller_{config_.controller, config_.initial_rate},
-      resource_monitor_{1.0},
+      resource_monitor_{Sim_duration{1.0}},
       cloud_device_{std::move(cloud_device)},
       teacher_infer_gflops_{
           models::Deployed_profile::mask_rcnn_resnext101().inference_gflops()} {
@@ -39,8 +39,8 @@ void Ams_strategy::start(sim::Edge_runtime& rt) {
 }
 
 void Ams_strategy::schedule_next_sample(sim::Edge_runtime& rt) {
-    const Seconds gap = 1.0 / controller_.rate();
-    if (rt.now() + gap >= rt.stream().duration()) {
+    const Sim_duration gap{1.0 / controller_.rate()};
+    if (rt.now() + gap >= Sim_time{rt.stream().duration()}) {
         return;
     }
     rt.schedule(gap, [this, &rt] { on_sample_tick(rt); });
@@ -50,7 +50,7 @@ void Ams_strategy::on_sample_tick(sim::Edge_runtime& rt) {
     if (sample_buffer_.empty()) {
         first_buffered_at_ = rt.now();
     }
-    sample_buffer_.push_back(rt.stream().index_at(rt.now()));
+    sample_buffer_.push_back(rt.stream().index_at(rt.now().value())); // frame-domain lookup
     if (sample_buffer_.size() >= config_.upload_batch_frames ||
         rt.now() - first_buffered_at_ >= config_.upload_max_wait) {
         upload_buffer(rt);
@@ -75,16 +75,16 @@ void Ams_strategy::upload_buffer(sim::Edge_runtime& rt) {
     complexity /= static_cast<double>(frames.size());
     motion /= static_cast<double>(frames.size());
 
-    const Seconds gap = 1.0 / controller_.rate();
+    const Sim_duration gap{1.0 / controller_.rate()};
     const double res = config_.upload_resolution;
     const Bytes payload = rt.h264().batch_bytes(frames.size(), res, res, complexity, motion,
                                                 gap);
-    const Seconds encode = rt.h264().encode_seconds(frames.size(), res, res);
-    const Seconds up_delay = rt.link().send_up(rt.now(), payload);
+    const Sim_duration encode = rt.h264().encode_seconds(frames.size(), res, res);
+    const Sim_duration up_delay = rt.link().send_up(rt.now(), payload);
     rt.schedule(encode + up_delay, [this, &rt, frames = std::move(frames)]() mutable {
         // Labeling queues on the shared cloud GPU pool like Shoggoth's; the
         // difference shows up later, when AMS also submits fine-tune jobs.
-        const Seconds service =
+        const Sim_duration service =
             static_cast<double>(frames.size()) *
             cloud_device_.seconds_for_gflops(teacher_infer_gflops_);
         rt.cloud().submit(
@@ -140,7 +140,7 @@ void Ams_strategy::maybe_train_in_cloud(sim::Edge_runtime& rt) {
         return;
     }
     std::vector<models::Labeled_sample> batch;
-    std::vector<Seconds> sample_at; // labeling time per sample, oldest first
+    std::vector<Sim_time> sample_at; // labeling time per sample, oldest first
     while (!pending_.empty()) {
         for (models::Labeled_sample& s : pending_.front().samples) {
             batch.push_back(std::move(s));
@@ -160,8 +160,8 @@ void Ams_strategy::maybe_train_in_cloud(sim::Edge_runtime& rt) {
     // device (train() prices the session with the same estimate). The cloud
     // copy is actually trained when the job completes, then the new weights
     // ship on the downlink.
-    const Seconds service = cloud_trainer_->estimate_session_cost(batch.size())
-                                .overall_seconds();
+    const Sim_duration service = cloud_trainer_->estimate_session_cost(batch.size())
+                                     .overall_seconds();
     // Preemption-aware resume: if the scheduler checkpoints this fine-tune,
     // re-plan the remainder instead of replaying it verbatim. The session
     // walks the batch oldest-first at uniform per-sample cost, so the
@@ -173,11 +173,11 @@ void Ams_strategy::maybe_train_in_cloud(sim::Edge_runtime& rt) {
     // samples' gradient contribution is marginal, the model prices out
     // their GPU time, which is what repeated preemption wastes.
     sim::Cloud_runtime::Resume_replan replan;
-    if (config_.replan_on_resume && service > 0.0) {
-        const Seconds per_sample = service / static_cast<double>(batch.size());
+    if (config_.replan_on_resume && service > Sim_duration{}) {
+        const Sim_duration per_sample = service / static_cast<double>(batch.size());
         replan = [sample_at = std::move(sample_at), per_sample,
                   horizon = config_.sample_horizon,
-                  begin = std::size_t{0}](Seconds remaining, Seconds now) mutable {
+                  begin = std::size_t{0}](Sim_duration remaining, Sim_time now) mutable {
             const std::size_t n = sample_at.size();
             const std::size_t pending = std::min(
                 n - begin,
@@ -195,8 +195,8 @@ void Ams_strategy::maybe_train_in_cloud(sim::Edge_runtime& rt) {
         rt.device_id(), service,
         [this, &rt, batch = std::move(batch)]() mutable {
             (void)cloud_trainer_->train(batch);
-            const Bytes update = profile_.update_bytes();
-            const Seconds down_delay = rt.link().send_down(rt.now(), update);
+            const Bytes update{profile_.update_bytes()};
+            const Sim_duration down_delay = rt.link().send_down(rt.now(), update);
             std::vector<double> state = cloud_copy_->net().state_vector();
             ++updates_sent_;
             rt.schedule(down_delay, [this, &rt, state = std::move(state)] {

@@ -31,17 +31,17 @@ struct Ams_config {
     core::Labeler_config labeler;
     double initial_rate = 1.0;
     std::size_t upload_batch_frames = 8;
-    Seconds upload_max_wait = 15.0;
+    Sim_duration upload_max_wait{15.0};
     /// Cloud fine-tune triggers after this many labeled frames (same frame-
     /// denominated cadence as Shoggoth).
     std::size_t frames_per_session = 60;
-    Seconds sample_horizon = 150.0;
+    Sim_duration sample_horizon{150.0};
     bool warm_replay = true;
     std::size_t warm_samples = 1200;
     double upload_resolution = 512.0;
     double alpha_threshold = 0.5;
     /// Edge-side model swap pause (fps dips while weights are installed).
-    Seconds swap_seconds = 0.4;
+    Sim_duration swap_seconds{0.4};
     /// Preemption-aware resume: when the scheduler checkpoints a fine-tune
     /// (label-wait preemption, server failure), the job re-plans its
     /// remaining batch on resume — samples whose age exceeds
@@ -86,11 +86,11 @@ private:
     Rng label_rng_{0xa3a3};
 
     std::vector<std::size_t> sample_buffer_;
-    Seconds first_buffered_at_ = 0.0;
+    Sim_time first_buffered_at_;
     struct Pending_batch {
         std::vector<models::Labeled_sample> samples;
         std::size_t frames = 0;
-        Seconds at = 0.0;
+        Sim_time at;
     };
     std::deque<Pending_batch> pending_;
     std::size_t pending_frames_ = 0;

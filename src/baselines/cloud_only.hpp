@@ -14,9 +14,9 @@ namespace shog::baselines {
 
 struct Cloud_only_config {
     /// Metering/model-update cadence for the continuous streams.
-    Seconds meter_tick = 1.0;
+    Sim_duration meter_tick{1.0};
     /// Per-frame encode seconds on the edge HW encoder in streaming mode.
-    Seconds stream_encode_seconds = 0.05;
+    Sim_duration stream_encode_seconds{0.05};
 };
 
 class Cloud_only_strategy final : public sim::Strategy {

@@ -46,19 +46,21 @@ class Event_queue {
 public:
     using Action = std::function<void()>;
 
-    void schedule(Seconds at, Action action) {
+    void schedule(Sim_time at, Action action) {
         SHOG_REQUIRE(at >= now_, "cannot schedule an event in the past");
         insert(Entry{at, sequence_++, std::move(action)});
         ++size_;
     }
 
-    void schedule_in(Seconds delay, Action action) { schedule(now_ + delay, std::move(action)); }
+    void schedule_in(Sim_duration delay, Action action) {
+        schedule(now_ + delay, std::move(action));
+    }
 
     [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
     [[nodiscard]] std::size_t pending() const noexcept { return size_; }
-    [[nodiscard]] Seconds now() const noexcept { return now_; }
+    [[nodiscard]] Sim_time now() const noexcept { return now_; }
 
-    [[nodiscard]] Seconds next_time() const {
+    [[nodiscard]] Sim_time next_time() const {
         SHOG_REQUIRE(size_ > 0, "no pending events");
         // Rung maintenance only repacks internal storage; the observable
         // state (pending set, order, clock) is untouched, so next_time()
@@ -86,7 +88,7 @@ public:
     /// Events scheduled *during* the final step at exactly `until` still
     /// execute: the loop re-examines the earliest pending time after every
     /// step. Returns the number of events executed.
-    std::size_t run_until(Seconds until) {
+    std::size_t run_until(Sim_time until) {
         std::size_t executed = 0;
         while (size_ > 0 && next_time() <= until) {
             step();
@@ -98,7 +100,7 @@ public:
 
 private:
     struct Entry {
-        Seconds at;
+        Sim_time at;
         std::uint64_t seq;
         Action action;
     };
@@ -115,14 +117,14 @@ private:
 
     static constexpr std::size_t min_buckets = 64;
     static constexpr std::size_t max_buckets = std::size_t{1} << 16;
-    static constexpr double min_width = 1e-9;
+    static constexpr Sim_duration min_width{1e-9};
 
     /// Bucket index of `at` under the current geometry, or `bucket_count()`
     /// when the event belongs in the overflow rung. Monotone non-decreasing
     /// in `at`, which is all the determinism proof needs.
-    [[nodiscard]] std::size_t bucket_index(Seconds at) const noexcept {
-        const double offset = at - window_start_;
-        if (offset < 0.0) {
+    [[nodiscard]] std::size_t bucket_index(Sim_time at) const noexcept {
+        const Sim_duration offset = at - window_start_;
+        if (offset < Sim_duration{}) {
             // The clock can trail a rebuilt window (run_until stopped short
             // of the overflow minimum the window was re-anchored on); such
             // events join bucket 0, where exact comparison orders them.
@@ -181,11 +183,11 @@ private:
         }
     }
 
-    void init_window(Seconds first_at) {
+    void init_window(Sim_time first_at) {
         buckets_.assign(min_buckets, {});
         cursor_ = -1;
         window_start_ = first_at;
-        width_ = 1.0 / static_cast<double>(min_buckets);
+        width_ = Sim_duration{1.0 / static_cast<double>(min_buckets)};
         span_ = width_ * static_cast<double>(buckets_.size());
     }
 
@@ -201,7 +203,7 @@ private:
         while (count < spill.size() && count < max_buckets) {
             count *= 2;
         }
-        const double range = max_overflow_at_ - window_start_;
+        const Sim_duration range = max_overflow_at_ - window_start_;
         width_ = std::max(range / static_cast<double>(count), min_width);
         span_ = width_ * static_cast<double>(count);
         buckets_.assign(count, {});
@@ -223,13 +225,13 @@ private:
     std::vector<Entry> current_;  ///< heap: the bucket being drained
     std::vector<Entry> overflow_; ///< heap: events beyond the window
     std::ptrdiff_t cursor_ = -1;  ///< index of the bucket behind current_
-    double window_start_ = 0.0;
-    double width_ = 1.0;
-    double span_ = 0.0;
-    Seconds max_overflow_at_ = 0.0;
+    Sim_time window_start_;
+    Sim_duration width_{1.0};
+    Sim_duration span_;
+    Sim_time max_overflow_at_;
     std::size_t size_ = 0;
     std::uint64_t sequence_ = 0;
-    Seconds now_ = 0.0;
+    Sim_time now_;
 };
 
 /// The original binary-heap event queue. Reference implementation for the
@@ -238,17 +240,19 @@ class Heap_event_queue {
 public:
     using Action = std::function<void()>;
 
-    void schedule(Seconds at, Action action) {
+    void schedule(Sim_time at, Action action) {
         SHOG_REQUIRE(at >= now_, "cannot schedule an event in the past");
         heap_.push(Entry{at, sequence_++, std::move(action)});
     }
 
-    void schedule_in(Seconds delay, Action action) { schedule(now_ + delay, std::move(action)); }
+    void schedule_in(Sim_duration delay, Action action) {
+        schedule(now_ + delay, std::move(action));
+    }
 
     [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
     [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
-    [[nodiscard]] Seconds now() const noexcept { return now_; }
-    [[nodiscard]] Seconds next_time() const {
+    [[nodiscard]] Sim_time now() const noexcept { return now_; }
+    [[nodiscard]] Sim_time next_time() const {
         SHOG_REQUIRE(!heap_.empty(), "no pending events");
         return heap_.top().at;
     }
@@ -267,7 +271,7 @@ public:
 
     /// Run events until the queue drains or the clock passes `until`.
     /// Returns the number of events executed.
-    std::size_t run_until(Seconds until) {
+    std::size_t run_until(Sim_time until) {
         std::size_t executed = 0;
         while (!heap_.empty() && heap_.top().at <= until) {
             step();
@@ -279,7 +283,7 @@ public:
 
 private:
     struct Entry {
-        Seconds at;
+        Sim_time at;
         std::uint64_t seq;
         Action action;
     };
@@ -294,7 +298,7 @@ private:
 
     std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
     std::uint64_t sequence_ = 0;
-    Seconds now_ = 0.0;
+    Sim_time now_;
 };
 
 } // namespace shog

@@ -95,9 +95,9 @@ struct Training_report {
     double holdout_accuracy_before = 0.0;
     double holdout_accuracy_after = 0.0;
     /// Deployed-model time on the training device (Table II columns).
-    Seconds forward_seconds = 0.0;
-    Seconds backward_seconds = 0.0;
-    [[nodiscard]] Seconds overall_seconds() const noexcept {
+    Sim_duration forward_seconds;
+    Sim_duration backward_seconds;
+    [[nodiscard]] Sim_duration overall_seconds() const noexcept {
         return forward_seconds + backward_seconds;
     }
 };

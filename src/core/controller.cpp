@@ -13,7 +13,7 @@ Sampling_controller::Sampling_controller(Controller_config config, double initia
     SHOG_REQUIRE(config_.eta_r >= 0.0 && config_.eta_alpha >= 0.0,
                  "step sizes must be non-negative");
     SHOG_REQUIRE(config_.phi_horizon >= 1, "phi horizon must be positive");
-    rate_ = clamp(rate_, config_.r_min, config_.r_max);
+    rate_ = std::clamp(rate_, config_.r_min, config_.r_max);
 }
 
 void Sampling_controller::observe_phi(double phi) {
@@ -29,7 +29,7 @@ double Sampling_controller::effective_alpha_target() const noexcept {
     if (!config_.adaptive_alpha_target || alpha_peak_ <= 0.0) {
         return config_.alpha_target;
     }
-    return clamp(config_.alpha_target_fraction * alpha_peak_, 0.35, 0.85);
+    return std::clamp(config_.alpha_target_fraction * alpha_peak_, 0.35, 0.85);
 }
 
 double Sampling_controller::r_alpha(double alpha) const noexcept {
@@ -48,7 +48,7 @@ double Sampling_controller::update(double alpha, double lambda) {
     const double next = r_phi() + r_alpha(alpha) + r_lambda(lambda);
     last_lambda_ = lambda;
     lambda_seen_ = true;
-    rate_ = clamp(next, config_.r_min, config_.r_max);
+    rate_ = std::clamp(next, config_.r_min, config_.r_max);
     ++updates_;
     return rate_;
 }

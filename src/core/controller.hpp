@@ -84,9 +84,10 @@ class Drift_estimator {
 public:
     /// Fold in one control round's alpha at time `now`; the first round
     /// only seeds the state.
-    void observe(double alpha, Seconds now) noexcept {
+    void observe(double alpha, Sim_time now) noexcept {
         if (last_alpha_ >= 0.0 && now > last_at_) {
-            const double instant = std::abs(alpha - last_alpha_) / (now - last_at_);
+            const double instant =
+                std::abs(alpha - last_alpha_) / (now - last_at_).value(); // alpha/s slope
             rate_ = 0.5 * rate_ + 0.5 * instant;
         }
         last_at_ = now;
@@ -98,7 +99,7 @@ public:
 
 private:
     double last_alpha_ = -1.0;
-    Seconds last_at_ = -1.0;
+    Sim_time last_at_{-1.0};
     double rate_ = 0.0;
 };
 

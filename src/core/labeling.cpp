@@ -132,7 +132,7 @@ double phi_between(const std::vector<detect::Detection>& current,
     const double count_change = std::abs(a.count - b.count) / max_count;
     const double conf_change = std::abs(a.mean_confidence - b.mean_confidence);
 
-    return clamp(0.45 * hist_tv + 0.35 * count_change + 0.20 * conf_change, 0.0, 1.0);
+    return std::clamp(0.45 * hist_tv + 0.35 * count_change + 0.20 * conf_change, 0.0, 1.0);
 }
 
 } // namespace shog::core

@@ -17,7 +17,7 @@ Shoggoth_strategy::Shoggoth_strategy(models::Detector& student, models::Detector
       trainer_{student, config_.trainer, std::move(edge_profile), std::move(edge_device)},
       labeler_{teacher, config_.labeler},
       controller_{config_.controller, config_.initial_rate},
-      resource_monitor_{1.0},
+      resource_monitor_{Sim_duration{1.0}},
       cloud_device_{std::move(cloud_device)},
       teacher_infer_gflops_{
           models::Deployed_profile::mask_rcnn_resnext101().inference_gflops()} {
@@ -46,15 +46,15 @@ void Shoggoth_strategy::start(sim::Edge_runtime& rt) {
 }
 
 void Shoggoth_strategy::schedule_next_sample(sim::Edge_runtime& rt) {
-    const Seconds gap = 1.0 / current_rate();
-    if (rt.now() + gap >= rt.stream().duration()) {
+    const Sim_duration gap{1.0 / current_rate()};
+    if (rt.now() + gap >= Sim_time{rt.stream().duration()}) {
         return;
     }
     rt.schedule(gap, [this, &rt] { on_sample_tick(rt); });
 }
 
 void Shoggoth_strategy::on_sample_tick(sim::Edge_runtime& rt) {
-    const std::size_t index = rt.stream().index_at(rt.now());
+    const std::size_t index = rt.stream().index_at(rt.now().value()); // frame-domain lookup
     if (sample_buffer_.empty()) {
         first_buffered_at_ = rt.now();
         schedule_flush_timer(rt);
@@ -75,9 +75,9 @@ void Shoggoth_strategy::schedule_flush_timer(sim::Edge_runtime& rt) {
     // at the end of the stream. Clamping to the stream duration flushes any
     // remainder at stream end, inside the simulation horizon.
     const std::uint64_t generation = upload_generation_;
-    const Seconds at = std::min(first_buffered_at_ + config_.upload_max_wait,
-                                rt.stream().duration());
-    rt.schedule(std::max(0.0, at - rt.now()), [this, &rt, generation] {
+    const Sim_time at = std::min(first_buffered_at_ + config_.upload_max_wait,
+                                 Sim_time{rt.stream().duration()});
+    rt.schedule(std::max(Sim_duration{}, at - rt.now()), [this, &rt, generation] {
         if (generation == upload_generation_ && !sample_buffer_.empty()) {
             upload_buffer(rt);
         }
@@ -104,22 +104,22 @@ void Shoggoth_strategy::upload_buffer(sim::Edge_runtime& rt) {
     complexity /= static_cast<double>(frames.size());
     motion /= static_cast<double>(frames.size());
 
-    const Seconds gap =
+    const Sim_duration gap =
         frames.size() > 1
             ? (last_buffered_at_ - first_buffered_at_) / static_cast<double>(frames.size() - 1)
-            : 1.0 / current_rate();
+            : Sim_duration{1.0 / current_rate()};
     // "All images are resized to 512x512" before encoding and upload.
     const double res = config_.upload_resolution;
     const Bytes payload = rt.h264().batch_bytes(frames.size(), res, res, complexity, motion,
                                                 gap);
     // Paper: compressing the buffered samples takes 1-3 seconds.
-    const Seconds encode = rt.h264().encode_seconds(frames.size(), res, res);
-    const Seconds up_delay = rt.link().send_up(rt.now(), payload);
+    const Sim_duration encode = rt.h264().encode_seconds(frames.size(), res, res);
+    const Sim_duration up_delay = rt.link().send_up(rt.now(), payload);
     rt.schedule(encode + up_delay, [this, &rt, frames = std::move(frames)]() mutable {
         // The batch has reached the cloud: labeling now queues on the shared
         // GPU pool behind every other device's work. Teacher inference cost
         // is the service time; the downlink leaves once the job completes.
-        const Seconds service =
+        const Sim_duration service =
             static_cast<double>(frames.size()) *
             cloud_device_.seconds_for_gflops(teacher_infer_gflops_);
         rt.cloud().submit(
@@ -134,7 +134,7 @@ void Shoggoth_strategy::upload_buffer(sim::Edge_runtime& rt) {
 void Shoggoth_strategy::cloud_label_batch(sim::Edge_runtime& rt, std::vector<std::size_t> frames) {
     const video::World_model& world = rt.stream().world();
     std::vector<models::Labeled_sample> samples;
-    Bytes label_payload = 0.0;
+    Bytes label_payload;
     double agreement_sum = 0.0;
 
     for (std::size_t idx : frames) {
@@ -194,7 +194,7 @@ void Shoggoth_strategy::cloud_label_batch(sim::Edge_runtime& rt, std::vector<std
         label_payload += rt.message_sizes().rate_command_bytes;
     }
 
-    const Seconds down_delay = rt.link().send_down(rt.now(), label_payload);
+    const Sim_duration down_delay = rt.link().send_down(rt.now(), label_payload);
     const std::size_t frame_count = frames.size();
     rt.schedule(down_delay,
                 [this, &rt, samples = std::move(samples), frame_count, flush_stale]() mutable {
@@ -239,7 +239,7 @@ void Shoggoth_strategy::maybe_start_training(sim::Edge_runtime& rt) {
         return;
     }
     const Training_report estimate = trainer_.estimate_session_cost(batch.size());
-    const Seconds wall = estimate.overall_seconds() * config_.training_wall_factor;
+    const Sim_duration wall = estimate.overall_seconds() * config_.training_wall_factor;
 
     training_busy_ = true;
     rt.set_training_active(true);

@@ -35,7 +35,7 @@ struct Shoggoth_config {
     /// Ship a partial buffer after this long, so control rounds stay
     /// responsive even at r_min (an 8-frame buffer at 0.1 fps would
     /// otherwise stall the controller for 80 s).
-    Seconds upload_max_wait = 15.0;
+    Sim_duration upload_max_wait{15.0};
     /// A training session starts once this many labeled frames are pending
     /// (the paper's "every training batch contains 300 images" is frame-
     /// denominated; each frame yields several region samples per Eq. 1).
@@ -43,7 +43,7 @@ struct Shoggoth_config {
     /// Labeled samples older than this are discarded before a session — the
     /// paper's "carefully selected recent frame horizon": train on what the
     /// scene looks like *now*, not minutes ago.
-    Seconds sample_horizon = 90.0;
+    Sim_duration sample_horizon{90.0};
     /// Seed the replay memory from the offline (daytime) training set at
     /// deployment so the first online session already rehearses the base
     /// domain (standard latent-replay practice).
@@ -102,7 +102,7 @@ public:
 
     /// One control-round snapshot (for traces, tests and the Table III bench).
     struct Control_record {
-        Seconds at;
+        Sim_time at;
         double rate;
         double alpha;
         double phi_bar;
@@ -127,12 +127,12 @@ private:
 
     // Edge state.
     std::vector<std::size_t> sample_buffer_; ///< frame indices awaiting upload
-    Seconds first_buffered_at_ = 0.0;
-    Seconds last_buffered_at_ = 0.0;
+    Sim_time first_buffered_at_;
+    Sim_time last_buffered_at_;
     struct Pending_batch {
         std::vector<models::Labeled_sample> samples;
         std::size_t frames = 0;
-        Seconds at = 0.0;
+        Sim_time at;
     };
     std::deque<Pending_batch> pending_;
     std::size_t pending_frames_ = 0;

@@ -20,15 +20,15 @@ Edge_compute::Edge_compute(Compute_model model, Edge_contention_config config,
 }
 
 double Edge_compute::idle_fps() const noexcept {
-    const Seconds per_frame =
+    const Sim_duration per_frame =
         model_.seconds_for_gflops(inference_gflops_) + config_.per_frame_overhead;
-    return 1.0 / per_frame;
+    return Sim_duration{1.0} / per_frame;
 }
 
 double Edge_compute::training_fps() const noexcept {
-    const Seconds compute = model_.seconds_for_gflops(inference_gflops_) /
-                            (1.0 - config_.training_share);
-    return 1.0 / (compute + config_.per_frame_overhead);
+    const Sim_duration compute = model_.seconds_for_gflops(inference_gflops_) /
+                                 (1.0 - config_.training_share);
+    return Sim_duration{1.0} / (compute + config_.per_frame_overhead);
 }
 
 double Edge_compute::achieved_fps(double video_fps, bool training_active) const noexcept {
@@ -36,7 +36,7 @@ double Edge_compute::achieved_fps(double video_fps, bool training_active) const 
     return std::min(video_fps, capacity);
 }
 
-Seconds Edge_compute::training_wall_seconds(double gflops) const noexcept {
+Sim_duration Edge_compute::training_wall_seconds(double gflops) const noexcept {
     return model_.seconds_for_gflops(gflops) / config_.training_share;
 }
 
@@ -45,7 +45,8 @@ double Edge_compute::utilization(double video_fps, bool training_active) const n
         return 1.0;
     }
     const double demand = video_fps * (model_.seconds_for_gflops(inference_gflops_) +
-                                       config_.per_frame_overhead);
+                                       config_.per_frame_overhead)
+                                          .value(); // duty cycle: fps x s/frame is dimensionless
     return std::min(1.0, demand);
 }
 

@@ -17,8 +17,8 @@ struct Compute_model {
     /// Sustained effective throughput for this workload, TFLOP/s.
     double effective_tflops = 1.0;
 
-    [[nodiscard]] Seconds seconds_for_gflops(double gflops) const noexcept {
-        return gflops / (effective_tflops * 1000.0);
+    [[nodiscard]] Sim_duration seconds_for_gflops(double gflops) const noexcept {
+        return Sim_duration{gflops / (effective_tflops * 1000.0)};
     }
 };
 
@@ -35,8 +35,8 @@ struct Edge_contention_config {
     /// active (the remainder serves inference).
     double training_share = 0.55;
     /// Fixed per-frame overhead besides the network forward (pre/post
-    /// processing), in seconds.
-    Seconds per_frame_overhead = 0.004;
+    /// processing).
+    Sim_duration per_frame_overhead{0.004};
 };
 
 class Edge_compute {
@@ -55,7 +55,7 @@ public:
 
     /// Wall-clock duration of a training session of `gflops` total work,
     /// given that training only gets its share of the device.
-    [[nodiscard]] Seconds training_wall_seconds(double gflops) const noexcept;
+    [[nodiscard]] Sim_duration training_wall_seconds(double gflops) const noexcept;
 
     /// GPU utilization in [0,1] for the lambda resource signal.
     [[nodiscard]] double utilization(double video_fps, bool training_active) const noexcept;

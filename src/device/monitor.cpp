@@ -2,7 +2,7 @@
 
 namespace shog::device {
 
-void Fps_tracker::record_until(Seconds until, double fps) {
+void Fps_tracker::record_until(Sim_time until, double fps) {
     SHOG_REQUIRE(until >= cursor_, "fps record must move forward in time");
     SHOG_REQUIRE(fps >= 0.0, "fps must be non-negative");
     if (until == cursor_) {
@@ -17,16 +17,16 @@ void Fps_tracker::record_until(Seconds until, double fps) {
 }
 
 double Fps_tracker::average_fps() const noexcept {
-    double weighted = 0.0;
-    double span = 0.0;
+    Sim_duration weighted; // fps-weighted span
+    Sim_duration span;
     for (const Sample& s : samples_) {
         weighted += s.fps * (s.to - s.from);
         span += s.to - s.from;
     }
-    return span > 0.0 ? weighted / span : 0.0;
+    return span > Sim_duration{} ? weighted / span : 0.0;
 }
 
-double Fps_tracker::fps_at(Seconds t) const noexcept {
+double Fps_tracker::fps_at(Sim_time t) const noexcept {
     for (const Sample& s : samples_) {
         if (t >= s.from && t < s.to) {
             return s.fps;
@@ -35,16 +35,16 @@ double Fps_tracker::fps_at(Seconds t) const noexcept {
     return samples_.empty() ? 0.0 : (t >= samples_.back().to ? samples_.back().fps : 0.0);
 }
 
-Resource_monitor::Resource_monitor(Seconds collect_period) : period_{collect_period} {
-    SHOG_REQUIRE(collect_period > 0.0, "collection period must be positive");
+Resource_monitor::Resource_monitor(Sim_duration collect_period) : period_{collect_period} {
+    SHOG_REQUIRE(collect_period > Sim_duration{}, "collection period must be positive");
 }
 
-void Resource_monitor::record_until(Seconds until, double utilization) {
+void Resource_monitor::record_until(Sim_time until, double utilization) {
     SHOG_REQUIRE(until >= cursor_, "resource record must move forward in time");
     SHOG_REQUIRE(utilization >= 0.0 && utilization <= 1.0, "utilization must lie in [0, 1]");
-    const Seconds span = until - cursor_;
+    const Sim_duration span = until - cursor_;
     cursor_ = until;
-    if (span <= 0.0) {
+    if (span <= Sim_duration{}) {
         return;
     }
     pending_weighted_ += utilization * span;
@@ -54,14 +54,15 @@ void Resource_monitor::record_until(Seconds until, double utilization) {
 }
 
 double Resource_monitor::drain_average() {
-    const double avg = pending_span_ > 0.0 ? pending_weighted_ / pending_span_ : 0.0;
-    pending_weighted_ = 0.0;
-    pending_span_ = 0.0;
+    const double avg =
+        pending_span_ > Sim_duration{} ? pending_weighted_ / pending_span_ : 0.0;
+    pending_weighted_ = Sim_duration{};
+    pending_span_ = Sim_duration{};
     return avg;
 }
 
 double Resource_monitor::lifetime_average() const noexcept {
-    return life_span_ > 0.0 ? life_weighted_ / life_span_ : 0.0;
+    return life_span_ > Sim_duration{} ? life_weighted_ / life_span_ : 0.0;
 }
 
 } // namespace shog::device

@@ -15,32 +15,32 @@ namespace shog::device {
 class Fps_tracker {
 public:
     /// Record that fps was `fps` from the last recorded time until `until`.
-    void record_until(Seconds until, double fps);
+    void record_until(Sim_time until, double fps);
 
     [[nodiscard]] double average_fps() const noexcept;
 
     struct Sample {
-        Seconds from;
-        Seconds to;
+        Sim_time from;
+        Sim_time to;
         double fps;
     };
     [[nodiscard]] const std::vector<Sample>& samples() const noexcept { return samples_; }
 
     /// fps at a given time (0 if before the first record).
-    [[nodiscard]] double fps_at(Seconds t) const noexcept;
+    [[nodiscard]] double fps_at(Sim_time t) const noexcept;
 
 private:
     std::vector<Sample> samples_;
-    Seconds cursor_ = 0.0;
+    Sim_time cursor_;
 };
 
 /// Periodic resource-usage collector.
 class Resource_monitor {
 public:
-    explicit Resource_monitor(Seconds collect_period = 1.0);
+    explicit Resource_monitor(Sim_duration collect_period = Sim_duration{1.0});
 
     /// Record utilization (in [0,1]) covering the span since the last call.
-    void record_until(Seconds until, double utilization);
+    void record_until(Sim_time until, double utilization);
 
     /// Mean utilization since the last drain (what gets sent to the cloud);
     /// drains the accumulator.
@@ -49,17 +49,18 @@ public:
     /// Mean utilization over everything recorded so far (not drained).
     [[nodiscard]] double lifetime_average() const noexcept;
 
-    [[nodiscard]] Seconds collect_period() const noexcept { return period_; }
+    [[nodiscard]] Sim_duration collect_period() const noexcept { return period_; }
 
 private:
-    Seconds period_;
-    Seconds cursor_ = 0.0;
-    // Pending (since last drain).
-    double pending_weighted_ = 0.0;
-    Seconds pending_span_ = 0.0;
+    Sim_duration period_;
+    Sim_time cursor_;
+    // Pending (since last drain). The weighted accumulators are
+    // utilization-scaled spans, still dimensioned as time.
+    Sim_duration pending_weighted_;
+    Sim_duration pending_span_;
     // Lifetime.
-    double life_weighted_ = 0.0;
-    Seconds life_span_ = 0.0;
+    Sim_duration life_weighted_;
+    Sim_duration life_span_;
 };
 
 } // namespace shog::device

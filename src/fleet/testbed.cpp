@@ -41,8 +41,8 @@ Testbed make_correlated_drift_testbed(const char* preset_name, std::size_t camer
     // correlated upload burst (the fleet-level stress the per-camera cycled
     // schedules of the stock presets smear out). Segment lengths scale with
     // the stream so even a short smoke run crosses at least one break.
-    const Seconds hold = 0.3 * duration;
-    const Seconds ramp = std::max(1.0, 0.03 * duration);
+    const double hold = 0.3 * duration;
+    const double ramp = std::max(1.0, 0.03 * duration);
     preset.schedule = video::Domain_schedule{{
                                                  {video::day_sunny(0.6), hold},
                                                  {video::night(0.45), hold},
@@ -57,11 +57,11 @@ std::vector<Edge_class> default_edge_classes() {
     // (straggler), so the mix spans real-time down to clearly degraded.
     return {
         Edge_class{"tx2", device::jetson_tx2(),
-                   netsim::Link_config{12.0, 40.0, 0.025}, 5.2},
+                   netsim::Link_config{12.0, 40.0, Sim_duration{0.025}}, 5.2},
         Edge_class{"mid", device::Compute_model{"mid_tier", 0.11},
-                   netsim::Link_config{8.0, 24.0, 0.035}, 5.2},
+                   netsim::Link_config{8.0, 24.0, Sim_duration{0.035}}, 5.2},
         Edge_class{"straggler", device::Compute_model{"straggler", 0.06},
-                   netsim::Link_config{3.0, 10.0, 0.08}, 5.2},
+                   netsim::Link_config{3.0, 10.0, Sim_duration{0.08}}, 5.2},
     };
 }
 
@@ -176,10 +176,10 @@ Fleet make_mixed_fleet(const Testbed& testbed, std::size_t shoggoth_devices,
 
 std::vector<Policy_setup> default_policy_setups() {
     return {
-        Policy_setup{"fifo", sim::Policy_kind::fifo, 0.0},
-        Policy_setup{"priority", sim::Policy_kind::priority, 0.0},
-        Policy_setup{"fair_share", sim::Policy_kind::fair_share, 0.0},
-        Policy_setup{"fifo_preempt", sim::Policy_kind::fifo, 2.0},
+        Policy_setup{"fifo", sim::Policy_kind::fifo, Sim_duration{}},
+        Policy_setup{"priority", sim::Policy_kind::priority, Sim_duration{}},
+        Policy_setup{"fair_share", sim::Policy_kind::fair_share, Sim_duration{}},
+        Policy_setup{"fifo_preempt", sim::Policy_kind::fifo, Sim_duration{2.0}},
     };
 }
 
@@ -261,25 +261,25 @@ std::vector<Sharding_setup> default_sharding_setups() {
     return {
         // PR 2 reference points on the undifferentiated pool.
         Sharding_setup{"gpu1_any_priority", 1, Placement_kind::any_free,
-                       Policy_kind::priority, 0.0, 1, 0},
+                       Policy_kind::priority, Sim_duration{}, 1, 0},
         Sharding_setup{"gpu1_any_fifo_preempt", 1, Placement_kind::any_free,
-                       Policy_kind::fifo, 2.0, 1, 0},
+                       Policy_kind::fifo, Sim_duration{2.0}, 1, 0},
         // Single-GPU variants of the new knobs (affinity still wins warm
         // starts whenever consecutive dispatches come from one device).
         Sharding_setup{"gpu1_affinity_priority", 1, Placement_kind::device_affinity,
-                       Policy_kind::priority, 0.0, 1, 0},
+                       Policy_kind::priority, Sim_duration{}, 1, 0},
         Sharding_setup{"gpu1_any_staleness", 1, Placement_kind::any_free,
-                       Policy_kind::staleness, 0.0, 1, 0},
+                       Policy_kind::staleness, Sim_duration{}, 1, 0},
         // Sharded: a second server of the same share (the devices-per-GPU
         // axis: N devices now contend on 2 GPUs worth of teacher).
         Sharding_setup{"gpu2_any_priority", 2, Placement_kind::any_free,
-                       Policy_kind::priority, 0.0, 1, 0},
+                       Policy_kind::priority, Sim_duration{}, 1, 0},
         Sharding_setup{"gpu2_affinity_staleness", 2, Placement_kind::device_affinity,
-                       Policy_kind::staleness, 0.0, 1, 0},
+                       Policy_kind::staleness, Sim_duration{}, 1, 0},
         Sharding_setup{"gpu2_partition1_priority", 2, Placement_kind::kind_partition,
-                       Policy_kind::priority, 0.0, 1, 1},
+                       Policy_kind::priority, Sim_duration{}, 1, 1},
         Sharding_setup{"gpu2_affinity_staleness_b4", 2, Placement_kind::device_affinity,
-                       Policy_kind::staleness, 0.0, 4, 0},
+                       Policy_kind::staleness, Sim_duration{}, 4, 0},
     };
 }
 
@@ -300,7 +300,8 @@ sim::Cluster_result run_sharding_cell(const Testbed& testbed, std::size_t device
 
 std::vector<sim::Gpu_profile> make_straggler_profiles(std::size_t gpu_count,
                                                       double straggler_speed,
-                                                      Seconds mtbf, Seconds mttr) {
+                                                      Sim_duration mtbf,
+                                                      Sim_duration mttr) {
     SHOG_REQUIRE(gpu_count >= 1, "profiles need at least one GPU");
     std::vector<sim::Gpu_profile> profiles(gpu_count);
     for (sim::Gpu_profile& profile : profiles) {
@@ -314,26 +315,32 @@ std::vector<sim::Gpu_profile> make_straggler_profiles(std::size_t gpu_count,
 std::vector<Reliability_setup> default_reliability_setups() {
     using sim::Placement_kind;
     using sim::Policy_kind;
-    constexpr Seconds never = std::numeric_limits<double>::infinity();
+    constexpr Sim_duration never{std::numeric_limits<double>::infinity()};
     return {
         // Healthy 2-GPU reference (identical to the sharded gpu2 cell).
         Reliability_setup{"gpu2_any_healthy", 2, Placement_kind::any_free,
-                          Policy_kind::priority, 1.0, never, 10.0, 0.0, 0.0, 0},
+                          Policy_kind::priority, 1.0, never, Sim_duration{10.0}, 0.0,
+                          Sim_duration{}, 0},
         // One 4x straggler: index-blind placement keeps feeding it labels.
         Reliability_setup{"gpu2_any_straggler4x", 2, Placement_kind::any_free,
-                          Policy_kind::priority, 0.25, never, 10.0, 0.0, 0.0, 0},
+                          Policy_kind::priority, 0.25, never, Sim_duration{10.0}, 0.0,
+                          Sim_duration{}, 0},
         // speed_aware sends work to the fast server first...
         Reliability_setup{"gpu2_speed_straggler4x", 2, Placement_kind::speed_aware,
-                          Policy_kind::priority, 0.25, never, 10.0, 0.0, 0.0, 0},
+                          Policy_kind::priority, 0.25, never, Sim_duration{10.0}, 0.0,
+                          Sim_duration{}, 0},
         // ...and re-queueing rescues labels the straggler still caught.
         Reliability_setup{"gpu2_speed_straggler4x_rq2", 2, Placement_kind::speed_aware,
-                          Policy_kind::priority, 0.25, never, 10.0, 2.0, 0.0, 0},
+                          Policy_kind::priority, 0.25, never, Sim_duration{10.0}, 2.0,
+                          Sim_duration{}, 0},
         // Failing fleet: every server cycles MTBF 60 s / MTTR 10 s.
         Reliability_setup{"gpu2_speed_failures", 2, Placement_kind::speed_aware,
-                          Policy_kind::priority, 1.0, 60.0, 10.0, 0.0, 0.0, 0},
+                          Policy_kind::priority, 1.0, Sim_duration{60.0},
+                          Sim_duration{10.0}, 0.0, Sim_duration{}, 0},
         // A failing reserved label server must not deadlock labels.
         Reliability_setup{"gpu2_partition1_failures", 2, Placement_kind::kind_partition,
-                          Policy_kind::priority, 1.0, 60.0, 10.0, 0.0, 0.0, 1},
+                          Policy_kind::priority, 1.0, Sim_duration{60.0},
+                          Sim_duration{10.0}, 0.0, Sim_duration{}, 1},
     };
 }
 

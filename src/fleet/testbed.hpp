@@ -113,7 +113,7 @@ void assign_heterogeneous_hardware(Fleet& fleet,
 struct Policy_setup {
     const char* label;
     sim::Policy_kind kind;
-    Seconds preempt_label_wait = 0.0;
+    Sim_duration preempt_label_wait;
 };
 
 /// fifo / priority / fair_share / fifo_preempt (2 s wait bound).
@@ -129,7 +129,7 @@ struct Sharding_setup {
     std::size_t gpu_count = 1;
     sim::Placement_kind placement = sim::Placement_kind::any_free;
     sim::Policy_kind policy = sim::Policy_kind::priority;
-    Seconds preempt_label_wait = 0.0;
+    Sim_duration preempt_label_wait;
     std::size_t max_batch = 1;
     std::size_t label_reserved_gpus = 0; ///< kind_partition only
 };
@@ -162,10 +162,10 @@ struct Reliability_setup {
     /// Speed multiplier of server 0; the rest run at 1.0.
     double straggler_speed = 1.0;
     /// Applied to every server. Infinity = no failures.
-    Seconds mtbf = std::numeric_limits<double>::infinity();
-    Seconds mttr = 10.0;
+    Sim_duration mtbf{std::numeric_limits<double>::infinity()};
+    Sim_duration mttr{10.0};
     double straggler_requeue_factor = 0.0; ///< Cloud_config knob; 0 = off
-    Seconds preempt_label_wait = 0.0;
+    Sim_duration preempt_label_wait;
     std::size_t label_reserved_gpus = 0; ///< kind_partition only
 };
 
@@ -176,7 +176,8 @@ struct Reliability_setup {
 /// speed_aware routes around it.
 [[nodiscard]] std::vector<sim::Gpu_profile> make_straggler_profiles(
     std::size_t gpu_count, double straggler_speed,
-    Seconds mtbf = std::numeric_limits<double>::infinity(), Seconds mttr = 10.0);
+    Sim_duration mtbf = Sim_duration{std::numeric_limits<double>::infinity()},
+    Sim_duration mttr = Sim_duration{10.0});
 
 /// The curated reliability comparison fleet_scaling prints: healthy
 /// reference, one 4x straggler under index-blind vs speed-aware placement

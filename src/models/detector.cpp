@@ -161,7 +161,7 @@ std::vector<Proposal> Detector::propose(const video::Frame& frame,
         recall *= 1.0 - config_.illum_recall_k * (1.0 - gain);
         recall *= 1.0 - config_.occlusion_recall_k * obj.occlusion;
         recall *= 1.0 - config_.small_object_k * std::max(0.0, 1.0 - obj.scale);
-        if (!rng.chance(clamp(recall, 0.02, 1.0))) {
+        if (!rng.chance(std::clamp(recall, 0.02, 1.0))) {
             continue;
         }
         Proposal p;

@@ -30,7 +30,7 @@ std::vector<Labeled_sample> synth_dataset(const video::World_model& world,
     for (std::size_t i = 0; i < config.samples; ++i) {
         video::Domain domain = config.domains[rng.index(config.domains.size())];
         // Slight within-domain variation so the dataset is not degenerate.
-        domain.illumination = clamp(domain.illumination + 0.05 * rng.gaussian(), 0.0, 1.0);
+        domain.illumination = std::clamp(domain.illumination + 0.05 * rng.gaussian(), 0.0, 1.0);
 
         Labeled_sample sample;
         if (rng.chance(config.background_fraction)) {

@@ -1,5 +1,6 @@
 #include "netsim/h264.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/require.hpp"
@@ -22,16 +23,16 @@ double H264_model::pixel_term(double width, double height) const {
 }
 
 Bytes H264_model::intra_frame_bytes(double width, double height, double complexity) const {
-    const double c = clamp(complexity, 0.05, 1.0);
-    return pixel_term(width, height) * config_.intra_bpp * c / k_bits_per_byte;
+    const double c = std::clamp(complexity, 0.05, 1.0);
+    return Bytes{pixel_term(width, height) * config_.intra_bpp * c / k_bits_per_byte};
 }
 
 Bytes H264_model::predicted_frame_bytes(double width, double height, double complexity,
-                                        double motion, Seconds gap_seconds) const {
-    SHOG_REQUIRE(gap_seconds >= 0.0, "gap must be non-negative");
-    const double m = clamp(motion, 0.0, 1.0);
+                                        double motion, Sim_duration gap_seconds) const {
+    SHOG_REQUIRE(gap_seconds >= Sim_duration{}, "gap must be non-negative");
+    const double m = std::clamp(motion, 0.0, 1.0);
     const double tau = config_.redundancy_tau / (1.0 + config_.motion_tau_k * m);
-    const double novelty = 1.0 - std::exp(-gap_seconds / tau);
+    const double novelty = 1.0 - std::exp(-gap_seconds.value() / tau); // dimensionless decay exponent
     const double fraction = config_.p_floor + (1.0 - config_.p_floor) * novelty;
     return intra_frame_bytes(width, height, complexity) * fraction;
 }
@@ -41,15 +42,16 @@ Bytes H264_model::stream_frame_bytes(double width, double height, double complex
     SHOG_REQUIRE(fps > 0.0, "fps must be positive");
     SHOG_REQUIRE(gop >= 1, "GOP must be at least 1");
     const Bytes i_bytes = intra_frame_bytes(width, height, complexity);
-    const Bytes p_bytes = predicted_frame_bytes(width, height, complexity, motion, 1.0 / fps);
+    const Bytes p_bytes =
+        predicted_frame_bytes(width, height, complexity, motion, Sim_duration{1.0 / fps});
     const double g = static_cast<double>(gop);
     return (i_bytes + (g - 1.0) * p_bytes) / g;
 }
 
 Bytes H264_model::batch_bytes(std::size_t frames, double width, double height,
-                              double complexity, double motion, Seconds gap_seconds) const {
+                              double complexity, double motion, Sim_duration gap_seconds) const {
     if (frames == 0) {
-        return 0.0;
+        return Bytes{};
     }
     const Bytes i_bytes = intra_frame_bytes(width, height, complexity);
     const Bytes p_bytes =
@@ -57,9 +59,10 @@ Bytes H264_model::batch_bytes(std::size_t frames, double width, double height,
     return i_bytes + static_cast<double>(frames - 1) * p_bytes;
 }
 
-Seconds H264_model::encode_seconds(std::size_t frames, double width, double height) const {
+Sim_duration H264_model::encode_seconds(std::size_t frames, double width,
+                                        double height) const {
     const double mpix = static_cast<double>(frames) * width * height / 1e6;
-    return config_.encode_setup_seconds + mpix / config_.encode_mpix_per_second;
+    return config_.encode_setup_seconds + Sim_duration{mpix / config_.encode_mpix_per_second};
 }
 
 } // namespace shog::netsim

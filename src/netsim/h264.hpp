@@ -28,8 +28,8 @@ struct H264_config {
     double motion_tau_k = 2.2;
     /// Encoder throughput in megapixels per second (drives encode latency).
     double encode_mpix_per_second = 9.0;
-    /// Fixed per-batch encode setup latency (seconds).
-    double encode_setup_seconds = 0.8;
+    /// Fixed per-batch encode setup latency.
+    Sim_duration encode_setup_seconds{0.8};
 };
 
 class H264_model {
@@ -45,7 +45,7 @@ public:
     /// Bytes of a predicted (P) frame encoded `gap_seconds` after the
     /// previous frame in the same encode, under the given motion level.
     [[nodiscard]] Bytes predicted_frame_bytes(double width, double height, double complexity,
-                                              double motion, Seconds gap_seconds) const;
+                                              double motion, Sim_duration gap_seconds) const;
 
     /// Average per-frame bytes of a continuous stream at `fps` with an
     /// I-frame every `gop` frames (Cloud-Only uplink).
@@ -57,11 +57,11 @@ public:
     /// rest predicted at the batch's inter-frame gap.
     [[nodiscard]] Bytes batch_bytes(std::size_t frames, double width, double height,
                                     double complexity, double motion,
-                                    Seconds gap_seconds) const;
+                                    Sim_duration gap_seconds) const;
 
     /// Wall-clock encode latency for a batch (paper: 1-3 s).
-    [[nodiscard]] Seconds encode_seconds(std::size_t frames, double width,
-                                         double height) const;
+    [[nodiscard]] Sim_duration encode_seconds(std::size_t frames, double width,
+                                              double height) const;
 
 private:
     H264_config config_;

@@ -4,8 +4,8 @@
 
 namespace shog::netsim {
 
-void Bandwidth_meter::record(Seconds at, Bytes bytes) {
-    SHOG_REQUIRE(bytes >= 0.0, "cannot record negative bytes");
+void Bandwidth_meter::record(Sim_time at, Bytes bytes) {
+    SHOG_REQUIRE(bytes >= Bytes{}, "cannot record negative bytes");
     SHOG_REQUIRE(records_.empty() || at >= records_.back().at,
                  "meter records must be time-ordered");
     records_.push_back(Record{at, bytes});
@@ -13,9 +13,9 @@ void Bandwidth_meter::record(Seconds at, Bytes bytes) {
     ++count_;
 }
 
-double Bandwidth_meter::windowed_kbps(Seconds from, Seconds to) const {
+Kbps Bandwidth_meter::windowed_kbps(Sim_time from, Sim_time to) const {
     SHOG_REQUIRE(to > from, "empty metering window");
-    Bytes bytes = 0.0;
+    Bytes bytes;
     for (const Record& r : records_) {
         if (r.at >= from && r.at < to) {
             bytes += r.bytes;
@@ -26,22 +26,22 @@ double Bandwidth_meter::windowed_kbps(Seconds from, Seconds to) const {
 
 void Bandwidth_meter::reset() noexcept {
     records_.clear();
-    total_ = 0.0;
+    total_ = Bytes{};
     count_ = 0;
 }
 
 Link::Link(Link_config config) : config_{config} {
     SHOG_REQUIRE(config_.uplink_mbps > 0.0, "uplink capacity must be positive");
     SHOG_REQUIRE(config_.downlink_mbps > 0.0, "downlink capacity must be positive");
-    SHOG_REQUIRE(config_.propagation >= 0.0, "propagation must be non-negative");
+    SHOG_REQUIRE(config_.propagation >= Sim_duration{}, "propagation must be non-negative");
 }
 
-Seconds Link::send_up(Seconds now, Bytes bytes) {
+Sim_duration Link::send_up(Sim_time now, Bytes bytes) {
     up_.record(now, bytes);
     return config_.propagation + transmit_seconds(bytes, config_.uplink_mbps);
 }
 
-Seconds Link::send_down(Seconds now, Bytes bytes) {
+Sim_duration Link::send_down(Sim_time now, Bytes bytes) {
     down_.record(now, bytes);
     return config_.propagation + transmit_seconds(bytes, config_.downlink_mbps);
 }

@@ -18,36 +18,36 @@ namespace shog::netsim {
 /// Records transferred bytes over time; reports average rates.
 class Bandwidth_meter {
 public:
-    void record(Seconds at, Bytes bytes);
+    void record(Sim_time at, Bytes bytes);
 
     [[nodiscard]] Bytes total_bytes() const noexcept { return total_; }
     [[nodiscard]] std::size_t message_count() const noexcept { return count_; }
 
-    /// Average rate in Kbps over an externally-known horizon.
-    [[nodiscard]] double average_kbps(Seconds horizon) const {
-        SHOG_REQUIRE(horizon > 0.0, "horizon must be positive");
+    /// Average rate over an externally-known horizon.
+    [[nodiscard]] Kbps average_kbps(Sim_duration horizon) const {
+        SHOG_REQUIRE(horizon > Sim_duration{}, "horizon must be positive");
         return bytes_to_kbps(total_, horizon);
     }
 
-    /// Average rate in Kbps within [from, to) using recorded timestamps.
-    [[nodiscard]] double windowed_kbps(Seconds from, Seconds to) const;
+    /// Average rate within [from, to) using recorded timestamps.
+    [[nodiscard]] Kbps windowed_kbps(Sim_time from, Sim_time to) const;
 
     void reset() noexcept;
 
 private:
     struct Record {
-        Seconds at;
+        Sim_time at;
         Bytes bytes;
     };
     std::vector<Record> records_;
-    Bytes total_ = 0.0;
+    Bytes total_;
     std::size_t count_ = 0;
 };
 
 struct Link_config {
     double uplink_mbps = 12.0;    ///< edge -> cloud capacity
     double downlink_mbps = 40.0;  ///< cloud -> edge capacity
-    Seconds propagation = 0.025;  ///< one-way propagation delay
+    Sim_duration propagation{0.025}; ///< one-way propagation delay
 };
 
 /// Point-to-point link between one edge device and the cloud.
@@ -58,10 +58,10 @@ public:
     [[nodiscard]] const Link_config& config() const noexcept { return config_; }
 
     /// Delay to deliver a payload edge->cloud, metering the bytes at `now`.
-    [[nodiscard]] Seconds send_up(Seconds now, Bytes bytes);
+    [[nodiscard]] Sim_duration send_up(Sim_time now, Bytes bytes);
 
     /// Delay to deliver a payload cloud->edge, metering the bytes at `now`.
-    [[nodiscard]] Seconds send_down(Seconds now, Bytes bytes);
+    [[nodiscard]] Sim_duration send_down(Sim_time now, Bytes bytes);
 
     [[nodiscard]] const Bandwidth_meter& up_meter() const noexcept { return up_; }
     [[nodiscard]] const Bandwidth_meter& down_meter() const noexcept { return down_; }

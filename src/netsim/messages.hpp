@@ -12,11 +12,11 @@
 namespace shog::netsim {
 
 struct Message_size_config {
-    Bytes label_header_bytes = 180.0;     ///< per labeled frame
-    Bytes label_per_box_bytes = 36.0;     ///< box + class + score
-    Bytes mask_per_box_bytes = 280.0;     ///< RLE instance mask (teacher labels)
-    Bytes telemetry_bytes = 96.0;         ///< lambda/alpha report
-    Bytes rate_command_bytes = 48.0;      ///< controller -> edge new rate
+    Bytes label_header_bytes{180.0};   ///< per labeled frame
+    Bytes label_per_box_bytes{36.0};   ///< box + class + score
+    Bytes mask_per_box_bytes{280.0};   ///< RLE instance mask (teacher labels)
+    Bytes telemetry_bytes{96.0};       ///< lambda/alpha report
+    Bytes rate_command_bytes{48.0};    ///< controller -> edge new rate
     /// Cloud-Only returns rendered result frames; overlay adds a little
     /// entropy on top of the original encoded frame.
     double result_frame_overhead = 1.08;

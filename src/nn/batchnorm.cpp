@@ -1,5 +1,6 @@
 #include "nn/batchnorm.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/units.hpp"
@@ -210,8 +211,8 @@ Tensor Batch_renorm::forward(const Tensor& input, bool training) {
         const double sigma_b = std::sqrt(batch_var.at(c) + epsilon_);
         const double sigma_run = std::sqrt(running_var_.at(c) + epsilon_);
         cached_inv_std_.at(c) = 1.0 / sigma_b;
-        cached_r_.at(c) = clamp(sigma_b / sigma_run, 1.0 / r_max_, r_max_);
-        d.at(c) = clamp((batch_mean.at(c) - running_mean_.at(c)) / sigma_run, -d_max_, d_max_);
+        cached_r_.at(c) = std::clamp(sigma_b / sigma_run, 1.0 / r_max_, r_max_);
+        d.at(c) = std::clamp((batch_mean.at(c) - running_mean_.at(c)) / sigma_run, -d_max_, d_max_);
     }
 
     cached_centered_ = input;

@@ -13,7 +13,7 @@ namespace {
 
 /// Exponentially distributed delay with the given mean. uniform() is in
 /// [0, 1), so 1 - u is in (0, 1] and the log is finite.
-Seconds exponential_delay(Rng& rng, Seconds mean) {
+Sim_duration exponential_delay(Rng& rng, Sim_duration mean) {
     return -mean * std::log(1.0 - rng.uniform());
 }
 
@@ -25,7 +25,7 @@ Cloud_runtime::Cloud_runtime(Event_queue& queue, Cloud_config config)
       policy_{make_policy(config_.policy)},
       placement_{make_placement(config_.placement, config_.label_reserved_gpus)},
       gpus_(config_.gpu_count),
-      gpu_finalized_busy_(config_.gpu_count, 0.0) {
+      gpu_finalized_busy_(config_.gpu_count, Gpu_seconds{}) {
     SHOG_REQUIRE(config_.gpu_count >= 1, "cloud needs at least one GPU");
     SHOG_REQUIRE(config_.max_batch >= 1, "max_batch must be >= 1");
     SHOG_REQUIRE(config_.batch_efficiency > 0.0 && config_.batch_efficiency <= 1.0,
@@ -35,7 +35,7 @@ Cloud_runtime::Cloud_runtime(Event_queue& queue, Cloud_config config)
     SHOG_REQUIRE(config_.placement != Placement_kind::kind_partition ||
                      config_.label_reserved_gpus < config_.gpu_count,
                  "kind_partition must leave at least one unreserved GPU for train jobs");
-    SHOG_REQUIRE(config_.preempt_label_wait >= 0.0,
+    SHOG_REQUIRE(config_.preempt_label_wait >= Sim_duration{},
                  "preempt_label_wait must be >= 0 (0 disables preemption)");
     SHOG_REQUIRE(config_.gpu_profiles.empty() ||
                      config_.gpu_profiles.size() == config_.gpu_count,
@@ -50,8 +50,10 @@ Cloud_runtime::Cloud_runtime(Event_queue& queue, Cloud_config config)
     for (std::size_t g = 0; g < gpus_.size(); ++g) {
         const Gpu_profile& profile = profile_of(g);
         SHOG_REQUIRE(profile.speed > 0.0, "Gpu_profile::speed must be > 0");
-        SHOG_REQUIRE(profile.mtbf > 0.0, "Gpu_profile::mtbf must be > 0 (inf = never)");
-        SHOG_REQUIRE(!std::isfinite(profile.mtbf) || profile.mttr > 0.0,
+        SHOG_REQUIRE(profile.mtbf > Sim_duration{},
+                     "Gpu_profile::mtbf must be > 0 (inf = never)");
+        SHOG_REQUIRE(!std::isfinite(profile.mtbf.value()) || // raw read: finiteness test
+                         profile.mttr > Sim_duration{},
                      "Gpu_profile::mttr must be > 0 when mtbf is finite");
         gpus_[g].speed = profile.speed;
         failure_rngs_.push_back(reliability_base.split(g));
@@ -61,7 +63,7 @@ Cloud_runtime::Cloud_runtime(Event_queue& queue, Cloud_config config)
 
 void Cloud_runtime::ensure_device(std::size_t device_id) {
     if (device_id >= per_device_seconds_.size()) {
-        per_device_seconds_.resize(device_id + 1, 0.0);
+        per_device_seconds_.resize(device_id + 1, Gpu_seconds{});
     }
 }
 
@@ -81,9 +83,9 @@ Sched_job Cloud_runtime::take_waiting(std::size_t index) {
     return job;
 }
 
-void Cloud_runtime::submit(std::size_t device_id, Seconds service, Completion done,
+void Cloud_runtime::submit(std::size_t device_id, Sim_duration service, Completion done,
                            Cloud_job_kind kind, double drift_rate, Resume_replan replan) {
-    SHOG_REQUIRE(service >= 0.0, "job service time must be >= 0");
+    SHOG_REQUIRE(service >= Sim_duration{}, "job service time must be >= 0");
     ensure_device(device_id);
     const std::uint64_t id = next_job_id_++;
     Sched_job job;
@@ -97,7 +99,7 @@ void Cloud_runtime::submit(std::size_t device_id, Seconds service, Completion do
     job.replan = std::move(replan);
     enqueue(std::move(job));
     dispatch();
-    if (config_.preempt_label_wait > 0.0 && kind == Cloud_job_kind::label &&
+    if (config_.preempt_label_wait > Sim_duration{} && kind == Cloud_job_kind::label &&
         is_waiting(id)) {
         // The label job is stuck behind busy servers; if it is still waiting
         // when the bound expires, evict a train dispatch to make room.
@@ -108,7 +110,7 @@ void Cloud_runtime::submit(std::size_t device_id, Seconds service, Completion do
     peak_depth_ = std::max(peak_depth_, waiting_.size());
 }
 
-void Cloud_runtime::account_direct(std::size_t device_id, Seconds gpu_seconds) {
+void Cloud_runtime::account_direct(std::size_t device_id, Gpu_seconds gpu_seconds) {
     ensure_device(device_id);
     direct_seconds_ += gpu_seconds;
     per_device_seconds_[device_id] += gpu_seconds;
@@ -220,10 +222,10 @@ void Cloud_runtime::dispatch() {
         // discount — are properties of the *dispatch*, not of one member).
         for (const Sched_job& job : active->jobs) {
             const double share =
-                active->total_raw > 0.0
+                active->total_raw > Sim_duration{}
                     ? job.service / active->total_raw
                     : 1.0 / static_cast<double>(active->jobs.size());
-            const Seconds billed = active->service * share;
+            const Gpu_seconds billed = Gpu_seconds::of(active->service * share);
             queued_busy_seconds_ += billed;
             per_device_seconds_[job.device] += billed;
         }
@@ -247,13 +249,13 @@ void Cloud_runtime::dispatch() {
             for (const Sched_job& job : active->jobs) {
                 all_requeued = all_requeued && job.straggler_requeued;
             }
-            const Seconds nominal = active->service * gpus_[active->gpu].speed;
-            const Seconds bound = config_.straggler_requeue_factor * nominal;
-            if (!all_requeued && nominal > 0.0 && bound < active->service) {
+            const Sim_duration nominal = active->service * gpus_[active->gpu].speed;
+            const Sim_duration bound = config_.straggler_requeue_factor * nominal;
+            if (!all_requeued && nominal > Sim_duration{} && bound < active->service) {
                 queue_.schedule_in(bound, [this, active] { straggler_check(active); });
             }
         }
-        if (active->all_train && config_.preempt_label_wait > 0.0) {
+        if (active->all_train && config_.preempt_label_wait > Sim_duration{}) {
             // Defensive backstop for the wait bound: if a train dispatch
             // ever starts while an overdue label is still queued, re-arm its
             // check immediately instead of letting the bound lapse for the
@@ -266,7 +268,7 @@ void Cloud_runtime::dispatch() {
             const std::size_t overdue = find_overdue();
             if (overdue != waiting_.size()) {
                 const std::uint64_t id = waiting_[overdue].id;
-                queue_.schedule_in(0.0, [this, id] { preempt_check(id); });
+                queue_.schedule_in(Sim_duration{}, [this, id] { preempt_check(id); });
             }
         }
     }
@@ -276,7 +278,7 @@ void Cloud_runtime::complete(const std::shared_ptr<Active_dispatch>& active) {
     if (active->cancelled) {
         return; // preempted; its remainder was re-queued
     }
-    const Seconds completed = queue_.now();
+    const Sim_time completed = queue_.now();
     active_.erase(std::find(active_.begin(), active_.end(), active));
     gpus_[active->gpu].busy = false;
     finalize_occupancy(active->gpu, active->service);
@@ -287,7 +289,7 @@ void Cloud_runtime::complete(const std::shared_ptr<Active_dispatch>& active) {
             ++labels_completed_;
             label_wait_sum_ += active->started - job.submitted;
             label_latency_sum_ += completed - job.submitted;
-            label_latency_p95_.add(completed - job.submitted);
+            label_latency_p95_.add((completed - job.submitted).value()); // quantile over raw seconds
         }
     }
     // Completions may submit follow-up work (AMS chains a training job
@@ -305,13 +307,13 @@ bool Cloud_runtime::is_overdue(const Sched_job& job) const {
     // The overdue mark is authoritative: it is set by the job's own bound
     // timer, so it cannot miss by an ulp the way `now - submitted >= bound`
     // can when `now` was formed as `submitted + bound` and rounded down.
-    return config_.preempt_label_wait > 0.0 && job.kind == Cloud_job_kind::label &&
+    return config_.preempt_label_wait > Sim_duration{} && job.kind == Cloud_job_kind::label &&
            (queue_.now() - job.submitted >= config_.preempt_label_wait ||
             overdue_ids_.count(job.id) != 0);
 }
 
 std::size_t Cloud_runtime::find_overdue() const {
-    if (config_.preempt_label_wait == 0.0 || waiting_labels_ == 0) {
+    if (config_.preempt_label_wait == Sim_duration{} || waiting_labels_ == 0) {
         return waiting_.size();
     }
     // Among never-checkpointed labels queue position order == submission
@@ -367,13 +369,13 @@ void Cloud_runtime::preempt_check(std::uint64_t job_id) {
     // Evict the all-train dispatch with the most remaining service; ties
     // fall to the earliest-started dispatch (deterministic).
     std::shared_ptr<Active_dispatch> victim;
-    Seconds victim_remaining = 0.0;
+    Sim_duration victim_remaining;
     for (const auto& active : active_) {
         if (!active->all_train || active->cancelled) {
             continue;
         }
-        const Seconds remaining = active->started + active->service - queue_.now();
-        if (remaining <= 0.0) {
+        const Sim_duration remaining = active->started + active->service - queue_.now();
+        if (remaining <= Sim_duration{}) {
             continue; // completes at this very instant; nothing to reclaim
         }
         if (!victim || remaining > victim_remaining) {
@@ -399,15 +401,16 @@ void Cloud_runtime::preempt(const std::shared_ptr<Active_dispatch>& active) {
 }
 
 void Cloud_runtime::checkpoint(std::shared_ptr<Active_dispatch> active) {
-    const Seconds elapsed = queue_.now() - active->started;
-    const double frac_done = active->service > 0.0 ? elapsed / active->service : 1.0;
+    const Sim_duration elapsed = queue_.now() - active->started;
+    const double frac_done =
+        active->service > Sim_duration{} ? elapsed / active->service : 1.0;
     // Refund the unexecuted share of each member's bill and truncate the
     // occupancy interval to what actually ran.
     for (const Sched_job& job : active->jobs) {
-        const double share = active->total_raw > 0.0
+        const double share = active->total_raw > Sim_duration{}
                                  ? job.service / active->total_raw
                                  : 1.0 / static_cast<double>(active->jobs.size());
-        const Seconds refund = active->service * share * (1.0 - frac_done);
+        const Gpu_seconds refund = Gpu_seconds::of(active->service * share * (1.0 - frac_done));
         queued_busy_seconds_ -= refund;
         per_device_seconds_[job.device] -= refund;
     }
@@ -424,13 +427,14 @@ void Cloud_runtime::checkpoint(std::shared_ptr<Active_dispatch> active) {
     // remainder further (an AMS fine-tune drops samples that went stale
     // while checkpointed) — never grow it, so billing stays conservative.
     for (Sched_job& job : active->jobs) {
-        Seconds remainder = job.service * (1.0 - frac_done);
+        Sim_duration remainder = job.service * (1.0 - frac_done);
         if (job.replan) {
-            remainder = std::clamp(job.replan(remainder, queue_.now()), 0.0, remainder);
+            remainder = std::clamp(job.replan(remainder, queue_.now()), Sim_duration{},
+                                   remainder);
         }
         const bool is_label = job.kind == Cloud_job_kind::label;
         const std::uint64_t id = job.id;
-        const Seconds submitted = job.submitted;
+        const Sim_time submitted = job.submitted;
         job.service = remainder;
         enqueue(std::move(job));
         // Re-arm the wait bound for re-queued *labels* (failure and
@@ -444,12 +448,12 @@ void Cloud_runtime::checkpoint(std::shared_ptr<Active_dispatch> active) {
         // off overdue_ids_), or a policy could hand the freed server to a
         // train that the 0-delay check would then immediately preempt. The
         // scheduled check still runs for the eviction itself.
-        if (is_label && config_.preempt_label_wait > 0.0) {
-            const Seconds expires = submitted + config_.preempt_label_wait;
+        if (is_label && config_.preempt_label_wait > Sim_duration{}) {
+            const Sim_time expires = submitted + config_.preempt_label_wait;
             if (queue_.now() >= expires) {
                 overdue_ids_.insert(id);
             }
-            queue_.schedule_in(std::max(0.0, expires - queue_.now()),
+            queue_.schedule_in(std::max(Sim_duration{}, expires - queue_.now()),
                                [this, id] { preempt_check(id); });
         }
     }
@@ -458,7 +462,7 @@ void Cloud_runtime::checkpoint(std::shared_ptr<Active_dispatch> active) {
 
 void Cloud_runtime::schedule_failure(std::size_t g) {
     const Gpu_profile& profile = profile_of(g);
-    if (!std::isfinite(profile.mtbf)) {
+    if (!std::isfinite(profile.mtbf.value())) { // raw read: finiteness test
         return; // never fails; draws nothing from its substream
     }
     queue_.schedule_in(exponential_delay(failure_rngs_[g], profile.mtbf),
@@ -476,7 +480,8 @@ void Cloud_runtime::fail_server(std::size_t g) {
         // failed flag keeps the server unplaceable once busy clears).
         for (std::size_t i = 0; i < active_.size(); ++i) {
             if (active_[i]->gpu == g) {
-                if (active_[i]->started + active_[i]->service - queue_.now() > 0.0) {
+                if (active_[i]->started + active_[i]->service - queue_.now() >
+                    Sim_duration{}) {
                     checkpoint(active_[i]);
                 }
                 break;
@@ -550,7 +555,7 @@ void Cloud_runtime::requeue_overdue_stragglers() {
     std::vector<std::shared_ptr<Active_dispatch>> victims;
     for (const auto& active : active_) {
         if (!active->straggler_overdue ||
-            active->started + active->service - queue_.now() <= 0.0) {
+            active->started + active->service - queue_.now() <= Sim_duration{}) {
             continue;
         }
         std::size_t fastest = no_gpu;
@@ -575,65 +580,73 @@ void Cloud_runtime::requeue_overdue_stragglers() {
     }
 }
 
-Seconds Cloud_runtime::device_gpu_seconds(std::size_t device_id) const {
-    return device_id < per_device_seconds_.size() ? per_device_seconds_[device_id] : 0.0;
+Gpu_seconds Cloud_runtime::device_gpu_seconds(std::size_t device_id) const {
+    return device_id < per_device_seconds_.size() ? per_device_seconds_[device_id]
+                                                  : Gpu_seconds{};
 }
 
-void Cloud_runtime::finalize_occupancy(std::size_t gpu, Seconds elapsed) {
-    gpu_finalized_busy_[gpu] += elapsed;
-    finalized_busy_ += elapsed;
+void Cloud_runtime::finalize_occupancy(std::size_t gpu, Sim_duration elapsed) {
+    // The one wall-span -> billed-occupancy conversion of the finalize path.
+    const Gpu_seconds billed = Gpu_seconds::of(elapsed);
+    gpu_finalized_busy_[gpu] += billed;
+    finalized_busy_ += billed;
     max_finalized_end_ = std::max(max_finalized_end_, queue_.now());
 }
 
-Seconds Cloud_runtime::busy_seconds_within(Seconds horizon) const {
+Gpu_seconds Cloud_runtime::busy_seconds_within(Sim_time horizon) const {
     // Finished dispatches were folded into the accumulators as they ended;
     // only the handful still in flight need clamping to the horizon (a job
     // straddling the end of the run counts its in-horizon part only).
     SHOG_REQUIRE(horizon >= max_finalized_end_,
                  "occupancy horizon precedes an already-finished dispatch");
-    Seconds in_horizon = finalized_busy_;
+    Gpu_seconds in_horizon = finalized_busy_;
     for (const auto& active : active_) {
         if (active->started >= horizon) {
             continue;
         }
-        in_horizon += std::min(active->service, horizon - active->started);
+        in_horizon += Gpu_seconds::of(std::min(active->service, horizon - active->started));
     }
     return in_horizon + direct_seconds_;
 }
 
-std::vector<Seconds> Cloud_runtime::per_gpu_busy_within(Seconds horizon) const {
+std::vector<Gpu_seconds> Cloud_runtime::per_gpu_busy_within(Sim_time horizon) const {
     SHOG_REQUIRE(horizon >= max_finalized_end_,
                  "occupancy horizon precedes an already-finished dispatch");
-    std::vector<Seconds> per_gpu = gpu_finalized_busy_;
+    std::vector<Gpu_seconds> per_gpu = gpu_finalized_busy_;
     for (const auto& active : active_) {
         if (active->started >= horizon) {
             continue;
         }
-        per_gpu[active->gpu] += std::min(active->service, horizon - active->started);
+        per_gpu[active->gpu] +=
+            Gpu_seconds::of(std::min(active->service, horizon - active->started));
     }
     return per_gpu;
 }
 
-double Cloud_runtime::utilization(Seconds horizon) const {
-    SHOG_REQUIRE(horizon > 0.0, "horizon must be positive");
-    return busy_seconds_within(horizon) / (horizon * static_cast<double>(config_.gpu_count));
+double Cloud_runtime::utilization(Sim_time horizon) const {
+    SHOG_REQUIRE(horizon > Sim_time{}, "horizon must be positive");
+    const Gpu_seconds capacity =
+        Gpu_seconds::of(horizon.since_start()) * static_cast<double>(config_.gpu_count);
+    return busy_seconds_within(horizon) / capacity;
 }
 
-Seconds Cloud_runtime::mean_label_latency() const {
+Sim_duration Cloud_runtime::mean_label_latency() const {
     // Running sums accumulate in completion order — the same order the
     // former per-label vectors were summed in, so the means agree exactly.
     return labels_completed_ > 0
                ? label_latency_sum_ / static_cast<double>(labels_completed_)
-               : 0.0;
+               : Sim_duration{};
 }
 
-Seconds Cloud_runtime::p95_label_latency() const {
-    return label_latency_p95_.empty() ? 0.0 : label_latency_p95_.value();
+Sim_duration Cloud_runtime::p95_label_latency() const {
+    return label_latency_p95_.empty()
+               ? Sim_duration{}
+               : Sim_duration{label_latency_p95_.value()}; // quantile yields raw seconds
 }
 
-Seconds Cloud_runtime::mean_label_wait() const {
+Sim_duration Cloud_runtime::mean_label_wait() const {
     return labels_completed_ > 0 ? label_wait_sum_ / static_cast<double>(labels_completed_)
-                                 : 0.0;
+                                 : Sim_duration{};
 }
 
 } // namespace shog::sim

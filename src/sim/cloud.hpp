@@ -48,9 +48,9 @@ struct Gpu_profile {
     /// share stays billed, the remainder is re-queued at the original
     /// submission time — and the server takes no work until repaired.
     /// Infinity (the default) means the server never fails.
-    Seconds mtbf = std::numeric_limits<double>::infinity();
+    Sim_duration mtbf{std::numeric_limits<double>::infinity()};
     /// Mean time to repair (exponential); read only when mtbf is finite.
-    Seconds mttr = 20.0;
+    Sim_duration mttr{20.0};
 };
 
 struct Cloud_config {
@@ -92,7 +92,7 @@ struct Cloud_config {
     /// fine-tune (the expiry test `now - submitted >= bound` can also miss
     /// by an ulp at the timer's own firing time; the mark is immune). 0
     /// disables preemption.
-    Seconds preempt_label_wait = 0.0;
+    Sim_duration preempt_label_wait;
     /// Per-server reliability profiles. Empty (the default) means every
     /// server runs the default profile; otherwise the size must equal
     /// gpu_count.
@@ -118,7 +118,7 @@ class Cloud_runtime {
 public:
     using Completion = std::function<void()>;
     /// Resume planner: see Sched_job::replan.
-    using Resume_replan = std::function<Seconds(Seconds, Seconds)>;
+    using Resume_replan = std::function<Sim_duration(Sim_duration, Sim_time)>;
 
     Cloud_runtime(Event_queue& queue, Cloud_config config = {});
 
@@ -129,13 +129,13 @@ public:
     /// policy uses it to label the fastest-rotting device first. `replan`,
     /// if set, re-prices the job's remainder whenever a checkpoint re-queues
     /// it (see Sched_job::replan).
-    void submit(std::size_t device_id, Seconds service, Completion done,
+    void submit(std::size_t device_id, Sim_duration service, Completion done,
                 Cloud_job_kind kind = Cloud_job_kind::label, double drift_rate = 0.0,
                 Resume_replan replan = {});
 
     /// Account GPU time for analytically-modeled work that bypasses the
     /// queue (Cloud-Only's synchronous per-frame pipeline).
-    void account_direct(std::size_t device_id, Seconds gpu_seconds);
+    void account_direct(std::size_t device_id, Gpu_seconds gpu_seconds);
 
     [[nodiscard]] const Cloud_config& config() const noexcept { return config_; }
     [[nodiscard]] const char* policy_name() const noexcept { return policy_->name(); }
@@ -144,7 +144,7 @@ public:
     /// Total GPU seconds committed (queued service + direct accounting).
     /// Includes the full service of jobs still running at the end of a run;
     /// use busy_seconds_within() for horizon-consistent occupancy.
-    [[nodiscard]] Seconds busy_seconds() const noexcept {
+    [[nodiscard]] Gpu_seconds busy_seconds() const noexcept {
         return queued_busy_seconds_ + direct_seconds_;
     }
     /// GPU seconds spent inside [0, horizon]: finished dispatches are
@@ -153,16 +153,16 @@ public:
     /// clamped at query time. `horizon` must therefore not precede any
     /// already-finished dispatch — true for every run_until(horizon) caller,
     /// since completions past the horizon never execute.
-    [[nodiscard]] Seconds busy_seconds_within(Seconds horizon) const;
+    [[nodiscard]] Gpu_seconds busy_seconds_within(Sim_time horizon) const;
     /// Per-server GPU seconds inside [0, horizon] (no direct accounting —
     /// direct work never touches a specific server). Shard balance metric.
     /// Same horizon contract as busy_seconds_within().
-    [[nodiscard]] std::vector<Seconds> per_gpu_busy_within(Seconds horizon) const;
+    [[nodiscard]] std::vector<Gpu_seconds> per_gpu_busy_within(Sim_time horizon) const;
     /// GPU seconds attributed to one device.
-    [[nodiscard]] Seconds device_gpu_seconds(std::size_t device_id) const;
+    [[nodiscard]] Gpu_seconds device_gpu_seconds(std::size_t device_id) const;
     /// busy_seconds_within(horizon) / (horizon * gpu_count). > 1 means
     /// oversubscribed direct work.
-    [[nodiscard]] double utilization(Seconds horizon) const;
+    [[nodiscard]] double utilization(Sim_time horizon) const;
 
     [[nodiscard]] std::size_t jobs_completed() const noexcept { return latencies_.size(); }
     [[nodiscard]] std::size_t labels_completed() const noexcept { return labels_completed_; }
@@ -193,29 +193,31 @@ public:
     }
 
     /// Completion - submission per finished job (wait + service), all kinds.
-    [[nodiscard]] const std::vector<Seconds>& job_latencies() const noexcept {
+    [[nodiscard]] const std::vector<Sim_duration>& job_latencies() const noexcept {
         return latencies_;
     }
     /// Dispatch - submission per finished job (pure queueing delay; for a
     /// preempted-and-resumed job this measures to its *final* dispatch).
-    [[nodiscard]] const std::vector<Seconds>& job_waits() const noexcept { return waits_; }
+    [[nodiscard]] const std::vector<Sim_duration>& job_waits() const noexcept {
+        return waits_;
+    }
 
     /// Label-job statistics (training jobs excluded, so an AMS fleet's
     /// fine-tunes don't masquerade as label latency). Maintained as running
     /// sums plus an exact streaming quantile — no per-label vectors, no
     /// end-of-run sort — and bit-identical to the former sort-at-end values.
-    [[nodiscard]] Seconds mean_label_latency() const;
-    [[nodiscard]] Seconds p95_label_latency() const;
-    [[nodiscard]] Seconds mean_label_wait() const;
+    [[nodiscard]] Sim_duration mean_label_latency() const;
+    [[nodiscard]] Sim_duration p95_label_latency() const;
+    [[nodiscard]] Sim_duration mean_label_wait() const;
 
 private:
     /// One in-flight dispatch (needed for preemption: the completion event
     /// cannot be removed from the queue, so it checks `cancelled` instead).
     struct Active_dispatch {
         std::vector<Sched_job> jobs;
-        Seconds started = 0.0;
-        Seconds service = 0.0;    ///< wall duration == billed total
-        Seconds total_raw = 0.0;  ///< sum of member raw service (bill shares)
+        Sim_time started;
+        Sim_duration service;   ///< wall duration == billed total
+        Sim_duration total_raw; ///< sum of member raw service (bill shares)
         std::size_t gpu = no_gpu; ///< server this dispatch occupies
         bool all_train = false;
         bool cancelled = false;
@@ -251,7 +253,7 @@ private:
     void checkpoint(std::shared_ptr<Active_dispatch> active);
     /// Fold a finished occupancy interval [started, started + elapsed) on
     /// server `gpu` into the incremental busy accumulators.
-    void finalize_occupancy(std::size_t gpu, Seconds elapsed);
+    void finalize_occupancy(std::size_t gpu, Sim_duration elapsed);
     /// Arm the failure timer of server `g` (no-op when its MTBF is
     /// infinite). Failure and repair delays come from the server's own RNG
     /// substream, so the process is independent of the job stream.
@@ -336,21 +338,21 @@ private:
     std::size_t straggler_requeues_ = 0;
     std::uint64_t next_job_id_ = 0;
     std::uint64_t next_seq_ = 0;
-    Seconds queued_busy_seconds_ = 0.0;
-    Seconds direct_seconds_ = 0.0;
-    std::vector<Seconds> per_device_seconds_;
+    Gpu_seconds queued_busy_seconds_;
+    Gpu_seconds direct_seconds_;
+    std::vector<Gpu_seconds> per_device_seconds_;
     /// Occupancy of dispatches that already finished (completed or
     /// checkpointed), accumulated as they finish — replaces the former
     /// unbounded interval log + end-of-run scan. `finalize_occupancy`
     /// updates all three together.
-    std::vector<Seconds> gpu_finalized_busy_;
-    Seconds finalized_busy_ = 0.0;
-    Seconds max_finalized_end_ = 0.0;
-    std::vector<Seconds> latencies_;
-    std::vector<Seconds> waits_;
+    std::vector<Gpu_seconds> gpu_finalized_busy_;
+    Gpu_seconds finalized_busy_;
+    Sim_time max_finalized_end_;
+    std::vector<Sim_duration> latencies_;
+    std::vector<Sim_duration> waits_;
     std::size_t labels_completed_ = 0;
-    Seconds label_latency_sum_ = 0.0;
-    Seconds label_wait_sum_ = 0.0;
+    Sim_duration label_latency_sum_;
+    Sim_duration label_wait_sum_;
     Streaming_quantile label_latency_p95_{0.95};
 };
 

@@ -29,8 +29,8 @@ public:
                  std::uint64_t seed);
 
     [[nodiscard]] std::size_t device_id() const noexcept { return device_id_; }
-    [[nodiscard]] Seconds now() const noexcept { return queue_.now(); }
-    void schedule(Seconds delay, std::function<void()> action) {
+    [[nodiscard]] Sim_time now() const noexcept { return queue_.now(); }
+    void schedule(Sim_duration delay, std::function<void()> action) {
         queue_.schedule_in(delay, std::move(action));
     }
 
@@ -58,8 +58,10 @@ public:
 
     /// Cloud GPU seconds attributed to this device, however consumed
     /// (scheduler jobs or direct accounting).
-    void add_cloud_gpu_seconds(Seconds s) noexcept { cloud_.account_direct(device_id_, s); }
-    [[nodiscard]] Seconds cloud_gpu_seconds() const noexcept {
+    void add_cloud_gpu_seconds(Gpu_seconds s) noexcept {
+        cloud_.account_direct(device_id_, s);
+    }
+    [[nodiscard]] Gpu_seconds cloud_gpu_seconds() const noexcept {
         return cloud_.device_gpu_seconds(device_id_);
     }
 

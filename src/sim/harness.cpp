@@ -68,11 +68,11 @@ Cluster_result run_cluster(const std::vector<Device_spec>& devices,
     // for the whole run, so addresses must be stable, and adjacent devices
     // sharing chunks keeps the per-event working set tight at fleet scale.
     Stable_arena<Device_state> states;
-    Seconds horizon = 0.0;
+    Sim_time horizon;
     for (std::size_t i = 0; i < devices.size(); ++i) {
         states.emplace_back(i, devices[i], queue, cloud, config.harness,
                             effective_hardware(devices[i], config.harness));
-        horizon = std::max(horizon, devices[i].stream->duration());
+        horizon = std::max(horizon, Sim_time{devices[i].stream->duration()});
     }
 
     // Per device: evaluation events (stride over frames, query the strategy,
@@ -83,7 +83,7 @@ Cluster_result run_cluster(const std::vector<Device_spec>& devices,
         const video::Video_stream& stream = *state.spec.stream;
         for (std::size_t idx = 0; idx < stream.frame_count();
              idx += config.harness.eval_stride) {
-            const Seconds at = static_cast<double>(idx) / stream.fps();
+            const Sim_time at{static_cast<double>(idx) / stream.fps()};
             queue.schedule(at, [&state, idx] {
                 const video::Frame frame = state.runtime.stream().frame_at(idx);
                 std::vector<detect::Detection> detections =
@@ -96,7 +96,7 @@ Cluster_result run_cluster(const std::vector<Device_spec>& devices,
             });
         }
         const double video_fps = stream.fps();
-        const Seconds duration = stream.duration();
+        const Sim_duration duration{stream.duration()};
         const auto sample_fps = [&state, video_fps] {
             const double fps =
                 state.runtime.fps_override() >= 0.0
@@ -108,16 +108,17 @@ Cluster_result run_cluster(const std::vector<Device_spec>& devices,
         // Tick times are computed from an integer tick index: accumulating
         // `t += fps_tick` drifts in floating point and can skip the final
         // tick, leaving the fps timeline short of the stream duration.
-        const Seconds fps_tick = config.harness.fps_tick;
+        const Sim_duration fps_tick = config.harness.fps_tick;
         const auto tick_count = static_cast<std::size_t>(duration / fps_tick + 1e-9);
         for (std::size_t k = 1; k <= tick_count; ++k) {
-            queue.schedule(std::min(static_cast<double>(k) * fps_tick, duration),
-                           sample_fps);
+            queue.schedule(
+                Sim_time{} + std::min(static_cast<double>(k) * fps_tick, duration),
+                sample_fps);
         }
         // Cover the tail segment up to `duration` when the ticks don't land
         // exactly on it (duration not a multiple of fps_tick).
         if (static_cast<double>(tick_count) * fps_tick < duration) {
-            queue.schedule(duration, sample_fps);
+            queue.schedule(Sim_time{} + duration, sample_fps);
         }
     }
 
@@ -127,11 +128,11 @@ Cluster_result run_cluster(const std::vector<Device_spec>& devices,
     (void)queue.run_until(horizon);
 
     Cluster_result cluster;
-    cluster.duration = horizon;
+    cluster.duration = horizon.value(); // serialized metric
     cluster.devices.reserve(states.size());
     for (std::size_t i = 0; i < states.size(); ++i) {
         Device_state& state = states[i];
-        const Seconds duration = state.spec.stream->duration();
+        const double duration = state.spec.stream->duration();
 
         Run_result result;
         result.strategy = state.spec.strategy->name();
@@ -139,16 +140,20 @@ Cluster_result run_cluster(const std::vector<Device_spec>& devices,
         result.map_pooled = state.evaluator.map();
         result.average_iou = state.evaluator.average_iou();
         result.evaluated_frames = state.evaluator.frame_count();
-        result.up_kbps = state.runtime.link().up_meter().average_kbps(duration);
-        result.down_kbps = state.runtime.link().down_meter().average_kbps(duration);
+        const Sim_duration span{duration};
+        result.up_kbps =
+            state.runtime.link().up_meter().average_kbps(span).value(); // serialized metric
+        result.down_kbps =
+            state.runtime.link().down_meter().average_kbps(span).value(); // serialized metric
         result.average_fps = state.fps_tracker.average_fps();
         result.training_sessions = state.runtime.training_sessions();
-        result.cloud_gpu_seconds = state.runtime.cloud_gpu_seconds();
+        result.cloud_gpu_seconds = state.runtime.cloud_gpu_seconds().value(); // serialized
         for (const auto& s : state.fps_tracker.samples()) {
-            result.fps_timeline.emplace_back(s.from, s.fps);
+            result.fps_timeline.emplace_back(s.from.value(), s.fps); // serialized
         }
-        result.windowed_map = state.evaluator.windowed_map(config.harness.map_window);
-        result.map_window = config.harness.map_window;
+        result.windowed_map = state.evaluator.windowed_map(
+            config.harness.map_window.value()); // detect layer keys windows by raw start
+        result.map_window = config.harness.map_window.value(); // serialized
         if (!result.windowed_map.empty()) {
             double total = 0.0;
             for (const auto& [start, value] : result.windowed_map) {
@@ -164,13 +169,14 @@ Cluster_result run_cluster(const std::vector<Device_spec>& devices,
     cluster.fleet_map /= static_cast<double>(cluster.devices.size());
 
     cluster.gpu_busy_seconds =
-        horizon > 0.0 ? cloud.busy_seconds_within(horizon) : cloud.busy_seconds();
-    cluster.gpu_utilization = horizon > 0.0 ? cloud.utilization(horizon) : 0.0;
+        (horizon > Sim_time{} ? cloud.busy_seconds_within(horizon) : cloud.busy_seconds())
+            .value(); // serialized metric
+    cluster.gpu_utilization = horizon > Sim_time{} ? cloud.utilization(horizon) : 0.0;
     cluster.cloud_jobs = cloud.jobs_completed();
     cluster.label_jobs = cloud.labels_completed();
-    cluster.mean_label_latency = cloud.mean_label_latency();
-    cluster.p95_label_latency = cloud.p95_label_latency();
-    cluster.mean_label_wait = cloud.mean_label_wait();
+    cluster.mean_label_latency = cloud.mean_label_latency().value(); // serialized
+    cluster.p95_label_latency = cloud.p95_label_latency().value();   // serialized
+    cluster.mean_label_wait = cloud.mean_label_wait().value();       // serialized
     cluster.peak_queue_depth = cloud.peak_queue_depth();
     cluster.preemptions = cloud.preemptions();
     cluster.warm_dispatches = cloud.warm_dispatches();

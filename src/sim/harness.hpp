@@ -27,8 +27,8 @@ struct Harness_config {
     /// Evaluate every Nth frame (bounds simulation cost; detection quality
     /// statistics are unaffected by uniform striding).
     std::size_t eval_stride = 9;
-    Seconds fps_tick = 1.0;
-    Seconds map_window = 20.0; ///< windowed mAP period for the Fig. 5 CDF
+    Sim_duration fps_tick{1.0};
+    Sim_duration map_window{20.0}; ///< windowed mAP period for the Fig. 5 CDF
     double iou_threshold = 0.5;
     netsim::Link_config link;
     netsim::H264_config h264;
@@ -49,20 +49,20 @@ struct Run_result {
     /// Stream-pooled mAP@IoU (all evaluated frames ranked together).
     double map_pooled = 0.0;
     double average_iou = 0.0;
-    double up_kbps = 0.0;
-    double down_kbps = 0.0;
+    double up_kbps = 0.0;   // shog-lint: allow(raw-seconds) serialized metric
+    double down_kbps = 0.0; // shog-lint: allow(raw-seconds) serialized metric
     double average_fps = 0.0;
-    Seconds duration = 0.0;
+    double duration = 0.0;
     std::size_t evaluated_frames = 0;
     std::size_t training_sessions = 0;
-    Seconds cloud_gpu_seconds = 0.0;
+    double cloud_gpu_seconds = 0.0; // shog-lint: allow(raw-seconds) serialized metric
     /// (time, fps) timeline samples at fps_tick resolution (Fig. 4 right).
     std::vector<std::pair<double, double>> fps_timeline;
     /// (window start, mAP) series (Fig. 5 input).
     std::vector<std::pair<double, double>> windowed_map;
     /// The window length windowed_map was computed with (windowed_gain
     /// aligns windows by start / map_window; 0 = unknown, infer instead).
-    Seconds map_window = 0.0;
+    double map_window = 0.0;
 };
 
 /// Per-device hardware for heterogeneous fleets: edge accelerator, link
@@ -96,10 +96,10 @@ struct Cluster_config {
 struct Cluster_result {
     std::vector<Run_result> devices;
     /// Simulated horizon: the longest stream duration in the cluster.
-    Seconds duration = 0.0;
+    double duration = 0.0;
     /// Cloud GPU seconds consumed by the fleet within the horizon (a job
     /// still running when the horizon ends counts only its in-horizon part).
-    Seconds gpu_busy_seconds = 0.0;
+    double gpu_busy_seconds = 0.0; // shog-lint: allow(raw-seconds) serialized metric
     /// gpu_busy_seconds / (duration * gpu_count).
     double gpu_utilization = 0.0;
     /// Scheduler jobs completed (labeling + cloud training requests).
@@ -109,9 +109,9 @@ struct Cluster_result {
     std::size_t label_jobs = 0;
     /// Label-job latency statistics (training jobs excluded; they only
     /// count toward occupancy).
-    Seconds mean_label_latency = 0.0;
-    Seconds p95_label_latency = 0.0;
-    Seconds mean_label_wait = 0.0;
+    double mean_label_latency = 0.0;
+    double p95_label_latency = 0.0;
+    double mean_label_wait = 0.0;
     std::size_t peak_queue_depth = 0;
     /// Train dispatches checkpointed to unblock waiting label jobs.
     std::size_t preemptions = 0;
@@ -126,7 +126,8 @@ struct Cluster_result {
     /// Mean of the per-device headline mAPs.
     double fleet_map = 0.0;
 
-    [[nodiscard]] Seconds gpu_seconds_per_device() const noexcept {
+    // shog-lint: allow(raw-seconds) serialized metric
+    [[nodiscard]] double gpu_seconds_per_device() const noexcept {
         return devices.empty() ? 0.0
                                : gpu_busy_seconds / static_cast<double>(devices.size());
     }

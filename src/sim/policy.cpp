@@ -38,7 +38,7 @@ public:
     [[nodiscard]] const char* name() const noexcept override { return "fifo"; }
 
     [[nodiscard]] std::size_t select(const std::deque<Sched_job>& waiting,
-                                     const std::vector<Seconds>&, Seconds) const override {
+                                     const std::vector<Gpu_seconds>&, Sim_time) const override {
         // The queue is insertion-ordered, so the front is the lowest enqueue
         // counter in O(1). A preempted remainder re-enters at the back with
         // a fresh seq, so FIFO serves jobs submitted before the preemption
@@ -53,7 +53,7 @@ public:
     [[nodiscard]] const char* name() const noexcept override { return "priority"; }
 
     [[nodiscard]] std::size_t select(const std::deque<Sched_job>& waiting,
-                                     const std::vector<Seconds>&, Seconds) const override {
+                                     const std::vector<Gpu_seconds>&, Sim_time) const override {
         // Label jobs before train jobs; within a kind, oldest submission
         // first (preemption re-queues break enqueue order, so compare
         // submission times rather than trusting seq alone).
@@ -80,8 +80,8 @@ public:
     [[nodiscard]] const char* name() const noexcept override { return "fair_share"; }
 
     [[nodiscard]] std::size_t select(const std::deque<Sched_job>& waiting,
-                                     const std::vector<Seconds>& device_gpu_seconds,
-                                     Seconds) const override {
+                                     const std::vector<Gpu_seconds>& device_gpu_seconds,
+                                     Sim_time) const override {
         // Deficit round-robin: the waiting device that has consumed the
         // least GPU time goes first (largest service deficit). Ties fall to
         // the oldest submission, then the enqueue order, so the policy
@@ -91,13 +91,16 @@ public:
         // exact compare would turn those into nondeterministic-looking
         // priority inversions between equally-served devices.
         const auto consumed = [&](std::size_t device) {
-            return device < device_gpu_seconds.size() ? device_gpu_seconds[device] : 0.0;
+            return device < device_gpu_seconds.size() ? device_gpu_seconds[device]
+                                                      : Gpu_seconds{};
         };
         std::size_t best = 0;
         for (std::size_t i = 1; i < waiting.size(); ++i) {
-            const Seconds ci = consumed(waiting[i].device);
-            const Seconds cb = consumed(waiting[best].device);
-            const Seconds eps = 1e-9 * std::max({1.0, std::abs(ci), std::abs(cb)});
+            // Raw doubles for the epsilon-band tie test: the band scales off
+            // fabs() magnitudes, which has no dimensional reading.
+            const double ci = consumed(waiting[i].device).value(); // ledger residue compare
+            const double cb = consumed(waiting[best].device).value(); // ledger residue compare
+            const double eps = 1e-9 * std::max({1.0, std::abs(ci), std::abs(cb)});
             if (std::abs(ci - cb) > eps) {
                 if (ci < cb) {
                     best = i;
@@ -117,7 +120,7 @@ public:
     [[nodiscard]] const char* name() const noexcept override { return "staleness"; }
 
     [[nodiscard]] std::size_t select(const std::deque<Sched_job>& waiting,
-                                     const std::vector<Seconds>&, Seconds now) const override {
+                                     const std::vector<Gpu_seconds>&, Sim_time now) const override {
         // Label jobs before train jobs (a fine-tune must never starve the
         // labeling path — same guarantee as `priority`). Among labels, the
         // highest *drift-weighted age* goes first: age is time since first
@@ -157,8 +160,10 @@ private:
     /// Devices without a drift estimate age at this rate (alpha per second).
     static constexpr double drift_floor = 1e-3;
 
-    static double staleness(const Sched_job& job, Seconds now) {
-        return (now - job.submitted) * std::max(job.drift_rate, drift_floor);
+    static double staleness(const Sched_job& job, Sim_time now) {
+        // Dimensionless priority score: age x (alpha per second) drift rate.
+        return (now - job.submitted).value() // raw age: multiplied by a per-second rate
+               * std::max(job.drift_rate, drift_floor);
     }
 };
 

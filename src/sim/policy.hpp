@@ -51,8 +51,8 @@ enum class Policy_kind { fifo, priority, fair_share, staleness };
 /// is the queue-order tiebreak every policy bottoms out on.
 struct Sched_job {
     std::size_t device = 0;
-    Seconds service = 0.0;
-    Seconds submitted = 0.0;
+    Sim_duration service;
+    Sim_time submitted;
     std::function<void()> done;
     Cloud_job_kind kind = Cloud_job_kind::label;
     std::uint64_t id = 0;
@@ -67,7 +67,7 @@ struct Sched_job {
     /// returned service instead — clamped to [0, remainder], so a planner
     /// can only *shrink* the remaining work (an AMS fine-tune drops samples
     /// that went stale while it sat checkpointed), never inflate the bill.
-    std::function<Seconds(Seconds, Seconds)> replan;
+    std::function<Sim_duration(Sim_duration, Sim_time)> replan;
     /// This job was already re-queued off a straggling server. A dispatch
     /// whose members have all escaped once is never checked again: a
     /// placement that puts the remainder straight back on the slow shard
@@ -106,7 +106,7 @@ public:
     /// with tiebreaks bottoming out on `seq`.
     [[nodiscard]] virtual std::size_t select(
         const std::deque<Sched_job>& waiting,
-        const std::vector<Seconds>& device_gpu_seconds, Seconds now) const = 0;
+        const std::vector<Gpu_seconds>& device_gpu_seconds, Sim_time now) const = 0;
 };
 
 [[nodiscard]] std::unique_ptr<Scheduling_policy> make_policy(Policy_kind kind);

@@ -26,7 +26,7 @@ double domain_distance(const Domain& a, const Domain& b) noexcept {
     return d_illum + 0.5 * d_density + 0.3 * d_clutter + d_weather;
 }
 
-Domain_schedule::Domain_schedule(std::vector<Segment> segments, Seconds ramp, bool cycle)
+Domain_schedule::Domain_schedule(std::vector<Segment> segments, double ramp, bool cycle)
     : segments_{std::move(segments)}, ramp_{ramp}, cycle_{cycle} {
     SHOG_REQUIRE(!segments_.empty(), "schedule needs at least one segment");
     SHOG_REQUIRE(ramp_ >= 0.0, "ramp must be non-negative");
@@ -53,17 +53,17 @@ const Domain_schedule::Segment& Domain_schedule::segment(std::size_t i) const {
     return segments_[i];
 }
 
-Seconds Domain_schedule::hold_start(std::size_t i) const noexcept {
-    Seconds t = 0.0;
+double Domain_schedule::hold_start(std::size_t i) const noexcept {
+    double t = 0.0;
     for (std::size_t k = 0; k < i; ++k) {
         t += segments_[k].hold + ramp_;
     }
     return t;
 }
 
-Domain Domain_schedule::at(Seconds t) const {
+Domain Domain_schedule::at(double t) const {
     SHOG_REQUIRE(t >= 0.0, "schedule time must be non-negative");
-    Seconds local = t;
+    double local = t;
     if (cycle_) {
         local = std::fmod(t, period_);
     } else if (local >= period_) {
@@ -71,8 +71,8 @@ Domain Domain_schedule::at(Seconds t) const {
     }
 
     for (std::size_t i = 0; i < segments_.size(); ++i) {
-        const Seconds start = hold_start(i);
-        const Seconds hold_end = start + segments_[i].hold;
+        const double start = hold_start(i);
+        const double hold_end = start + segments_[i].hold;
         if (local < hold_end) {
             return segments_[i].domain;
         }
@@ -80,7 +80,7 @@ Domain Domain_schedule::at(Seconds t) const {
         if (last && !cycle_) {
             return segments_.back().domain;
         }
-        const Seconds ramp_end = hold_end + ramp_;
+        const double ramp_end = hold_end + ramp_;
         if (local < ramp_end) {
             const Domain& from = segments_[i].domain;
             const Domain& to = segments_[last ? 0 : i + 1].domain;
@@ -96,7 +96,7 @@ Domain Domain_schedule::at(Seconds t) const {
     return segments_.back().domain;
 }
 
-double Domain_schedule::drift_rate(Seconds t, Seconds dt) const {
+double Domain_schedule::drift_rate(double t, double dt) const {
     SHOG_REQUIRE(dt > 0.0, "drift_rate step must be positive");
     const Domain before = at(t);
     const Domain after = at(t + dt);

@@ -36,34 +36,34 @@ class Domain_schedule {
 public:
     struct Segment {
         Domain domain;
-        Seconds hold; ///< time spent inside the domain (excluding ramps)
+        double hold; ///< time spent inside the domain (excluding ramps)
     };
 
     /// `ramp` is the transition duration inserted between consecutive
     /// segments. If `cycle` is true the schedule repeats indefinitely.
-    Domain_schedule(std::vector<Segment> segments, Seconds ramp, bool cycle);
+    Domain_schedule(std::vector<Segment> segments, double ramp, bool cycle);
 
     /// Domain at absolute stream time t (>= 0).
-    [[nodiscard]] Domain at(Seconds t) const;
+    [[nodiscard]] Domain at(double t) const;
 
     /// One full pass through all segments + ramps.
-    [[nodiscard]] Seconds period() const noexcept { return period_; }
+    [[nodiscard]] double period() const noexcept { return period_; }
 
     [[nodiscard]] bool cycles() const noexcept { return cycle_; }
     [[nodiscard]] std::size_t segment_count() const noexcept { return segments_.size(); }
     [[nodiscard]] const Segment& segment(std::size_t i) const;
 
     /// Finite-difference drift speed (domain distance per second) at t.
-    [[nodiscard]] double drift_rate(Seconds t, Seconds dt = 1.0) const;
+    [[nodiscard]] double drift_rate(double t, double dt = 1.0) const;
 
 private:
     std::vector<Segment> segments_;
-    Seconds ramp_;
+    double ramp_;
     bool cycle_;
-    Seconds period_ = 0.0;
+    double period_ = 0.0;
 
     /// Start time of segment i's hold within one period.
-    [[nodiscard]] Seconds hold_start(std::size_t i) const noexcept;
+    [[nodiscard]] double hold_start(std::size_t i) const noexcept;
 };
 
 /// Convenience builders for common day cycles.

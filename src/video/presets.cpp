@@ -6,7 +6,7 @@
 
 namespace shog::video {
 
-Dataset_preset ua_detrac_like(std::uint64_t seed, Seconds duration) {
+Dataset_preset ua_detrac_like(std::uint64_t seed, double duration) {
     Dataset_preset p{
         "ua_detrac",
         Stream_config{},
@@ -44,7 +44,7 @@ Dataset_preset ua_detrac_like(std::uint64_t seed, Seconds duration) {
     return p;
 }
 
-Dataset_preset kitti_like(std::uint64_t seed, Seconds duration) {
+Dataset_preset kitti_like(std::uint64_t seed, double duration) {
     Dataset_preset p{
         "kitti",
         Stream_config{},
@@ -81,7 +81,7 @@ Dataset_preset kitti_like(std::uint64_t seed, Seconds duration) {
     return p;
 }
 
-Dataset_preset waymo_like(std::uint64_t seed, Seconds duration) {
+Dataset_preset waymo_like(std::uint64_t seed, double duration) {
     Dataset_preset p{
         "waymo",
         Stream_config{},
@@ -117,7 +117,7 @@ Dataset_preset waymo_like(std::uint64_t seed, Seconds duration) {
     return p;
 }
 
-Dataset_preset preset_by_name(const char* name, std::uint64_t seed, Seconds duration) {
+Dataset_preset preset_by_name(const char* name, std::uint64_t seed, double duration) {
     SHOG_REQUIRE(name != nullptr, "preset name must not be null");
     if (std::strcmp(name, "ua_detrac") == 0) {
         return ua_detrac_like(seed, duration);

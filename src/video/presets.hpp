@@ -24,18 +24,18 @@ struct Dataset_preset {
 /// UA-DETRAC-like: static traffic-surveillance camera, 4 vehicle classes
 /// with car/van confusion, heavy density swings and harsh day->night->rain
 /// cycling. The hardest drift of the three (paper Edge-Only mAP 34.2).
-[[nodiscard]] Dataset_preset ua_detrac_like(std::uint64_t seed, Seconds duration = 600.0);
+[[nodiscard]] Dataset_preset ua_detrac_like(std::uint64_t seed, double duration = 600.0);
 
 /// KITTI-like (Car only): ego-motion dashcam, single class, mild mostly-day
 /// drift (paper Edge-Only mAP 56.8 — the easiest stream).
-[[nodiscard]] Dataset_preset kitti_like(std::uint64_t seed, Seconds duration = 600.0);
+[[nodiscard]] Dataset_preset kitti_like(std::uint64_t seed, double duration = 600.0);
 
 /// Waymo-Open-like: multi-class with pedestrians/cyclists, mixed day/night
 /// suburban driving, intermediate drift (paper Edge-Only mAP 47.5).
-[[nodiscard]] Dataset_preset waymo_like(std::uint64_t seed, Seconds duration = 600.0);
+[[nodiscard]] Dataset_preset waymo_like(std::uint64_t seed, double duration = 600.0);
 
 /// Look up by name ("ua_detrac", "kitti", "waymo"); throws on unknown names.
 [[nodiscard]] Dataset_preset preset_by_name(const char* name, std::uint64_t seed,
-                                            Seconds duration = 600.0);
+                                            double duration = 600.0);
 
 } // namespace shog::video

@@ -56,7 +56,7 @@ void Video_stream::generate_tracks() {
     SHOG_REQUIRE(total > 0.0, "class frequencies must not all be zero");
 
     // Poisson arrivals at the max rate, thinned by schedule density.
-    Seconds t = 0.0;
+    double t = 0.0;
     std::size_t next_id = 1;
     while (t < config_.duration) {
         t += -std::log(std::max(rng.uniform(), 1e-12)) / config_.spawn_rate;
@@ -82,7 +82,7 @@ void Video_stream::generate_tracks() {
         const double dwell =
             config_.mean_dwell * std::exp(0.45 * rng.gaussian()); // lognormal-ish
         track.exit = std::min(config_.duration, t + std::max(1.0, dwell));
-        track.scale = clamp(std::exp(0.35 * rng.gaussian()), 0.45, 2.2);
+        track.scale = std::clamp(std::exp(0.35 * rng.gaussian()), 0.45, 2.2);
 
         const double nominal = config_.class_size_fraction[track.class_id - 1] *
                                config_.image_width * track.scale;
@@ -117,7 +117,7 @@ void Video_stream::generate_tracks() {
     }
 }
 
-detect::Box Video_stream::track_box(const Track& t, Seconds time) const noexcept {
+detect::Box Video_stream::track_box(const Track& t, double time) const noexcept {
     const double dt = time - t.spawn;
     const double cx = t.x0 + t.vx * dt;
     const double cy = t.y0 + t.vy * dt;
@@ -125,7 +125,7 @@ detect::Box Video_stream::track_box(const Track& t, Seconds time) const noexcept
         .clipped(config_.image_width, config_.image_height);
 }
 
-std::size_t Video_stream::index_at(Seconds t) const {
+std::size_t Video_stream::index_at(double t) const {
     SHOG_REQUIRE(t >= 0.0, "time must be non-negative");
     const auto idx = static_cast<std::size_t>(t * config_.fps);
     return std::min(idx, frame_count_ > 0 ? frame_count_ - 1 : 0);
@@ -175,15 +175,15 @@ Frame Video_stream::frame_at(std::size_t index) const {
             occluded = std::max(occluded, detect::iou(obj.box, frame.objects[j].box));
         }
         Rng obj_rng = frame_rng.split(obj.object_id);
-        obj.occlusion = clamp(0.8 * occluded + 0.2 * frame.domain.clutter * obj_rng.uniform(),
+        obj.occlusion = std::clamp(0.8 * occluded + 0.2 * frame.domain.clutter * obj_rng.uniform(),
                               0.0, 0.9);
     }
 
     const double image_area = config_.image_width * config_.image_height;
-    frame.motion_level = clamp(moving_area / image_area + config_.ego_motion +
+    frame.motion_level = std::clamp(moving_area / image_area + config_.ego_motion +
                                    2.0 * schedule_.drift_rate(frame.timestamp),
                                0.0, 1.0);
-    frame.complexity = clamp(0.35 + 0.5 * frame.domain.clutter +
+    frame.complexity = std::clamp(0.35 + 0.5 * frame.domain.clutter +
                                  0.15 * static_cast<double>(frame.objects.size()) / 10.0,
                              0.0, 1.0);
     return frame;

@@ -36,7 +36,7 @@ struct Rendered_object {
 
 struct Frame {
     std::size_t index = 0;
-    Seconds timestamp = 0.0;
+    double timestamp = 0.0;
     Domain domain;
     std::vector<Rendered_object> objects;
     /// Fraction of the image changing per frame (drives the H.264 model).
@@ -48,13 +48,13 @@ struct Frame {
 struct Stream_config {
     std::uint64_t seed = 1;
     double fps = 30.0;
-    Seconds duration = 600.0;
+    double duration = 600.0;
     double image_width = 960.0;
     double image_height = 540.0;
     /// Arrival intensity at density 1.0, in objects per second.
     double spawn_rate = 1.4;
     /// Mean on-screen dwell time per object.
-    Seconds mean_dwell = 9.0;
+    double mean_dwell = 9.0;
     /// Global ego-motion level added to every frame's motion (KITTI-like
     /// dashcam streams set this high; static surveillance cameras near 0).
     double ego_motion = 0.0;
@@ -76,7 +76,7 @@ public:
 
     [[nodiscard]] std::size_t frame_count() const noexcept { return frame_count_; }
     [[nodiscard]] double fps() const noexcept { return config_.fps; }
-    [[nodiscard]] Seconds duration() const noexcept { return config_.duration; }
+    [[nodiscard]] double duration() const noexcept { return config_.duration; }
     [[nodiscard]] std::size_t num_classes() const noexcept { return world_.num_classes(); }
     [[nodiscard]] const std::string& class_name(std::size_t class_id) const;
 
@@ -84,7 +84,7 @@ public:
     [[nodiscard]] Frame frame_at(std::size_t index) const;
 
     /// Frame index at or before time t.
-    [[nodiscard]] std::size_t index_at(Seconds t) const;
+    [[nodiscard]] std::size_t index_at(double t) const;
 
     /// Ground truth of a frame (boxes + classes), for evaluators.
     [[nodiscard]] static std::vector<detect::Ground_truth> ground_truth(const Frame& frame);
@@ -97,8 +97,8 @@ private:
         std::size_t id;
         std::size_t class_id;
         std::vector<double> appearance;
-        Seconds spawn;
-        Seconds exit;
+        double spawn;
+        double exit;
         double x0, y0;   // center position at spawn (px)
         double vx, vy;   // velocity (px/s)
         double scale;    // apparent size multiplier
@@ -117,7 +117,7 @@ private:
     std::vector<std::vector<std::uint32_t>> tracks_by_second_;
 
     void generate_tracks();
-    [[nodiscard]] detect::Box track_box(const Track& t, Seconds time) const noexcept;
+    [[nodiscard]] detect::Box track_box(const Track& t, double time) const noexcept;
 };
 
 } // namespace shog::video

@@ -1,5 +1,6 @@
 #include "video/world.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace shog::video {
@@ -111,15 +112,15 @@ std::vector<double> World_model::sample_appearance(std::size_t class_id, Rng& rn
 }
 
 double World_model::illumination_gain(double illumination) const noexcept {
-    const double il = clamp(illumination, 0.0, 1.0);
+    const double il = std::clamp(illumination, 0.0, 1.0);
     return config_.illumination_floor +
            (1.0 - config_.illumination_floor) * std::pow(il, config_.illumination_gamma);
 }
 
 double World_model::noise_sigma(const Domain& domain, double sensor_noise,
                                 double robustness) const noexcept {
-    const double keep = 1.0 - clamp(robustness, 0.0, 0.99);
-    const double darkness = (1.0 - clamp(domain.illumination, 0.0, 1.0)) * keep;
+    const double keep = 1.0 - std::clamp(robustness, 0.0, 0.99);
+    const double darkness = (1.0 - std::clamp(domain.illumination, 0.0, 1.0)) * keep;
     double sigma = config_.base_noise + sensor_noise;
     sigma *= 1.0 + config_.night_extra_noise * darkness;
     if (domain.weather == Weather::rainy) {
@@ -134,8 +135,8 @@ std::vector<double> World_model::observe(const std::vector<double>& appearance,
     SHOG_REQUIRE(appearance.size() == config_.feature_dim, "appearance dimension mismatch");
     const std::size_t d = config_.feature_dim;
     const std::size_t w = weather_index(domain.weather);
-    const double keep = 1.0 - clamp(robustness, 0.0, 0.99);
-    const double darkness = (1.0 - clamp(domain.illumination, 0.0, 1.0)) * keep;
+    const double keep = 1.0 - std::clamp(robustness, 0.0, 0.99);
+    const double darkness = (1.0 - std::clamp(domain.illumination, 0.0, 1.0)) * keep;
     const double gain = illumination_gain(1.0 - darkness);
     const double sigma = noise_sigma(domain, sensor_noise, robustness);
 
@@ -155,7 +156,7 @@ std::vector<double> World_model::observe(const std::vector<double>& appearance,
     }
 
     // Occlusion: damp ceil(occlusion * d) randomly-chosen dimensions.
-    const double occ = clamp(occlusion, 0.0, 1.0);
+    const double occ = std::clamp(occlusion, 0.0, 1.0);
     if (occ > 0.0) {
         const auto n_occ = static_cast<std::size_t>(std::ceil(occ * static_cast<double>(d)));
         for (std::size_t idx : rng.sample_without_replacement(d, n_occ)) {
@@ -168,8 +169,8 @@ std::vector<double> World_model::observe(const std::vector<double>& appearance,
 std::vector<double> World_model::background(const Domain& domain, double sensor_noise,
                                             Rng& rng, double robustness) const {
     const std::size_t d = config_.feature_dim;
-    const double keep = 1.0 - clamp(robustness, 0.0, 0.99);
-    const double darkness = (1.0 - clamp(domain.illumination, 0.0, 1.0)) * keep;
+    const double keep = 1.0 - std::clamp(robustness, 0.0, 0.99);
+    const double darkness = (1.0 - std::clamp(domain.illumination, 0.0, 1.0)) * keep;
     const double gain = illumination_gain(1.0 - darkness);
     const double sigma = noise_sigma(domain, sensor_noise, robustness);
     // Clutter widens the background distribution toward the object manifold;

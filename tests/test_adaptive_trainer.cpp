@@ -103,12 +103,13 @@ TEST_F(Trainer_fixture, TableTwoTimingOrdering) {
     EXPECT_LT(no_replay.overall_seconds(), input.overall_seconds());
     EXPECT_GT(conv54.overall_seconds(), ours.overall_seconds());
     EXPECT_LT(conv54.overall_seconds(), 2.0 * ours.overall_seconds());
-    EXPECT_NEAR(freezing.overall_seconds(), ours.overall_seconds(),
-                0.15 * ours.overall_seconds());
+    EXPECT_NEAR(freezing.overall_seconds().value(), // raw seconds for the tolerance
+                ours.overall_seconds().value(), // raw seconds
+                0.15 * ours.overall_seconds().value()); // raw-seconds tolerance
 
     // Absolute scale: ours lands in the paper's ballpark (18.6 s on a TX2).
-    EXPECT_GT(ours.overall_seconds(), 8.0);
-    EXPECT_LT(ours.overall_seconds(), 40.0);
+    EXPECT_GT(ours.overall_seconds(), Sim_duration{8.0});
+    EXPECT_LT(ours.overall_seconds(), Sim_duration{40.0});
     // Forward dominates for ours (17.8 fwd vs 0.8 bwd in the paper).
     EXPECT_GT(ours.forward_seconds, 4.0 * ours.backward_seconds);
 }
@@ -116,9 +117,11 @@ TEST_F(Trainer_fixture, TableTwoTimingOrdering) {
 TEST_F(Trainer_fixture, SamplesPerImageScalesCost) {
     Trainer_config cfg = ours_config();
     cfg.samples_per_image = 1.0;
-    const double one = make_trainer(cfg).estimate_session_cost(300).overall_seconds();
+    const double one =
+        make_trainer(cfg).estimate_session_cost(300).overall_seconds().value(); // raw tolerance
     cfg.samples_per_image = 6.0;
-    const double six = make_trainer(cfg).estimate_session_cost(300).overall_seconds();
+    const double six =
+        make_trainer(cfg).estimate_session_cost(300).overall_seconds().value(); // raw tolerance
     EXPECT_NEAR(six, one / 6.0, 0.25 * one);
 }
 

@@ -25,20 +25,20 @@ TEST(CloudRuntime, FifoOrderAndLatency) {
     Cloud_runtime cloud{queue, Cloud_config{}};
     std::vector<int> completions;
     // Two jobs submitted back-to-back at t=0: the second waits for the first.
-    cloud.submit(0, 2.0, [&] { completions.push_back(0); });
-    cloud.submit(1, 3.0, [&] { completions.push_back(1); });
-    (void)queue.run_until(10.0);
+    cloud.submit(0, Sim_duration{2.0}, [&] { completions.push_back(0); });
+    cloud.submit(1, Sim_duration{3.0}, [&] { completions.push_back(1); });
+    (void)queue.run_until(Sim_time{10.0});
     ASSERT_EQ(completions.size(), 2u);
     EXPECT_EQ(completions[0], 0);
     EXPECT_EQ(completions[1], 1);
     ASSERT_EQ(cloud.job_latencies().size(), 2u);
-    EXPECT_DOUBLE_EQ(cloud.job_latencies()[0], 2.0); // no wait
-    EXPECT_DOUBLE_EQ(cloud.job_latencies()[1], 5.0); // waited 2 s, served 3 s
-    EXPECT_DOUBLE_EQ(cloud.job_waits()[1], 2.0);
-    EXPECT_DOUBLE_EQ(cloud.busy_seconds(), 5.0);
-    EXPECT_DOUBLE_EQ(cloud.device_gpu_seconds(0), 2.0);
-    EXPECT_DOUBLE_EQ(cloud.device_gpu_seconds(1), 3.0);
-    EXPECT_DOUBLE_EQ(cloud.utilization(10.0), 0.5);
+    EXPECT_EQ(cloud.job_latencies()[0], Sim_duration{2.0}); // no wait
+    EXPECT_EQ(cloud.job_latencies()[1], Sim_duration{5.0}); // waited 2 s, served 3 s
+    EXPECT_EQ(cloud.job_waits()[1], Sim_duration{2.0});
+    EXPECT_EQ(cloud.busy_seconds(), Gpu_seconds{5.0});
+    EXPECT_EQ(cloud.device_gpu_seconds(0), Gpu_seconds{2.0});
+    EXPECT_EQ(cloud.device_gpu_seconds(1), Gpu_seconds{3.0});
+    EXPECT_DOUBLE_EQ(cloud.utilization(Sim_time{10.0}), 0.5);
 }
 
 TEST(CloudRuntime, MultipleGpusServeInParallel) {
@@ -46,15 +46,15 @@ TEST(CloudRuntime, MultipleGpusServeInParallel) {
     Cloud_config config;
     config.gpu_count = 2;
     Cloud_runtime cloud{queue, config};
-    cloud.submit(0, 2.0, {});
-    cloud.submit(1, 2.0, {});
-    cloud.submit(2, 2.0, {});
-    (void)queue.run_until(10.0);
+    cloud.submit(0, Sim_duration{2.0}, {});
+    cloud.submit(1, Sim_duration{2.0}, {});
+    cloud.submit(2, Sim_duration{2.0}, {});
+    (void)queue.run_until(Sim_time{10.0});
     ASSERT_EQ(cloud.job_latencies().size(), 3u);
     // First two run immediately on separate GPUs; third waits for a slot.
-    EXPECT_DOUBLE_EQ(cloud.job_latencies()[0], 2.0);
-    EXPECT_DOUBLE_EQ(cloud.job_latencies()[1], 2.0);
-    EXPECT_DOUBLE_EQ(cloud.job_latencies()[2], 4.0);
+    EXPECT_EQ(cloud.job_latencies()[0], Sim_duration{2.0});
+    EXPECT_EQ(cloud.job_latencies()[1], Sim_duration{2.0});
+    EXPECT_EQ(cloud.job_latencies()[2], Sim_duration{4.0});
 }
 
 TEST(CloudRuntime, BatchedDispatchDiscountsCoalescedJobs) {
@@ -64,20 +64,20 @@ TEST(CloudRuntime, BatchedDispatchDiscountsCoalescedJobs) {
     config.batch_efficiency = 0.5;
     Cloud_runtime cloud{queue, config};
     // First job occupies the GPU; three more queue behind it and coalesce.
-    cloud.submit(0, 1.0, {});
-    cloud.submit(0, 2.0, {});
-    cloud.submit(0, 2.0, {});
-    cloud.submit(0, 2.0, {});
-    (void)queue.run_until(20.0);
+    cloud.submit(0, Sim_duration{1.0}, {});
+    cloud.submit(0, Sim_duration{2.0}, {});
+    cloud.submit(0, Sim_duration{2.0}, {});
+    cloud.submit(0, Sim_duration{2.0}, {});
+    (void)queue.run_until(Sim_time{20.0});
     ASSERT_EQ(cloud.jobs_completed(), 4u);
     // Dispatch 1: job A alone (1 s). Dispatch 2: three jobs coalesced:
     // 2 + 0.5*2 + 0.5*2 = 4 s of service after 1 s of waiting, so all three
     // complete at t=5 with latency 5.
-    EXPECT_DOUBLE_EQ(cloud.job_latencies()[0], 1.0);
-    EXPECT_DOUBLE_EQ(cloud.job_latencies()[1], 5.0);
-    EXPECT_DOUBLE_EQ(cloud.job_latencies()[2], 5.0);
-    EXPECT_DOUBLE_EQ(cloud.job_latencies()[3], 5.0);
-    EXPECT_DOUBLE_EQ(cloud.busy_seconds(), 5.0);
+    EXPECT_EQ(cloud.job_latencies()[0], Sim_duration{1.0});
+    EXPECT_EQ(cloud.job_latencies()[1], Sim_duration{5.0});
+    EXPECT_EQ(cloud.job_latencies()[2], Sim_duration{5.0});
+    EXPECT_EQ(cloud.job_latencies()[3], Sim_duration{5.0});
+    EXPECT_DOUBLE_EQ(cloud.busy_seconds().value(), 5.0); // raw seconds: discount sum carries ulp residue
 }
 
 TEST(CloudRuntime, BatchingNeverStarvesIdleServers) {
@@ -88,12 +88,12 @@ TEST(CloudRuntime, BatchingNeverStarvesIdleServers) {
     Cloud_runtime cloud{queue, config};
     // Two simultaneous jobs with idle capacity for both: each takes its own
     // GPU; coalescing only happens on the last idle server.
-    cloud.submit(0, 2.0, {});
-    cloud.submit(1, 2.0, {});
-    (void)queue.run_until(10.0);
+    cloud.submit(0, Sim_duration{2.0}, {});
+    cloud.submit(1, Sim_duration{2.0}, {});
+    (void)queue.run_until(Sim_time{10.0});
     ASSERT_EQ(cloud.jobs_completed(), 2u);
-    EXPECT_DOUBLE_EQ(cloud.job_latencies()[0], 2.0);
-    EXPECT_DOUBLE_EQ(cloud.job_latencies()[1], 2.0);
+    EXPECT_EQ(cloud.job_latencies()[0], Sim_duration{2.0});
+    EXPECT_EQ(cloud.job_latencies()[1], Sim_duration{2.0});
     EXPECT_EQ(cloud.peak_queue_depth(), 0u);
 }
 
@@ -101,12 +101,12 @@ TEST(CloudRuntime, CompletionMaySubmitFollowUpWork) {
     Event_queue queue;
     Cloud_runtime cloud{queue, Cloud_config{}};
     bool chained = false;
-    cloud.submit(0, 1.0, [&] {
-        cloud.submit(0, 1.0, [&] { chained = true; });
+    cloud.submit(0, Sim_duration{1.0}, [&] {
+        cloud.submit(0, Sim_duration{1.0}, [&] { chained = true; });
     });
-    (void)queue.run_until(10.0);
+    (void)queue.run_until(Sim_time{10.0});
     EXPECT_TRUE(chained);
-    EXPECT_DOUBLE_EQ(cloud.busy_seconds(), 2.0);
+    EXPECT_EQ(cloud.busy_seconds(), Gpu_seconds{2.0});
 }
 
 // ---------------------------------------------------------------------------
@@ -253,7 +253,7 @@ TEST_F(Cluster_fixture, LabelLatencyGrowsWithFleetSize) {
     const device::Compute_model weak_gpu{"weak-gpu", 1.0};
     core::Shoggoth_config cfg;
     cfg.adaptive_sampling = false; // fixed 2 fps => constant offered load
-    std::vector<Seconds> latency;
+    std::vector<double> latency;
     for (std::size_t n : {1u, 2u, 4u}) {
         Fleet fleet = shoggoth_fleet(n, weak_gpu, cfg);
         const Cluster_result cluster = run_cluster(fleet.specs, config);

@@ -240,7 +240,7 @@ TEST(StreamingQuantile, MatchesBatchQuantileBitForBit) {
                                              : rng.uniform() * 1000.0;
             streaming.add(x);
             samples.push_back(x);
-            ASSERT_EQ(streaming.value(), quantile(samples, q))
+            ASSERT_EQ(streaming.value(), quantile(samples, q)) // quantile, not a unit
                 << "q=" << q << " diverged after sample " << i;
         }
         EXPECT_EQ(streaming.count(), samples.size());
@@ -250,7 +250,7 @@ TEST(StreamingQuantile, MatchesBatchQuantileBitForBit) {
 TEST(StreamingQuantile, EmptyThrows) {
     Streaming_quantile s{0.95};
     EXPECT_TRUE(s.empty());
-    EXPECT_THROW((void)s.value(), std::invalid_argument);
+    EXPECT_THROW((void)s.value(), std::invalid_argument); // quantile, not a unit
 }
 
 // ----------------------------------------------------------------- Ecdf ----
@@ -312,13 +312,13 @@ TEST(Ewma, ConvergesToConstant) {
     for (int i = 0; i < 30; ++i) {
         e.add(7.0);
     }
-    EXPECT_NEAR(e.value(), 7.0, 1e-6);
+    EXPECT_NEAR(e.value(), 7.0, 1e-6); // Ewma accessor, not a unit
 }
 
 TEST(Ewma, FirstValueInitializes) {
     Ewma e{0.1};
     e.add(42.0);
-    EXPECT_DOUBLE_EQ(e.value(), 42.0);
+    EXPECT_DOUBLE_EQ(e.value(), 42.0); // Ewma accessor, not a unit
 }
 
 // ----------------------------------------------------------- Ring_buffer ---
@@ -354,21 +354,21 @@ TEST(RingBuffer, Errors) {
 TEST(EventQueue, TimeOrder) {
     Event_queue q;
     std::vector<int> order;
-    q.schedule(3.0, [&] { order.push_back(3); });
-    q.schedule(1.0, [&] { order.push_back(1); });
-    q.schedule(2.0, [&] { order.push_back(2); });
+    q.schedule(Sim_time{3.0}, [&] { order.push_back(3); });
+    q.schedule(Sim_time{1.0}, [&] { order.push_back(1); });
+    q.schedule(Sim_time{2.0}, [&] { order.push_back(2); });
     while (!q.empty()) {
         q.step();
     }
     EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
-    EXPECT_DOUBLE_EQ(q.now(), 3.0);
+    EXPECT_EQ(q.now(), Sim_time{3.0});
 }
 
 TEST(EventQueue, FifoForEqualTimes) {
     Event_queue q;
     std::vector<int> order;
     for (int i = 0; i < 5; ++i) {
-        q.schedule(1.0, [&order, i] { order.push_back(i); });
+        q.schedule(Sim_time{1.0}, [&order, i] { order.push_back(i); });
     }
     while (!q.empty()) {
         q.step();
@@ -379,51 +379,74 @@ TEST(EventQueue, FifoForEqualTimes) {
 TEST(EventQueue, RunUntilStopsAtBoundary) {
     Event_queue q;
     int fired = 0;
-    q.schedule(1.0, [&] { ++fired; });
-    q.schedule(2.0, [&] { ++fired; });
-    q.schedule(5.0, [&] { ++fired; });
-    EXPECT_EQ(q.run_until(3.0), 2u);
+    q.schedule(Sim_time{1.0}, [&] { ++fired; });
+    q.schedule(Sim_time{2.0}, [&] { ++fired; });
+    q.schedule(Sim_time{5.0}, [&] { ++fired; });
+    EXPECT_EQ(q.run_until(Sim_time{3.0}), 2u);
     EXPECT_EQ(fired, 2);
-    EXPECT_DOUBLE_EQ(q.now(), 3.0);
+    EXPECT_EQ(q.now(), Sim_time{3.0});
     EXPECT_EQ(q.pending(), 1u);
 }
 
 TEST(EventQueue, EventsCanScheduleEvents) {
     Event_queue q;
     int fired = 0;
-    q.schedule(1.0, [&] {
+    q.schedule(Sim_time{1.0}, [&] {
         ++fired;
-        q.schedule_in(1.0, [&] { ++fired; });
+        q.schedule_in(Sim_duration{1.0}, [&] { ++fired; });
     });
-    (void)q.run_until(10.0);
+    (void)q.run_until(Sim_time{10.0});
     EXPECT_EQ(fired, 2);
 }
 
 TEST(EventQueue, PastSchedulingThrows) {
     Event_queue q;
-    q.schedule(2.0, [] {});
+    q.schedule(Sim_time{2.0}, [] {});
     q.step();
-    EXPECT_THROW(q.schedule(1.0, [] {}), std::invalid_argument);
+    EXPECT_THROW(q.schedule(Sim_time{1.0}, [] {}), std::invalid_argument);
 }
 
 // ----------------------------------------------------------------- units ---
 
 TEST(Units, BytesToKbpsRoundTrip) {
-    const double kbps = bytes_to_kbps(125000.0, 1.0); // 1 Mbit in 1 s
-    EXPECT_DOUBLE_EQ(kbps, 1000.0);
-    EXPECT_DOUBLE_EQ(kbps_to_bytes(kbps, 1.0), 125000.0);
+    const Kbps kbps = bytes_to_kbps(Bytes{125000.0}, Sim_duration{1.0}); // 1 Mbit in 1 s
+    EXPECT_EQ(kbps, Kbps{1000.0});
+    EXPECT_EQ(kbps_to_bytes(kbps, Sim_duration{1.0}), Bytes{125000.0});
+}
+
+TEST(Units, KbpsToBytesRoundTrip) {
+    // The other direction: a rate sustained for a window converts to a
+    // payload, and that payload over the same window recovers the rate.
+    const Bytes payload = kbps_to_bytes(Kbps{640.0}, Sim_duration{2.5});
+    EXPECT_EQ(bytes_to_kbps(payload, Sim_duration{2.5}), Kbps{640.0});
+    // Degenerate window: no time means no measurable rate.
+    EXPECT_EQ(bytes_to_kbps(Bytes{1000.0}, Sim_duration{}), Kbps{});
 }
 
 TEST(Units, TransmitSeconds) {
     // 1 MB over 8 Mbps = 1 second.
-    EXPECT_NEAR(transmit_seconds(1e6, 8.0), 1.0, 1e-9);
-    EXPECT_DOUBLE_EQ(transmit_seconds(1000.0, 0.0), 0.0);
+    EXPECT_NEAR(transmit_seconds(Bytes{1e6}, 8.0).value(), 1.0, 1e-9); // raw seconds for the tolerance check
+    EXPECT_EQ(transmit_seconds(Bytes{1000.0}, 0.0), Sim_duration{});
 }
 
-TEST(Units, Clamp) {
-    EXPECT_DOUBLE_EQ(clamp(5.0, 0.0, 1.0), 1.0);
-    EXPECT_DOUBLE_EQ(clamp(-5.0, 0.0, 1.0), 0.0);
-    EXPECT_DOUBLE_EQ(clamp(0.3, 0.0, 1.0), 0.3);
+TEST(Units, TransmitSecondsInverse) {
+    // transmit_seconds(bytes, mbps) and kbps_to_bytes(mbps * 1000, dt) are
+    // inverses: sending the recovered payload takes the original time.
+    const Sim_duration dt = transmit_seconds(mib(4.0), 20.0);
+    const Bytes recovered = kbps_to_bytes(Kbps{20.0 * 1000.0}, dt);
+    EXPECT_NEAR(recovered.value(), mib(4.0).value(), 1e-6); // raw bytes for the tolerance check
+}
+
+TEST(Units, AffineTimeAlgebra) {
+    constexpr Sim_time t0{2.0};
+    constexpr Sim_duration d{3.5};
+    static_assert((t0 + d).value() == 5.5); // compile-time arithmetic stays available
+    EXPECT_EQ((t0 + d) - t0, d);
+    EXPECT_EQ(t0 - Sim_time{}, t0.since_start());
+    Sim_time t = t0;
+    t += d;
+    EXPECT_EQ(t, t0 + d);
+    EXPECT_EQ(Gpu_seconds::of(d), Gpu_seconds{3.5});
 }
 
 // ----------------------------------------------------------- Text_table ----

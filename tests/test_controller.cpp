@@ -1,6 +1,7 @@
 // Tests for the adaptive frame-sampling controller (Eq. 2-3): exact R-term
 // formulas, clamping, qualitative responses, and parameterized stability
 // sweeps across gain settings.
+#include <algorithm>
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -65,7 +66,7 @@ TEST(Controller, UpdateIsSumOfTermsClamped) {
                             + 1.0 * (0.8 - 0.5)  // R(alpha)
                             + 1.0 * 1.0;         // R(lambda), first update
     const double rate = c.update(0.5, 0.6);
-    EXPECT_NEAR(rate, clamp(expected, 0.1, 2.0), 1e-12);
+    EXPECT_NEAR(rate, std::clamp(expected, 0.1, 2.0), 1e-12);
     EXPECT_EQ(c.updates(), 1u);
 }
 
@@ -149,7 +150,7 @@ TEST_P(ControllerStability, RateStaysBoundedUnderNoise) {
     Sampling_controller c{cfg, 1.0};
     Rng rng{static_cast<std::uint64_t>(g.eta_r * 100 + g.eta_alpha * 10)};
     for (int i = 0; i < 300; ++i) {
-        c.observe_phi(clamp(rng.uniform(), 0.0, 1.0));
+        c.observe_phi(std::clamp(rng.uniform(), 0.0, 1.0));
         const double rate = c.update(rng.uniform(), rng.uniform());
         EXPECT_GE(rate, cfg.r_min);
         EXPECT_LE(rate, cfg.r_max);

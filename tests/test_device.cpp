@@ -12,16 +12,17 @@ namespace {
 
 TEST(ComputeModel, SecondsForGflops) {
     const Compute_model tx2 = jetson_tx2();
-    EXPECT_NEAR(tx2.seconds_for_gflops(tx2.effective_tflops * 1000.0), 1.0, 1e-12);
+    EXPECT_NEAR(tx2.seconds_for_gflops(tx2.effective_tflops * 1000.0).value(), // raw seconds
+                1.0, 1e-12); // for the tolerance check
     EXPECT_GT(v100().effective_tflops, 10.0 * tx2.effective_tflops);
 }
 
 TEST(ComputeModel, TeacherInferenceFitsCloudBudget) {
     // Mask R-CNN on a V100 should take tens of milliseconds.
     const double gflops = models::Deployed_profile::mask_rcnn_resnext101().inference_gflops();
-    const Seconds t = v100().seconds_for_gflops(gflops);
-    EXPECT_GT(t, 0.01);
-    EXPECT_LT(t, 0.2);
+    const Sim_duration t = v100().seconds_for_gflops(gflops);
+    EXPECT_GT(t, Sim_duration{0.01});
+    EXPECT_LT(t, Sim_duration{0.2});
 }
 
 TEST(EdgeCompute, IdleFpsNearVideoRate) {
@@ -44,8 +45,9 @@ TEST(EdgeCompute, TrainingWallTimeScaled) {
     Edge_contention_config cfg;
     cfg.training_share = 0.5;
     Edge_compute edge{jetson_tx2(), cfg, 5.2};
-    const Seconds dedicated = jetson_tx2().seconds_for_gflops(1000.0);
-    EXPECT_NEAR(edge.training_wall_seconds(1000.0), dedicated / 0.5, 1e-9);
+    const Sim_duration dedicated = jetson_tx2().seconds_for_gflops(1000.0);
+    EXPECT_NEAR(edge.training_wall_seconds(1000.0).value(), // raw seconds for the
+                (dedicated / 0.5).value(), 1e-9);       // tolerance check
 }
 
 TEST(EdgeCompute, UtilizationBounds) {
@@ -68,58 +70,58 @@ TEST(EdgeCompute, ConfigValidation) {
 
 TEST(FpsTracker, TimeWeightedAverage) {
     Fps_tracker t;
-    t.record_until(10.0, 30.0); // 10 s at 30
-    t.record_until(15.0, 15.0); // 5 s at 15
+    t.record_until(Sim_time{10.0}, 30.0); // 10 s at 30
+    t.record_until(Sim_time{15.0}, 15.0); // 5 s at 15
     EXPECT_NEAR(t.average_fps(), (10.0 * 30.0 + 5.0 * 15.0) / 15.0, 1e-12);
 }
 
 TEST(FpsTracker, MergesEqualRuns) {
     Fps_tracker t;
-    t.record_until(1.0, 30.0);
-    t.record_until(2.0, 30.0);
-    t.record_until(3.0, 15.0);
+    t.record_until(Sim_time{1.0}, 30.0);
+    t.record_until(Sim_time{2.0}, 30.0);
+    t.record_until(Sim_time{3.0}, 15.0);
     EXPECT_EQ(t.samples().size(), 2u);
-    EXPECT_DOUBLE_EQ(t.samples()[0].to, 2.0);
+    EXPECT_EQ(t.samples()[0].to, Sim_time{2.0});
 }
 
 TEST(FpsTracker, FpsAtLookup) {
     Fps_tracker t;
-    t.record_until(10.0, 30.0);
-    t.record_until(20.0, 15.0);
-    EXPECT_DOUBLE_EQ(t.fps_at(5.0), 30.0);
-    EXPECT_DOUBLE_EQ(t.fps_at(15.0), 15.0);
-    EXPECT_DOUBLE_EQ(t.fps_at(25.0), 15.0); // extends last value
+    t.record_until(Sim_time{10.0}, 30.0);
+    t.record_until(Sim_time{20.0}, 15.0);
+    EXPECT_DOUBLE_EQ(t.fps_at(Sim_time{5.0}), 30.0);
+    EXPECT_DOUBLE_EQ(t.fps_at(Sim_time{15.0}), 15.0);
+    EXPECT_DOUBLE_EQ(t.fps_at(Sim_time{25.0}), 15.0); // extends last value
 }
 
 TEST(FpsTracker, BackwardTimeRejected) {
     Fps_tracker t;
-    t.record_until(5.0, 30.0);
-    EXPECT_THROW(t.record_until(4.0, 30.0), std::invalid_argument);
+    t.record_until(Sim_time{5.0}, 30.0);
+    EXPECT_THROW(t.record_until(Sim_time{4.0}, 30.0), std::invalid_argument);
 }
 
 // ------------------------------------------------------- Resource_monitor --
 
 TEST(ResourceMonitor, DrainAveragesSinceLastDrain) {
-    Resource_monitor mon{1.0};
-    mon.record_until(10.0, 0.5);
-    mon.record_until(20.0, 1.0);
+    Resource_monitor mon{Sim_duration{1.0}};
+    mon.record_until(Sim_time{10.0}, 0.5);
+    mon.record_until(Sim_time{20.0}, 1.0);
     EXPECT_NEAR(mon.drain_average(), 0.75, 1e-12);
     // After drain, a fresh window.
-    mon.record_until(30.0, 0.2);
+    mon.record_until(Sim_time{30.0}, 0.2);
     EXPECT_NEAR(mon.drain_average(), 0.2, 1e-12);
     EXPECT_NEAR(mon.lifetime_average(), (0.5 * 10 + 1.0 * 10 + 0.2 * 10) / 30.0, 1e-12);
 }
 
 TEST(ResourceMonitor, EmptyDrainIsZero) {
-    Resource_monitor mon{1.0};
+    Resource_monitor mon{Sim_duration{1.0}};
     EXPECT_DOUBLE_EQ(mon.drain_average(), 0.0);
 }
 
 TEST(ResourceMonitor, Validation) {
-    Resource_monitor mon{1.0};
-    mon.record_until(1.0, 0.5);
-    EXPECT_THROW(mon.record_until(0.5, 0.5), std::invalid_argument);
-    EXPECT_THROW(mon.record_until(2.0, 1.5), std::invalid_argument);
+    Resource_monitor mon{Sim_duration{1.0}};
+    mon.record_until(Sim_time{1.0}, 0.5);
+    EXPECT_THROW(mon.record_until(Sim_time{0.5}, 0.5), std::invalid_argument);
+    EXPECT_THROW(mon.record_until(Sim_time{2.0}, 1.5), std::invalid_argument);
 }
 
 } // namespace

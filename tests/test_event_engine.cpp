@@ -20,7 +20,7 @@ namespace {
 
 struct Trace_entry {
     int id;
-    double at;
+    Sim_time at;
 };
 
 bool operator==(const Trace_entry& a, const Trace_entry& b) {
@@ -58,11 +58,11 @@ std::vector<Trace_entry> replay(std::uint64_t seed, int initial, int reschedule_
                 // tie-order stress case.
                 at = std::floor(at);
             }
-            queue.schedule(at, [this, id] {
+            queue.schedule(Sim_time{at}, [this, id] {
                 trace.push_back(Trace_entry{id, queue.now()});
                 for (int r = 0; r < reschedule; ++r) {
                     if (rng.chance(0.4)) {
-                        schedule_one(queue.now());
+                        schedule_one(queue.now().value()); // raw spread arithmetic
                     }
                 }
             });
@@ -72,7 +72,7 @@ std::vector<Trace_entry> replay(std::uint64_t seed, int initial, int reschedule_
     for (int i = 0; i < initial; ++i) {
         driver.schedule_one(rng.uniform() * spread);
     }
-    (void)queue.run_until(horizon);
+    (void)queue.run_until(Sim_time{horizon});
     return trace;
 }
 
@@ -86,8 +86,8 @@ void expect_identical_traces(std::uint64_t seed, int initial, int reschedule, do
     for (std::size_t i = 0; i < heap.size(); ++i) {
         EXPECT_TRUE(heap[i] == calendar[i])
             << "seed " << seed << " diverged at event " << i << ": heap (" << heap[i].id
-            << ", " << heap[i].at << ") vs calendar (" << calendar[i].id << ", "
-            << calendar[i].at << ")";
+            << ", " << heap[i].at.value() << ") vs calendar (" // diagnostic print
+            << calendar[i].id << ", " << calendar[i].at.value() << ")"; // diagnostic print
         if (!(heap[i] == calendar[i])) {
             break;
         }
@@ -126,13 +126,13 @@ TEST(EventEngine, PartialHorizonsMatchHeapReference) {
         std::vector<Trace_entry> trace;
         for (int i = 0; i < 400; ++i) {
             const int id = i;
-            const double at = rng.uniform() * 100.0;
+            const Sim_time at{rng.uniform() * 100.0};
             queue.schedule(at, [&trace, &queue, id] {
                 trace.push_back(Trace_entry{id, queue.now()});
             });
         }
         for (double horizon : {10.0, 30.0, 30.0, 55.5, 100.0}) {
-            (void)queue.run_until(horizon);
+            (void)queue.run_until(Sim_time{horizon});
         }
         EXPECT_EQ(queue.pending(), 0u);
         return trace;
@@ -156,15 +156,15 @@ TEST(EventEngine, CallbackSchedulingAtExactHorizonExecutes) {
         using Queue = decltype(queue_tag);
         Queue queue;
         int fired = 0;
-        queue.schedule(10.0, [&queue, &fired] {
-            queue.schedule(10.0, [&fired] { fired += 10; });
+        queue.schedule(Sim_time{10.0}, [&queue, &fired] {
+            queue.schedule(Sim_time{10.0}, [&fired] { fired += 10; });
             fired += 1;
         });
-        const std::size_t executed = queue.run_until(10.0);
+        const std::size_t executed = queue.run_until(Sim_time{10.0});
         EXPECT_EQ(executed, 2u);
         EXPECT_EQ(fired, 11);
         EXPECT_EQ(queue.pending(), 0u);
-        EXPECT_DOUBLE_EQ(queue.now(), 10.0);
+        EXPECT_EQ(queue.now(), Sim_time{10.0});
         return fired;
     };
     EXPECT_EQ(drive(Event_queue{}), drive(Heap_event_queue{}));
@@ -178,13 +178,13 @@ TEST(EventEngine, ScheduleAtNowRunsBeforeLaterEvents) {
         using Queue = decltype(queue_tag);
         Queue queue;
         std::vector<int> order;
-        queue.schedule(5.0, [&queue, &order] {
+        queue.schedule(Sim_time{5.0}, [&queue, &order] {
             order.push_back(1);
             queue.schedule(queue.now(), [&order] { order.push_back(2); });
-            EXPECT_THROW(queue.schedule(1.0, [] {}), std::invalid_argument);
+            EXPECT_THROW(queue.schedule(Sim_time{1.0}, [] {}), std::invalid_argument);
         });
-        queue.schedule(6.0, [&order] { order.push_back(3); });
-        (void)queue.run_until(100.0);
+        queue.schedule(Sim_time{6.0}, [&order] { order.push_back(3); });
+        (void)queue.run_until(Sim_time{100.0});
         return order;
     };
     const auto calendar = drive(Event_queue{});
@@ -196,18 +196,18 @@ TEST(EventEngine, ScheduleAtNowRunsBeforeLaterEvents) {
 TEST(EventEngine, NextTimeAndSizeTrackTheSchedule) {
     Event_queue queue;
     EXPECT_EQ(queue.pending(), 0u);
-    queue.schedule(3.0, [] {});
-    queue.schedule(1.5, [] {});
-    queue.schedule(7.0, [] {});
+    queue.schedule(Sim_time{3.0}, [] {});
+    queue.schedule(Sim_time{1.5}, [] {});
+    queue.schedule(Sim_time{7.0}, [] {});
     EXPECT_EQ(queue.pending(), 3u);
-    EXPECT_DOUBLE_EQ(queue.next_time(), 1.5);
+    EXPECT_EQ(queue.next_time(), Sim_time{1.5});
     queue.step();
     EXPECT_EQ(queue.pending(), 2u);
-    EXPECT_DOUBLE_EQ(queue.now(), 1.5);
-    EXPECT_DOUBLE_EQ(queue.next_time(), 3.0);
-    (void)queue.run_until(100.0);
+    EXPECT_EQ(queue.now(), Sim_time{1.5});
+    EXPECT_EQ(queue.next_time(), Sim_time{3.0});
+    (void)queue.run_until(Sim_time{100.0});
     EXPECT_EQ(queue.pending(), 0u);
-    EXPECT_DOUBLE_EQ(queue.now(), 100.0);
+    EXPECT_EQ(queue.now(), Sim_time{100.0});
 }
 
 TEST(EventEngine, MillionEventBurstDrainsInOrder) {
@@ -217,16 +217,17 @@ TEST(EventEngine, MillionEventBurstDrainsInOrder) {
     Rng rng{99};
     const int n = 1'000'000;
     std::size_t executed = 0;
-    double last = -1.0;
+    Sim_time last{-1.0};
     bool monotone = true;
     for (int i = 0; i < n; ++i) {
-        queue.schedule(rng.uniform() * 600.0, [&queue, &executed, &last, &monotone] {
-            monotone = monotone && queue.now() >= last;
-            last = queue.now();
-            ++executed;
-        });
+        queue.schedule(Sim_time{rng.uniform() * 600.0},
+                       [&queue, &executed, &last, &monotone] {
+                           monotone = monotone && queue.now() >= last;
+                           last = queue.now();
+                           ++executed;
+                       });
     }
-    EXPECT_EQ(queue.run_until(600.0), static_cast<std::size_t>(n));
+    EXPECT_EQ(queue.run_until(Sim_time{600.0}), static_cast<std::size_t>(n));
     EXPECT_EQ(executed, static_cast<std::size_t>(n));
     EXPECT_TRUE(monotone);
 }

@@ -15,7 +15,7 @@ namespace shog {
 namespace {
 
 /// A compressed drift gauntlet: day -> night -> day -> night, fast ramps.
-video::Dataset_preset gauntlet(std::uint64_t seed, Seconds duration) {
+video::Dataset_preset gauntlet(std::uint64_t seed, double duration) {
     video::Dataset_preset p = video::ua_detrac_like(seed, duration);
     p.schedule = video::Domain_schedule{{
                                             {video::day_sunny(0.8), 50.0},

@@ -21,63 +21,65 @@ TEST(H264, IntraScalesWithResolution) {
     EXPECT_LT(codec.intra_frame_bytes(512, 512, 0.5),
               codec.intra_frame_bytes(1280, 720, 0.5));
     // ...but sub-linearly per pixel.
-    const double small = codec.intra_frame_bytes(512, 512, 0.5) / (512.0 * 512.0);
-    const double big = codec.intra_frame_bytes(1920, 1080, 0.5) / (1920.0 * 1080.0);
+    const double small = codec.intra_frame_bytes(512, 512, 0.5) / Bytes{512.0 * 512.0};
+    const double big = codec.intra_frame_bytes(1920, 1080, 0.5) / Bytes{1920.0 * 1080.0};
     EXPECT_LT(big, small);
 }
 
 TEST(H264, PredictedGrowsWithGap) {
     H264_model codec;
-    double prev = 0.0;
+    Bytes prev;
     for (double gap : {0.033, 0.1, 0.5, 2.0, 10.0}) {
-        const double bytes = codec.predicted_frame_bytes(512, 512, 0.6, 0.3, gap);
+        const Bytes bytes =
+            codec.predicted_frame_bytes(512, 512, 0.6, 0.3, Sim_duration{gap});
         EXPECT_GT(bytes, prev);
         prev = bytes;
     }
     // Long gaps approach (but never exceed) the intra cost.
-    EXPECT_LE(prev, codec.intra_frame_bytes(512, 512, 0.6) + 1e-9);
+    EXPECT_LE(prev, codec.intra_frame_bytes(512, 512, 0.6) + Bytes{1e-9});
 }
 
 TEST(H264, PredictedGrowsWithMotion) {
     H264_model codec;
-    EXPECT_LT(codec.predicted_frame_bytes(512, 512, 0.6, 0.05, 0.5),
-              codec.predicted_frame_bytes(512, 512, 0.6, 0.8, 0.5));
+    EXPECT_LT(codec.predicted_frame_bytes(512, 512, 0.6, 0.05, Sim_duration{0.5}),
+              codec.predicted_frame_bytes(512, 512, 0.6, 0.8, Sim_duration{0.5}));
 }
 
 TEST(H264, StreamOperatingPoint) {
     // A 960x540 30fps surveillance stream should land in the low-Mbps range
     // the paper's Cloud-Only column reports (~3.3 Mbps).
     H264_model codec;
-    const double per_frame = codec.stream_frame_bytes(960, 540, 0.6, 0.25, 30.0);
-    const double kbps = bytes_to_kbps(per_frame * 30.0, 1.0);
-    EXPECT_GT(kbps, 1500.0);
-    EXPECT_LT(kbps, 6000.0);
+    const Bytes per_frame = codec.stream_frame_bytes(960, 540, 0.6, 0.25, 30.0);
+    const Kbps kbps = bytes_to_kbps(per_frame * 30.0, Sim_duration{1.0});
+    EXPECT_GT(kbps, Kbps{1500.0});
+    EXPECT_LT(kbps, Kbps{6000.0});
 }
 
 TEST(H264, SparseSamplingCostsMorePerFrame) {
     H264_model codec;
-    const double stream_frame = codec.stream_frame_bytes(512, 512, 0.6, 0.25, 30.0);
-    const double sparse_frame =
-        codec.batch_bytes(8, 512, 512, 0.6, 0.25, /*gap=*/2.0) / 8.0;
+    const Bytes stream_frame = codec.stream_frame_bytes(512, 512, 0.6, 0.25, 30.0);
+    const Bytes sparse_frame =
+        codec.batch_bytes(8, 512, 512, 0.6, 0.25, /*gap=*/Sim_duration{2.0}) / 8.0;
     EXPECT_GT(sparse_frame, 1.3 * stream_frame);
 }
 
 TEST(H264, BatchBytesComposition) {
     H264_model codec;
-    const double one = codec.batch_bytes(1, 512, 512, 0.6, 0.3, 1.0);
-    EXPECT_DOUBLE_EQ(one, codec.intra_frame_bytes(512, 512, 0.6));
-    const double five = codec.batch_bytes(5, 512, 512, 0.6, 0.3, 1.0);
-    EXPECT_DOUBLE_EQ(five, one + 4.0 * codec.predicted_frame_bytes(512, 512, 0.6, 0.3, 1.0));
-    EXPECT_DOUBLE_EQ(codec.batch_bytes(0, 512, 512, 0.6, 0.3, 1.0), 0.0);
+    const Bytes one = codec.batch_bytes(1, 512, 512, 0.6, 0.3, Sim_duration{1.0});
+    EXPECT_EQ(one, codec.intra_frame_bytes(512, 512, 0.6));
+    const Bytes five = codec.batch_bytes(5, 512, 512, 0.6, 0.3, Sim_duration{1.0});
+    EXPECT_EQ(five,
+              one + 4.0 * codec.predicted_frame_bytes(512, 512, 0.6, 0.3, Sim_duration{1.0}));
+    EXPECT_EQ(codec.batch_bytes(0, 512, 512, 0.6, 0.3, Sim_duration{1.0}), Bytes{});
 }
 
 TEST(H264, EncodeLatencyInPaperRange) {
     // "compressing the buffered samples takes 1-3 seconds"
     H264_model codec;
     for (std::size_t frames : {4u, 8u, 16u}) {
-        const Seconds t = codec.encode_seconds(frames, 512.0, 512.0);
-        EXPECT_GE(t, 0.8);
-        EXPECT_LE(t, 3.5);
+        const Sim_duration t = codec.encode_seconds(frames, 512.0, 512.0);
+        EXPECT_GE(t, Sim_duration{0.8});
+        EXPECT_LE(t, Sim_duration{3.5});
     }
 }
 
@@ -90,49 +92,49 @@ TEST(H264, ConfigValidation) {
 // ----------------------------------------------------------------- Link ----
 
 TEST(Link, TransmitDelayMatchesCapacity) {
-    Link link{Link_config{8.0, 16.0, 0.0}};
+    Link link{Link_config{8.0, 16.0, Sim_duration{}}};
     // 1 MB at 8 Mbps up = 1 s; at 16 Mbps down = 0.5 s.
-    EXPECT_NEAR(link.send_up(0.0, 1e6), 1.0, 1e-9);
-    EXPECT_NEAR(link.send_down(0.0, 1e6), 0.5, 1e-9);
+    EXPECT_NEAR(link.send_up(Sim_time{}, Bytes{1e6}).value(), 1.0, 1e-9); // tolerance
+    EXPECT_NEAR(link.send_down(Sim_time{}, Bytes{1e6}).value(), 0.5, 1e-9); // tolerance
 }
 
 TEST(Link, PropagationAdds) {
-    Link link{Link_config{8.0, 8.0, 0.1}};
-    EXPECT_NEAR(link.send_up(0.0, 0.0), 0.1, 1e-12);
+    Link link{Link_config{8.0, 8.0, Sim_duration{0.1}}};
+    EXPECT_NEAR(link.send_up(Sim_time{}, Bytes{}).value(), 0.1, 1e-12); // tolerance
 }
 
 TEST(Link, MetersAccumulate) {
     Link link;
-    (void)link.send_up(1.0, 500.0);
-    (void)link.send_up(2.0, 700.0);
-    (void)link.send_down(3.0, 100.0);
-    EXPECT_DOUBLE_EQ(link.up_meter().total_bytes(), 1200.0);
-    EXPECT_DOUBLE_EQ(link.down_meter().total_bytes(), 100.0);
+    (void)link.send_up(Sim_time{1.0}, Bytes{500.0});
+    (void)link.send_up(Sim_time{2.0}, Bytes{700.0});
+    (void)link.send_down(Sim_time{3.0}, Bytes{100.0});
+    EXPECT_EQ(link.up_meter().total_bytes(), Bytes{1200.0});
+    EXPECT_EQ(link.down_meter().total_bytes(), Bytes{100.0});
     EXPECT_EQ(link.up_meter().message_count(), 2u);
     link.reset_meters();
-    EXPECT_DOUBLE_EQ(link.up_meter().total_bytes(), 0.0);
+    EXPECT_EQ(link.up_meter().total_bytes(), Bytes{});
 }
 
 TEST(BandwidthMeter, AverageKbps) {
     Bandwidth_meter meter;
-    meter.record(0.0, 12500.0); // 100 kbit
-    EXPECT_DOUBLE_EQ(meter.average_kbps(10.0), 10.0);
+    meter.record(Sim_time{}, Bytes{12500.0}); // 100 kbit
+    EXPECT_EQ(meter.average_kbps(Sim_duration{10.0}), Kbps{10.0});
 }
 
 TEST(BandwidthMeter, WindowedKbps) {
     Bandwidth_meter meter;
-    meter.record(1.0, 1250.0);  // 10 kbit at t=1
-    meter.record(5.0, 2500.0);  // 20 kbit at t=5
-    meter.record(9.0, 1250.0);  // 10 kbit at t=9
-    EXPECT_DOUBLE_EQ(meter.windowed_kbps(0.0, 10.0), 4.0);
-    EXPECT_DOUBLE_EQ(meter.windowed_kbps(4.0, 6.0), 10.0);
+    meter.record(Sim_time{1.0}, Bytes{1250.0}); // 10 kbit at t=1
+    meter.record(Sim_time{5.0}, Bytes{2500.0}); // 20 kbit at t=5
+    meter.record(Sim_time{9.0}, Bytes{1250.0}); // 10 kbit at t=9
+    EXPECT_EQ(meter.windowed_kbps(Sim_time{}, Sim_time{10.0}), Kbps{4.0});
+    EXPECT_EQ(meter.windowed_kbps(Sim_time{4.0}, Sim_time{6.0}), Kbps{10.0});
 }
 
 TEST(BandwidthMeter, TimeOrderEnforced) {
     Bandwidth_meter meter;
-    meter.record(5.0, 1.0);
-    EXPECT_THROW(meter.record(4.0, 1.0), std::invalid_argument);
-    EXPECT_THROW(meter.record(6.0, -1.0), std::invalid_argument);
+    meter.record(Sim_time{5.0}, Bytes{1.0});
+    EXPECT_THROW(meter.record(Sim_time{4.0}, Bytes{1.0}), std::invalid_argument);
+    EXPECT_THROW(meter.record(Sim_time{6.0}, Bytes{-1.0}), std::invalid_argument);
 }
 
 // ------------------------------------------------------------- messages ----
@@ -140,10 +142,10 @@ TEST(BandwidthMeter, TimeOrderEnforced) {
 TEST(Messages, LabelBytesScaleWithBoxes) {
     const Message_size_config cfg;
     EXPECT_GT(label_bytes(cfg, 10), label_bytes(cfg, 1));
-    EXPECT_DOUBLE_EQ(label_bytes(cfg, 0), cfg.label_header_bytes);
+    EXPECT_EQ(label_bytes(cfg, 0), cfg.label_header_bytes);
     // Mask R-CNN labels carry instance masks: a 6-box frame costs ~2 KB.
-    EXPECT_GT(label_bytes(cfg, 6), 1000.0);
-    EXPECT_LT(label_bytes(cfg, 6), 5000.0);
+    EXPECT_GT(label_bytes(cfg, 6), Bytes{1000.0});
+    EXPECT_LT(label_bytes(cfg, 6), Bytes{5000.0});
 }
 
 } // namespace

@@ -52,23 +52,23 @@ TEST(Placement, MultiGpuCoalescesOnlyOnTheLastIdleServer) {
     config.batch_efficiency = 0.5;
     Cloud_runtime cloud{queue, config};
     for (int i = 0; i < 4; ++i) {
-        cloud.submit(static_cast<std::size_t>(i), 2.0, {});
+        cloud.submit(static_cast<std::size_t>(i), Sim_duration{2.0}, {});
     }
-    (void)queue.run_until(20.0);
+    (void)queue.run_until(Sim_time{20.0});
     ASSERT_EQ(cloud.jobs_completed(), 4u);
     // Jobs 0, 1: own server, 2 s each. Jobs 2+3 coalesce at t=2 on the
     // first freed server: 2 + 0.5*2 = 3 s of service, done at t=5.
-    EXPECT_DOUBLE_EQ(cloud.job_latencies()[0], 2.0);
-    EXPECT_DOUBLE_EQ(cloud.job_latencies()[1], 2.0);
-    EXPECT_DOUBLE_EQ(cloud.job_latencies()[2], 5.0);
-    EXPECT_DOUBLE_EQ(cloud.job_latencies()[3], 5.0);
-    EXPECT_DOUBLE_EQ(cloud.busy_seconds(), 7.0);
+    EXPECT_EQ(cloud.job_latencies()[0], Sim_duration{2.0});
+    EXPECT_EQ(cloud.job_latencies()[1], Sim_duration{2.0});
+    EXPECT_EQ(cloud.job_latencies()[2], Sim_duration{5.0});
+    EXPECT_EQ(cloud.job_latencies()[3], Sim_duration{5.0});
+    EXPECT_EQ(cloud.busy_seconds(), Gpu_seconds{7.0});
     EXPECT_EQ(cloud.peak_queue_depth(), 2u);
     // Server 0 ran job 0 then the coalesced pair; server 1 ran job 1.
-    const std::vector<Seconds> per_gpu = cloud.per_gpu_busy_within(20.0);
+    const std::vector<Gpu_seconds> per_gpu = cloud.per_gpu_busy_within(Sim_time{20.0});
     ASSERT_EQ(per_gpu.size(), 2u);
-    EXPECT_DOUBLE_EQ(per_gpu[0], 5.0);
-    EXPECT_DOUBLE_EQ(per_gpu[1], 2.0);
+    EXPECT_EQ(per_gpu[0], Gpu_seconds{5.0});
+    EXPECT_EQ(per_gpu[1], Gpu_seconds{2.0});
 }
 
 TEST(Placement, KindPartitionKeepsTrainsOffReservedServers) {
@@ -78,22 +78,23 @@ TEST(Placement, KindPartitionKeepsTrainsOffReservedServers) {
     config.placement = Placement_kind::kind_partition;
     config.label_reserved_gpus = 1;
     Cloud_runtime cloud{queue, config};
-    Seconds label_done = -1.0;
-    Seconds train2_done = -1.0;
+    Sim_time label_done{-1.0};
+    Sim_time train2_done{-1.0};
     // Two fine-tunes: the first takes the unreserved server, the second must
     // WAIT even though the reserved server is idle. A label arriving later
     // gets the reserved server immediately.
-    cloud.submit(0, 10.0, {}, Cloud_job_kind::train);
-    cloud.submit(0, 10.0, [&] { train2_done = queue.now(); }, Cloud_job_kind::train);
-    queue.schedule(1.0, [&] {
-        cloud.submit(1, 1.0, [&] { label_done = queue.now(); });
+    cloud.submit(0, Sim_duration{10.0}, {}, Cloud_job_kind::train);
+    cloud.submit(0, Sim_duration{10.0}, [&] { train2_done = queue.now(); },
+                 Cloud_job_kind::train);
+    queue.schedule(Sim_time{1.0}, [&] {
+        cloud.submit(1, Sim_duration{1.0}, [&] { label_done = queue.now(); });
     });
-    (void)queue.run_until(60.0);
-    EXPECT_DOUBLE_EQ(label_done, 2.0);   // reserved server was free for it
-    EXPECT_DOUBLE_EQ(train2_done, 20.0); // waited for the unreserved server
-    const std::vector<Seconds> per_gpu = cloud.per_gpu_busy_within(60.0);
-    EXPECT_DOUBLE_EQ(per_gpu[0], 1.0);  // reserved: only the label
-    EXPECT_DOUBLE_EQ(per_gpu[1], 20.0); // both trains serialized
+    (void)queue.run_until(Sim_time{60.0});
+    EXPECT_EQ(label_done, Sim_time{2.0});   // reserved server was free for it
+    EXPECT_EQ(train2_done, Sim_time{20.0}); // waited for the unreserved server
+    const std::vector<Gpu_seconds> per_gpu = cloud.per_gpu_busy_within(Sim_time{60.0});
+    EXPECT_EQ(per_gpu[0], Gpu_seconds{1.0});  // reserved: only the label
+    EXPECT_EQ(per_gpu[1], Gpu_seconds{20.0}); // both trains serialized
 }
 
 TEST(Placement, KindPartitionFallsBackPastAnUnplaceableHead) {
@@ -106,12 +107,12 @@ TEST(Placement, KindPartitionFallsBackPastAnUnplaceableHead) {
     config.placement = Placement_kind::kind_partition;
     config.label_reserved_gpus = 1;
     Cloud_runtime cloud{queue, config};
-    Seconds label_done = -1.0;
-    cloud.submit(0, 5.0, {}, Cloud_job_kind::train);  // unreserved server
-    cloud.submit(0, 5.0, {}, Cloud_job_kind::train);  // queued (FIFO head)
-    cloud.submit(1, 1.0, [&] { label_done = queue.now(); });
-    (void)queue.run_until(60.0);
-    EXPECT_DOUBLE_EQ(label_done, 1.0); // did not wait behind the queued train
+    Sim_time label_done{-1.0};
+    cloud.submit(0, Sim_duration{5.0}, {}, Cloud_job_kind::train); // unreserved server
+    cloud.submit(0, Sim_duration{5.0}, {}, Cloud_job_kind::train); // queued (FIFO head)
+    cloud.submit(1, Sim_duration{1.0}, [&] { label_done = queue.now(); });
+    (void)queue.run_until(Sim_time{60.0});
+    EXPECT_EQ(label_done, Sim_time{1.0}); // did not wait behind the queued train
     EXPECT_EQ(cloud.jobs_completed(), 3u);
 }
 
@@ -123,19 +124,19 @@ TEST(Placement, DeviceAffinityDiscountsWarmStarts) {
     Cloud_runtime cloud{queue, config};
     // Device 0's first dispatch is cold (nothing resident); its second, on
     // the same server, is warm and runs at the discount.
-    cloud.submit(0, 1.0, {});
-    queue.schedule(2.0, [&] { cloud.submit(0, 1.0, {}); });
+    cloud.submit(0, Sim_duration{1.0}, {});
+    queue.schedule(Sim_time{2.0}, [&] { cloud.submit(0, Sim_duration{1.0}, {}); });
     // A different device is cold again.
-    queue.schedule(4.0, [&] { cloud.submit(1, 1.0, {}); });
-    (void)queue.run_until(20.0);
+    queue.schedule(Sim_time{4.0}, [&] { cloud.submit(1, Sim_duration{1.0}, {}); });
+    (void)queue.run_until(Sim_time{20.0});
     ASSERT_EQ(cloud.jobs_completed(), 3u);
-    EXPECT_DOUBLE_EQ(cloud.job_latencies()[0], 1.0); // cold
-    EXPECT_DOUBLE_EQ(cloud.job_latencies()[1], 0.8); // warm
-    EXPECT_DOUBLE_EQ(cloud.job_latencies()[2], 1.0); // cold (other device)
+    EXPECT_EQ(cloud.job_latencies()[0], Sim_duration{1.0}); // cold
+    EXPECT_DOUBLE_EQ(cloud.job_latencies()[1].value(), 0.8); // warm; raw seconds: discount carries ulp residue
+    EXPECT_EQ(cloud.job_latencies()[2], Sim_duration{1.0}); // cold (other device)
     EXPECT_EQ(cloud.warm_dispatches(), 1u);
     // Billing follows the discounted service.
-    EXPECT_DOUBLE_EQ(cloud.device_gpu_seconds(0), 1.8);
-    EXPECT_DOUBLE_EQ(cloud.device_gpu_seconds(1), 1.0);
+    EXPECT_DOUBLE_EQ(cloud.device_gpu_seconds(0).value(), 1.8); // raw seconds: discount carries ulp residue
+    EXPECT_EQ(cloud.device_gpu_seconds(1), Gpu_seconds{1.0});
 }
 
 TEST(Placement, DeviceAffinityPrefersTheWarmServerOverALowerIndex) {
@@ -146,18 +147,18 @@ TEST(Placement, DeviceAffinityPrefersTheWarmServerOverALowerIndex) {
     config.affinity_warm_factor = 0.8;
     Cloud_runtime cloud{queue, config};
     // Warm up server 0 with device 0 and server 1 with device 1.
-    cloud.submit(0, 1.0, {});
-    cloud.submit(1, 1.0, {});
+    cloud.submit(0, Sim_duration{1.0}, {});
+    cloud.submit(1, Sim_duration{1.0}, {});
     // Later, device 1 submits alone: both servers free, but server 1 holds
     // its weights — it must go there (warm) instead of lowest-index 0.
-    queue.schedule(3.0, [&] { cloud.submit(1, 1.0, {}); });
-    (void)queue.run_until(20.0);
+    queue.schedule(Sim_time{3.0}, [&] { cloud.submit(1, Sim_duration{1.0}, {}); });
+    (void)queue.run_until(Sim_time{20.0});
     ASSERT_EQ(cloud.jobs_completed(), 3u);
-    EXPECT_DOUBLE_EQ(cloud.job_latencies()[2], 0.8);
+    EXPECT_DOUBLE_EQ(cloud.job_latencies()[2].value(), 0.8); // raw seconds: discount carries ulp residue
     EXPECT_EQ(cloud.warm_dispatches(), 1u);
-    const std::vector<Seconds> per_gpu = cloud.per_gpu_busy_within(20.0);
-    EXPECT_DOUBLE_EQ(per_gpu[0], 1.0);
-    EXPECT_DOUBLE_EQ(per_gpu[1], 1.8);
+    const std::vector<Gpu_seconds> per_gpu = cloud.per_gpu_busy_within(Sim_time{20.0});
+    EXPECT_EQ(per_gpu[0], Gpu_seconds{1.0});
+    EXPECT_DOUBLE_EQ(per_gpu[1].value(), 1.8); // raw seconds: discount carries ulp residue
 }
 
 // ---------------------------------------------------------------------------
@@ -173,16 +174,16 @@ TEST(StalenessPolicy, ServesTheFastestDriftingDeviceFirst) {
     // Server busy until t=5. Device 0's label is older but nearly static
     // (drift 0.01); device 1's is younger but rotting fast (drift 1.0):
     // drift-weighted age at t=5 is 4*0.01 = 0.04 vs 3*1.0 = 3.0.
-    cloud.submit(9, 5.0, [&] { order.push_back("blocker"); });
-    queue.schedule(1.0, [&] {
-        cloud.submit(0, 1.0, [&] { order.push_back("slow_drift"); },
+    cloud.submit(9, Sim_duration{5.0}, [&] { order.push_back("blocker"); });
+    queue.schedule(Sim_time{1.0}, [&] {
+        cloud.submit(0, Sim_duration{1.0}, [&] { order.push_back("slow_drift"); },
                      Cloud_job_kind::label, 0.01);
     });
-    queue.schedule(2.0, [&] {
-        cloud.submit(1, 1.0, [&] { order.push_back("fast_drift"); },
+    queue.schedule(Sim_time{2.0}, [&] {
+        cloud.submit(1, Sim_duration{1.0}, [&] { order.push_back("fast_drift"); },
                      Cloud_job_kind::label, 1.0);
     });
-    (void)queue.run_until(30.0);
+    (void)queue.run_until(Sim_time{30.0});
     ASSERT_EQ(order.size(), 3u);
     EXPECT_EQ(order[1], "fast_drift");
     EXPECT_EQ(order[2], "slow_drift");
@@ -194,13 +195,15 @@ TEST(StalenessPolicy, LabelsStillOutrankTrains) {
     config.policy = Policy_kind::staleness;
     Cloud_runtime cloud{queue, config};
     std::vector<std::string> order;
-    cloud.submit(0, 4.0, [&] { order.push_back("blocker"); }, Cloud_job_kind::train);
-    cloud.submit(0, 4.0, [&] { order.push_back("train"); }, Cloud_job_kind::train, 5.0);
-    queue.schedule(1.0, [&] {
-        cloud.submit(1, 1.0, [&] { order.push_back("label"); }, Cloud_job_kind::label,
-                     0.0);
+    cloud.submit(0, Sim_duration{4.0}, [&] { order.push_back("blocker"); },
+                 Cloud_job_kind::train);
+    cloud.submit(0, Sim_duration{4.0}, [&] { order.push_back("train"); },
+                 Cloud_job_kind::train, 5.0);
+    queue.schedule(Sim_time{1.0}, [&] {
+        cloud.submit(1, Sim_duration{1.0}, [&] { order.push_back("label"); },
+                     Cloud_job_kind::label, 0.0);
     });
-    (void)queue.run_until(30.0);
+    (void)queue.run_until(Sim_time{30.0});
     ASSERT_EQ(order.size(), 3u);
     EXPECT_EQ(order[1], "label"); // despite the train's older submission
     EXPECT_EQ(order[2], "train");
@@ -212,10 +215,14 @@ TEST(StalenessPolicy, DegeneratesToOldestFirstWithoutDriftSignal) {
     config.policy = Policy_kind::staleness;
     Cloud_runtime cloud{queue, config};
     std::vector<int> order;
-    cloud.submit(9, 3.0, {});
-    queue.schedule(1.0, [&] { cloud.submit(0, 1.0, [&] { order.push_back(0); }); });
-    queue.schedule(2.0, [&] { cloud.submit(1, 1.0, [&] { order.push_back(1); }); });
-    (void)queue.run_until(30.0);
+    cloud.submit(9, Sim_duration{3.0}, {});
+    queue.schedule(Sim_time{1.0}, [&] {
+        cloud.submit(0, Sim_duration{1.0}, [&] { order.push_back(0); });
+    });
+    queue.schedule(Sim_time{2.0}, [&] {
+        cloud.submit(1, Sim_duration{1.0}, [&] { order.push_back(1); });
+    });
+    (void)queue.run_until(Sim_time{30.0});
     ASSERT_EQ(order.size(), 2u);
     EXPECT_EQ(order[0], 0); // equal drift floor -> pure age -> oldest first
     EXPECT_EQ(order[1], 1);
@@ -236,11 +243,12 @@ TEST(Sharding, DefaultKnobsReproducePolicyCellBitIdentically) {
         fleet::Policy_setup policy;
         fleet::Sharding_setup sharding;
     } cells[] = {
-        {{"fifo", Policy_kind::fifo, 0.0},
-         {"gpu1_any_fifo", 1, Placement_kind::any_free, Policy_kind::fifo, 0.0, 1, 0}},
-        {{"fifo_preempt", Policy_kind::fifo, 2.0},
-         {"gpu1_any_fifo_preempt", 1, Placement_kind::any_free, Policy_kind::fifo, 2.0,
-          1, 0}},
+        {{"fifo", Policy_kind::fifo, Sim_duration{}},
+         {"gpu1_any_fifo", 1, Placement_kind::any_free, Policy_kind::fifo,
+          Sim_duration{}, 1, 0}},
+        {{"fifo_preempt", Policy_kind::fifo, Sim_duration{2.0}},
+         {"gpu1_any_fifo_preempt", 1, Placement_kind::any_free, Policy_kind::fifo,
+          Sim_duration{2.0}, 1, 0}},
     };
     for (const auto& cell : cells) {
         const Cluster_result a =
@@ -277,24 +285,24 @@ TEST(Sharding, ShardedPoliciesAreDeterministicAcrossReruns) {
             config.policy = Policy_kind::staleness;
             config.max_batch = 3;
             config.batch_efficiency = 0.6;
-            config.preempt_label_wait = 2.0;
+            config.preempt_label_wait = Sim_duration{2.0};
             Cloud_runtime cloud{queue, config};
             for (int i = 0; i < 6; ++i) {
-                queue.schedule(static_cast<double>(i) * 1.5, [&cloud, i] {
-                    cloud.submit(static_cast<std::size_t>(i % 3), 4.0, {},
+                queue.schedule(Sim_time{static_cast<double>(i) * 1.5}, [&cloud, i] {
+                    cloud.submit(static_cast<std::size_t>(i % 3), Sim_duration{4.0}, {},
                                  Cloud_job_kind::train, 0.1 * i);
-                    cloud.submit(static_cast<std::size_t>((i + 1) % 3), 0.5, {},
-                                 Cloud_job_kind::label, 0.2 * i);
+                    cloud.submit(static_cast<std::size_t>((i + 1) % 3),
+                                 Sim_duration{0.5}, {}, Cloud_job_kind::label, 0.2 * i);
                 });
             }
-            (void)queue.run_until(60.0);
+            (void)queue.run_until(Sim_time{60.0});
             return cloud.job_latencies();
         };
-        const std::vector<Seconds> a = run_script();
-        const std::vector<Seconds> b = run_script();
+        const std::vector<Sim_duration> a = run_script();
+        const std::vector<Sim_duration> b = run_script();
         ASSERT_EQ(a.size(), b.size()) << to_string(placement);
         for (std::size_t i = 0; i < a.size(); ++i) {
-            EXPECT_DOUBLE_EQ(a[i], b[i]) << to_string(placement) << " job " << i;
+            EXPECT_EQ(a[i], b[i]) << to_string(placement) << " job " << i;
         }
     }
 }

@@ -40,17 +40,17 @@ TEST(SchedulingPolicy, PriorityServesLabelsBeforeQueuedTrains) {
     std::vector<std::string> order;
     // A train job occupies the GPU; another train queues; a label job
     // submitted *after* both must still run before the queued train.
-    cloud.submit(0, 5.0, [&] { order.push_back("train0"); }, Cloud_job_kind::train);
-    cloud.submit(0, 5.0, [&] { order.push_back("train1"); }, Cloud_job_kind::train);
-    cloud.submit(1, 1.0, [&] { order.push_back("label"); }, Cloud_job_kind::label);
-    (void)queue.run_until(20.0);
+    cloud.submit(0, Sim_duration{5.0}, [&] { order.push_back("train0"); }, Cloud_job_kind::train);
+    cloud.submit(0, Sim_duration{5.0}, [&] { order.push_back("train1"); }, Cloud_job_kind::train);
+    cloud.submit(1, Sim_duration{1.0}, [&] { order.push_back("label"); }, Cloud_job_kind::label);
+    (void)queue.run_until(Sim_time{20.0});
     ASSERT_EQ(order.size(), 3u);
     EXPECT_EQ(order[0], "train0");
     EXPECT_EQ(order[1], "label");
     EXPECT_EQ(order[2], "train1");
     // The label waited only for the in-flight train: latency 5 + 1 (FIFO
     // would have been 10 + 1).
-    EXPECT_DOUBLE_EQ(cloud.mean_label_latency(), 6.0);
+    EXPECT_EQ(cloud.mean_label_latency(), Sim_duration{6.0});
 }
 
 TEST(SchedulingPolicy, FairShareFavorsTheDeficitDevice) {
@@ -62,11 +62,11 @@ TEST(SchedulingPolicy, FairShareFavorsTheDeficitDevice) {
     // Device 0 floods the queue; device 1 submits one job last. Once the
     // first dispatch bills device 0, device 1 holds the deficit and jumps
     // the backlog.
-    cloud.submit(0, 1.0, [&] { order.push_back("a0"); });
-    cloud.submit(0, 1.0, [&] { order.push_back("a1"); });
-    cloud.submit(0, 1.0, [&] { order.push_back("a2"); });
-    cloud.submit(1, 1.0, [&] { order.push_back("b0"); });
-    (void)queue.run_until(20.0);
+    cloud.submit(0, Sim_duration{1.0}, [&] { order.push_back("a0"); });
+    cloud.submit(0, Sim_duration{1.0}, [&] { order.push_back("a1"); });
+    cloud.submit(0, Sim_duration{1.0}, [&] { order.push_back("a2"); });
+    cloud.submit(1, Sim_duration{1.0}, [&] { order.push_back("b0"); });
+    (void)queue.run_until(Sim_time{20.0});
     ASSERT_EQ(order.size(), 4u);
     EXPECT_EQ(order[0], "a0");
     EXPECT_EQ(order[1], "b0");
@@ -81,11 +81,12 @@ TEST(SchedulingPolicy, FairShareBoundsTheDeficitBetweenEqualDevices) {
     Cloud_runtime cloud{queue, config};
     // Device 0 submits its whole backlog before device 1 (the worst case
     // for FIFO, whose deficit would reach 8 jobs); fair share alternates.
-    const Seconds service = 1.0;
-    Seconds max_gap = 0.0;
+    const Sim_duration service{1.0};
+    double max_gap = 0.0; // raw GPU-seconds gap, compared against the bound below
     const auto observe = [&] {
-        max_gap = std::max(max_gap, std::abs(cloud.device_gpu_seconds(0) -
-                                             cloud.device_gpu_seconds(1)));
+        max_gap = std::max(max_gap, std::abs((cloud.device_gpu_seconds(0) -
+                                              cloud.device_gpu_seconds(1))
+                                                 .value())); // raw gap for std::abs
     };
     for (int i = 0; i < 8; ++i) {
         cloud.submit(0, service, observe);
@@ -93,62 +94,65 @@ TEST(SchedulingPolicy, FairShareBoundsTheDeficitBetweenEqualDevices) {
     for (int i = 0; i < 8; ++i) {
         cloud.submit(1, service, observe);
     }
-    (void)queue.run_until(100.0);
+    (void)queue.run_until(Sim_time{100.0});
     EXPECT_EQ(cloud.jobs_completed(), 16u);
     // Deficit bound: two equally-loaded devices never drift apart by more
     // than one job's service (after the initial pre-contention dispatch).
-    EXPECT_LE(max_gap, 2.0 * service + 1e-12);
-    EXPECT_NEAR(cloud.device_gpu_seconds(0), cloud.device_gpu_seconds(1), 1e-12);
+    EXPECT_LE(max_gap, 2.0 * service.value() + 1e-12); // raw seconds bound
+    EXPECT_NEAR(cloud.device_gpu_seconds(0).value(),  // raw seconds for the tolerance check
+                cloud.device_gpu_seconds(1).value(), 1e-12); // raw seconds for the tolerance check
+
 }
 
 TEST(CloudRuntime, PreemptionCheckpointsAndResumesTrainWork) {
     Event_queue queue;
     Cloud_config config;
-    config.preempt_label_wait = 1.0;
+    config.preempt_label_wait = Sim_duration{1.0};
     Cloud_runtime cloud{queue, config};
-    Seconds train_done_at = -1.0;
-    Seconds label_done_at = -1.0;
+    Sim_time train_done_at{-1.0};
+    Sim_time label_done_at{-1.0};
     // A 10 s fine-tune starts at t=0; a label job arrives at t=2 and may
     // wait at most 1 s.
-    cloud.submit(0, 10.0, [&] { train_done_at = queue.now(); }, Cloud_job_kind::train);
-    queue.schedule(2.0, [&] {
-        cloud.submit(1, 1.0, [&] { label_done_at = queue.now(); });
+    cloud.submit(0, Sim_duration{10.0}, [&] { train_done_at = queue.now(); },
+                 Cloud_job_kind::train);
+    queue.schedule(Sim_time{2.0}, [&] {
+        cloud.submit(1, Sim_duration{1.0}, [&] { label_done_at = queue.now(); });
     });
-    (void)queue.run_until(30.0);
+    (void)queue.run_until(Sim_time{30.0});
     // t=3: bound expires, the train checkpoints (3 s executed, 7 s left);
     // label runs 3->4; train resumes 4->11.
-    EXPECT_DOUBLE_EQ(label_done_at, 4.0);
-    EXPECT_DOUBLE_EQ(train_done_at, 11.0);
+    EXPECT_EQ(label_done_at, Sim_time{4.0});
+    EXPECT_EQ(train_done_at, Sim_time{11.0});
     EXPECT_EQ(cloud.preemptions(), 1u);
     // No work lost or double-billed across the checkpoint.
-    EXPECT_DOUBLE_EQ(cloud.busy_seconds(), 11.0);
-    EXPECT_DOUBLE_EQ(cloud.device_gpu_seconds(0), 10.0);
-    EXPECT_DOUBLE_EQ(cloud.device_gpu_seconds(1), 1.0);
-    EXPECT_DOUBLE_EQ(cloud.utilization(11.0), 1.0);
+    EXPECT_EQ(cloud.busy_seconds(), Gpu_seconds{11.0});
+    EXPECT_EQ(cloud.device_gpu_seconds(0), Gpu_seconds{10.0});
+    EXPECT_EQ(cloud.device_gpu_seconds(1), Gpu_seconds{1.0});
+    EXPECT_DOUBLE_EQ(cloud.utilization(Sim_time{11.0}), 1.0);
     ASSERT_EQ(cloud.job_latencies().size(), 2u);
-    EXPECT_DOUBLE_EQ(cloud.mean_label_latency(), 2.0); // submitted 2, done 4
+    EXPECT_EQ(cloud.mean_label_latency(), Sim_duration{2.0}); // submitted 2, done 4
 }
 
 TEST(CloudRuntime, PreemptedServerGoesToTheStarvedLabelNotTheNextTrain) {
     Event_queue queue;
     Cloud_config config;
-    config.preempt_label_wait = 1.0;
+    config.preempt_label_wait = Sim_duration{1.0};
     Cloud_runtime cloud{queue, config};
-    Seconds label_done_at = -1.0;
+    Sim_time label_done_at{-1.0};
     // Train A in flight, train B queued ahead of the label. Preempting A
     // must hand the server to the overdue label, not to FIFO-front B —
     // otherwise the wait bound is violated by B's whole service time.
-    cloud.submit(0, 10.0, {}, Cloud_job_kind::train);
-    cloud.submit(0, 10.0, {}, Cloud_job_kind::train);
-    queue.schedule(2.0, [&] {
-        cloud.submit(1, 1.0, [&] { label_done_at = queue.now(); });
+    cloud.submit(0, Sim_duration{10.0}, {}, Cloud_job_kind::train);
+    cloud.submit(0, Sim_duration{10.0}, {}, Cloud_job_kind::train);
+    queue.schedule(Sim_time{2.0}, [&] {
+        cloud.submit(1, Sim_duration{1.0}, [&] { label_done_at = queue.now(); });
     });
-    (void)queue.run_until(60.0);
+    (void)queue.run_until(Sim_time{60.0});
     EXPECT_EQ(cloud.preemptions(), 1u);
-    EXPECT_DOUBLE_EQ(label_done_at, 4.0); // preempted at 3, served 3->4
+    EXPECT_EQ(label_done_at, Sim_time{4.0}); // preempted at 3, served 3->4
     // All train work still completes: A's 3 s + B's 10 s + A's 7 s resume.
-    EXPECT_DOUBLE_EQ(cloud.busy_seconds(), 21.0);
-    EXPECT_DOUBLE_EQ(cloud.device_gpu_seconds(0), 20.0);
+    EXPECT_EQ(cloud.busy_seconds(), Gpu_seconds{21.0});
+    EXPECT_EQ(cloud.device_gpu_seconds(0), Gpu_seconds{20.0});
 }
 
 TEST(CloudRuntime, CoalescingNeverMixesLabelAndTrainJobs) {
@@ -157,33 +161,33 @@ TEST(CloudRuntime, CoalescingNeverMixesLabelAndTrainJobs) {
     config.max_batch = 3;
     config.batch_efficiency = 0.5;
     Cloud_runtime cloud{queue, config};
-    Seconds label_done_at = -1.0;
+    Sim_time label_done_at{-1.0};
     // GPU busy; a label and a train queue behind it. Coalescing the train
     // into the label's dispatch would make the label wait out the train's
     // 10 s service; kind-homogeneous dispatches keep them apart.
-    cloud.submit(0, 1.0, {});
-    cloud.submit(1, 1.0, [&] { label_done_at = queue.now(); });
-    cloud.submit(2, 10.0, {}, Cloud_job_kind::train);
-    (void)queue.run_until(30.0);
-    EXPECT_DOUBLE_EQ(label_done_at, 2.0); // 1 s wait + 1 s service, no rider
+    cloud.submit(0, Sim_duration{1.0}, {});
+    cloud.submit(1, Sim_duration{1.0}, [&] { label_done_at = queue.now(); });
+    cloud.submit(2, Sim_duration{10.0}, {}, Cloud_job_kind::train);
+    (void)queue.run_until(Sim_time{30.0});
+    EXPECT_EQ(label_done_at, Sim_time{2.0}); // 1 s wait + 1 s service, no rider
     ASSERT_EQ(cloud.jobs_completed(), 3u);
 }
 
 TEST(CloudRuntime, PreemptionLeavesLabelDispatchesAlone) {
     Event_queue queue;
     Cloud_config config;
-    config.preempt_label_wait = 1.0;
+    config.preempt_label_wait = Sim_duration{1.0};
     Cloud_runtime cloud{queue, config};
     std::vector<std::string> order;
     // Only label dispatches in flight: nothing is preemptible, so a queued
     // label simply waits its FIFO turn.
-    cloud.submit(0, 5.0, [&] { order.push_back("label0"); });
-    cloud.submit(1, 1.0, [&] { order.push_back("label1"); });
-    (void)queue.run_until(20.0);
+    cloud.submit(0, Sim_duration{5.0}, [&] { order.push_back("label0"); });
+    cloud.submit(1, Sim_duration{1.0}, [&] { order.push_back("label1"); });
+    (void)queue.run_until(Sim_time{20.0});
     ASSERT_EQ(order.size(), 2u);
     EXPECT_EQ(order[0], "label0");
     EXPECT_EQ(cloud.preemptions(), 0u);
-    EXPECT_DOUBLE_EQ(cloud.job_latencies()[1], 6.0);
+    EXPECT_EQ(cloud.job_latencies()[1], Sim_duration{6.0});
 }
 
 TEST(SchedulingPolicy, PriorityAndFairShareCutP95LabelLatencyUnderTrainLoad) {
@@ -197,23 +201,25 @@ TEST(SchedulingPolicy, PriorityAndFairShareCutP95LabelLatencyUnderTrainLoad) {
         Cloud_runtime cloud{queue, config};
         for (std::size_t d = 0; d < 4; ++d) {
             for (int i = 0; i < 40; ++i) {
-                queue.schedule(4.0 * i + 0.1 * static_cast<double>(d),
-                               [&cloud, d] { cloud.submit(d, 0.5, {}); });
+                queue.schedule(Sim_time{4.0 * i + 0.1 * static_cast<double>(d)},
+                               [&cloud, d] { cloud.submit(d, Sim_duration{0.5}, {}); });
             }
         }
         for (std::size_t d = 4; d < 6; ++d) {
             for (int i = 0; i < 4; ++i) {
-                queue.schedule(40.0 * i + 0.05 * static_cast<double>(d), [&cloud, d] {
-                    cloud.submit(d, 8.0, {}, Cloud_job_kind::train);
-                });
+                queue.schedule(Sim_time{40.0 * i + 0.05 * static_cast<double>(d)},
+                               [&cloud, d] {
+                                   cloud.submit(d, Sim_duration{8.0}, {},
+                                                Cloud_job_kind::train);
+                               });
             }
         }
-        (void)queue.run_until(400.0);
+        (void)queue.run_until(Sim_time{400.0});
         return cloud.p95_label_latency();
     };
-    const Seconds fifo = p95(Policy_kind::fifo);
-    const Seconds priority = p95(Policy_kind::priority);
-    const Seconds fair = p95(Policy_kind::fair_share);
+    const Sim_duration fifo = p95(Policy_kind::fifo);
+    const Sim_duration priority = p95(Policy_kind::priority);
+    const Sim_duration fair = p95(Policy_kind::fair_share);
     EXPECT_LT(priority, fifo);
     EXPECT_LT(fair, fifo);
 }
@@ -227,26 +233,26 @@ TEST(SchedulingPolicy, AllPoliciesAreDeterministicAcrossReruns) {
             config.policy = kind;
             config.max_batch = 3;
             config.batch_efficiency = 0.6;
-            config.preempt_label_wait = 2.0;
+            config.preempt_label_wait = Sim_duration{2.0};
             Cloud_runtime cloud{queue, config};
             // A scripted mixed workload: staggered labels and trains from
             // three devices, enough to exercise coalescing and preemption.
             for (int i = 0; i < 4; ++i) {
-                queue.schedule(static_cast<double>(i) * 1.5, [&cloud, i] {
-                    cloud.submit(static_cast<std::size_t>(i % 3), 4.0, {},
+                queue.schedule(Sim_time{static_cast<double>(i) * 1.5}, [&cloud, i] {
+                    cloud.submit(static_cast<std::size_t>(i % 3), Sim_duration{4.0}, {},
                                  Cloud_job_kind::train);
-                    cloud.submit(static_cast<std::size_t>((i + 1) % 3), 0.5, {},
-                                 Cloud_job_kind::label);
+                    cloud.submit(static_cast<std::size_t>((i + 1) % 3), Sim_duration{0.5},
+                                 {}, Cloud_job_kind::label);
                 });
             }
-            (void)queue.run_until(60.0);
+            (void)queue.run_until(Sim_time{60.0});
             return cloud.job_latencies();
         };
-        const std::vector<Seconds> a = run_script();
-        const std::vector<Seconds> b = run_script();
+        const std::vector<Sim_duration> a = run_script();
+        const std::vector<Sim_duration> b = run_script();
         ASSERT_EQ(a.size(), b.size()) << to_string(kind);
         for (std::size_t i = 0; i < a.size(); ++i) {
-            EXPECT_DOUBLE_EQ(a[i], b[i]) << to_string(kind) << " job " << i;
+            EXPECT_EQ(a[i], b[i]) << to_string(kind) << " job " << i;
         }
     }
 }
@@ -266,21 +272,24 @@ TEST(CloudRuntime, PreemptBoundSurvivesUlpLateCheck) {
     // overdue at its check, so the freed server serves it immediately.
     Event_queue queue;
     Cloud_config config;
-    config.preempt_label_wait = 0.6;
+    config.preempt_label_wait = Sim_duration{0.6};
     Cloud_runtime cloud{queue, config};
-    Seconds label_done = -1.0;
-    cloud.submit(0, 10.0, {}, Cloud_job_kind::train);
-    queue.schedule(0.05, [&] { cloud.submit(0, 10.0, {}, Cloud_job_kind::train); });
-    queue.schedule(0.3, [&] {
-        cloud.submit(1, 1.0, [&] { label_done = queue.now(); });
+    Sim_time label_done{-1.0};
+    cloud.submit(0, Sim_duration{10.0}, {}, Cloud_job_kind::train);
+    queue.schedule(Sim_time{0.05}, [&] {
+        cloud.submit(0, Sim_duration{10.0}, {}, Cloud_job_kind::train);
     });
-    (void)queue.run_until(60.0);
+    queue.schedule(Sim_time{0.3}, [&] {
+        cloud.submit(1, Sim_duration{1.0}, [&] { label_done = queue.now(); });
+    });
+    (void)queue.run_until(Sim_time{60.0});
     EXPECT_EQ(cloud.preemptions(), 1u);
     // Check fires at 0.3 + 0.6 (one ulp short of a 0.6 wait); the label runs
     // right after the preemption: done just before t=1.9. Pre-fix it
     // finished after the second train, at t ~ 11.9.
-    EXPECT_NEAR(label_done, 1.9, 1e-9);
-    EXPECT_LT(label_done - 0.3 - 1.0, config.preempt_label_wait + 1e-9);
+    EXPECT_NEAR(label_done.value(), 1.9, 1e-9); // raw seconds for the tolerance check
+    EXPECT_LT(label_done - Sim_time{0.3} - Sim_duration{1.0},
+              config.preempt_label_wait + Sim_duration{1e-9});
 }
 
 TEST(CloudRuntime, BoundLapseNeverHandsTheServerToAQueuedTrain) {
@@ -290,22 +299,22 @@ TEST(CloudRuntime, BoundLapseNeverHandsTheServerToAQueuedTrain) {
     // the overdue label must outrank the FIFO-front train queued before it.
     Event_queue queue;
     Cloud_config config;
-    config.preempt_label_wait = 2.0;
+    config.preempt_label_wait = Sim_duration{2.0};
     Cloud_runtime cloud{queue, config};
-    Seconds label_done = -1.0;
-    Seconds train_done = -1.0;
-    cloud.submit(0, 4.0, {});                                          // label, runs 0->4
-    queue.schedule(0.1, [&] {
-        cloud.submit(0, 10.0, [&] { train_done = queue.now(); },
+    Sim_time label_done{-1.0};
+    Sim_time train_done{-1.0};
+    cloud.submit(0, Sim_duration{4.0}, {}); // label, runs 0->4
+    queue.schedule(Sim_time{0.1}, [&] {
+        cloud.submit(0, Sim_duration{10.0}, [&] { train_done = queue.now(); },
                      Cloud_job_kind::train);
     });
-    queue.schedule(0.5, [&] {
-        cloud.submit(1, 1.0, [&] { label_done = queue.now(); });
+    queue.schedule(Sim_time{0.5}, [&] {
+        cloud.submit(1, Sim_duration{1.0}, [&] { label_done = queue.now(); });
     });
-    (void)queue.run_until(60.0);
+    (void)queue.run_until(Sim_time{60.0});
     EXPECT_EQ(cloud.preemptions(), 0u); // nothing preemptible ever in flight
-    EXPECT_DOUBLE_EQ(label_done, 5.0);  // served at first server-free
-    EXPECT_DOUBLE_EQ(train_done, 15.0);
+    EXPECT_EQ(label_done, Sim_time{5.0}); // served at first server-free
+    EXPECT_EQ(train_done, Sim_time{15.0});
 }
 
 TEST(SchedulingPolicy, FairShareTieBreaksFifoUnderUlpLedgerNoise) {
@@ -319,14 +328,14 @@ TEST(SchedulingPolicy, FairShareTieBreaksFifoUnderUlpLedgerNoise) {
     Cloud_config config;
     config.policy = Policy_kind::fair_share;
     Cloud_runtime cloud{queue, config};
-    cloud.account_direct(0, 0.1 + 0.2); // 0.30000000000000004
-    cloud.account_direct(1, 0.3);
-    cloud.account_direct(9, 100.0); // the blocker device never wins a deficit
+    cloud.account_direct(0, Gpu_seconds{0.1 + 0.2}); // 0.30000000000000004
+    cloud.account_direct(1, Gpu_seconds{0.3});
+    cloud.account_direct(9, Gpu_seconds{100.0}); // the blocker never wins a deficit
     std::vector<int> order;
-    cloud.submit(9, 1.0, {}); // occupies the server so 0 and 1 really queue
-    cloud.submit(0, 1.0, [&] { order.push_back(0); });
-    cloud.submit(1, 1.0, [&] { order.push_back(1); });
-    (void)queue.run_until(20.0);
+    cloud.submit(9, Sim_duration{1.0}, {}); // occupies the server so 0 and 1 queue
+    cloud.submit(0, Sim_duration{1.0}, [&] { order.push_back(0); });
+    cloud.submit(1, Sim_duration{1.0}, [&] { order.push_back(1); });
+    (void)queue.run_until(Sim_time{20.0});
     ASSERT_EQ(order.size(), 2u);
     EXPECT_EQ(order[0], 0); // FIFO degeneracy: earlier submission first
     EXPECT_EQ(order[1], 1);
@@ -342,19 +351,19 @@ TEST(CloudRuntime, CoalescedBillingIsArrivalOrderIndependent) {
         config.max_batch = 2;
         config.batch_efficiency = 0.5;
         Cloud_runtime cloud{queue, config};
-        cloud.submit(9, 1.0, {}); // occupies the GPU so the pair coalesces
-        cloud.submit(first, 2.0, {});
-        cloud.submit(second, 2.0, {});
-        (void)queue.run_until(20.0);
+        cloud.submit(9, Sim_duration{1.0}, {}); // occupies the GPU so the pair coalesces
+        cloud.submit(first, Sim_duration{2.0}, {});
+        cloud.submit(second, Sim_duration{2.0}, {});
+        (void)queue.run_until(Sim_time{20.0});
         return std::pair{cloud.device_gpu_seconds(0), cloud.device_gpu_seconds(1)};
     };
     const auto [a0, a1] = billed(0, 1);
-    EXPECT_DOUBLE_EQ(a0, a1);
+    EXPECT_EQ(a0, a1);
     const auto [b0, b1] = billed(1, 0);
-    EXPECT_DOUBLE_EQ(b0, b1);
-    EXPECT_DOUBLE_EQ(a0, b0);
+    EXPECT_EQ(b0, b1);
+    EXPECT_EQ(a0, b0);
     // The coalesced dispatch costs 2 + 0.5*2 = 3 GPU seconds, split evenly.
-    EXPECT_DOUBLE_EQ(a0, 1.5);
+    EXPECT_EQ(a0, Gpu_seconds{1.5});
 }
 
 TEST(Harness, WindowedGainToleratesUlpOffsetWindowStarts) {
@@ -425,7 +434,7 @@ public:
     [[nodiscard]] std::string name() const override { return "FpsProbe"; }
     void start(Edge_runtime& rt) override {
         rt.set_fps_override(10.0);
-        rt.schedule(1.9, [&rt] { rt.set_fps_override(50.0); });
+        rt.schedule(Sim_duration{1.9}, [&rt] { rt.set_fps_override(50.0); });
     }
     [[nodiscard]] std::vector<detect::Detection> infer(Edge_runtime& rt,
                                                        const video::Frame& frame) override {
@@ -446,7 +455,7 @@ TEST(Harness, FpsTimelineReachesTheStreamDuration) {
     Fps_probe_strategy probe;
     Harness_config config;
     config.eval_stride = 8;
-    config.fps_tick = 0.3;
+    config.fps_tick = Sim_duration{0.3};
     const Run_result result = run_strategy(probe, stream, config);
     ASSERT_FALSE(result.fps_timeline.empty());
     EXPECT_DOUBLE_EQ(result.fps_timeline.front().first, 0.0);
@@ -489,7 +498,7 @@ TEST_F(Shoggoth_flush, TailBufferIsUploadedAtStreamEnd) {
     config.adaptive_sampling = false;
     config.fixed_rate = 1.0;            // one sample per second: 23 ticks
     config.upload_batch_frames = 64;    // the buffer never fills...
-    config.upload_max_wait = 1.0e6;     // ...and max-wait never triggers,
+    config.upload_max_wait = Sim_duration{1.0e6}; // ...max-wait never triggers,
     config.warm_replay = false;         // (keep the test fast)
     core::Shoggoth_strategy strategy{*local_student, *teacher, config,
                                      models::Deployed_profile::yolov4_resnet18(),
@@ -508,7 +517,7 @@ TEST_F(Shoggoth_flush, PartialBufferShipsAtMaxWaitNotAtTheNextTick) {
     config.adaptive_sampling = false;
     config.fixed_rate = 0.5;         // ticks every 2 s
     config.upload_batch_frames = 64; // size never triggers
-    config.upload_max_wait = 3.0;    // flush timer mid-stream
+    config.upload_max_wait = Sim_duration{3.0}; // flush timer mid-stream
     config.warm_replay = false;
     core::Shoggoth_strategy strategy{*local_student, *teacher, config,
                                      models::Deployed_profile::yolov4_resnet18(),

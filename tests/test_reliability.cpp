@@ -10,6 +10,7 @@
 #include <limits>
 #include <vector>
 
+#include "common/stats.hpp"
 #include "fleet/testbed.hpp"
 #include "sim/cloud.hpp"
 #include "sim/harness.hpp"
@@ -18,7 +19,7 @@
 namespace shog::sim {
 namespace {
 
-constexpr Seconds never = std::numeric_limits<double>::infinity();
+constexpr Sim_duration never{std::numeric_limits<double>::infinity()};
 
 // ---------------------------------------------------------------------------
 // Config surface.
@@ -35,11 +36,11 @@ TEST(Reliability, ProfileValidation) {
     config.gpu_count = 2;
     config.gpu_profiles = {Gpu_profile{}}; // size mismatch
     EXPECT_THROW((Cloud_runtime{queue, config}), std::invalid_argument);
-    config.gpu_profiles = {Gpu_profile{}, Gpu_profile{0.0, never, 10.0}}; // speed 0
+    config.gpu_profiles = {Gpu_profile{}, Gpu_profile{0.0, never, Sim_duration{10.0}}}; // speed 0
     EXPECT_THROW((Cloud_runtime{queue, config}), std::invalid_argument);
-    config.gpu_profiles = {Gpu_profile{}, Gpu_profile{1.0, 60.0, 0.0}}; // mttr 0
+    config.gpu_profiles = {Gpu_profile{}, Gpu_profile{1.0, Sim_duration{60.0}, Sim_duration{0.0}}}; // mttr 0
     EXPECT_THROW((Cloud_runtime{queue, config}), std::invalid_argument);
-    config.gpu_profiles = {Gpu_profile{}, Gpu_profile{0.5, 60.0, 10.0}};
+    config.gpu_profiles = {Gpu_profile{}, Gpu_profile{0.5, Sim_duration{60.0}, Sim_duration{10.0}}};
     EXPECT_NO_THROW((Cloud_runtime{queue, config}));
     config.straggler_requeue_factor = 0.5; // must be 0 or >= 1
     EXPECT_THROW((Cloud_runtime{queue, config}), std::invalid_argument);
@@ -54,16 +55,16 @@ TEST(Reliability, ProfileValidation) {
 TEST(Reliability, StragglerSpeedScalesServiceAndBilling) {
     Event_queue queue;
     Cloud_config config;
-    config.gpu_profiles = {Gpu_profile{0.5, never, 10.0}}; // 2x slow
+    config.gpu_profiles = {Gpu_profile{0.5, never, Sim_duration{10.0}}}; // 2x slow
     Cloud_runtime cloud{queue, config};
-    cloud.submit(0, 3.0, {});
-    (void)queue.run_until(60.0);
+    cloud.submit(0, Sim_duration{3.0}, {});
+    (void)queue.run_until(Sim_time{60.0});
     ASSERT_EQ(cloud.jobs_completed(), 1u);
     // 3 s of nominal service occupy the half-speed server for 6 wall
     // seconds, and the bill is the occupancy.
-    EXPECT_DOUBLE_EQ(cloud.job_latencies()[0], 6.0);
-    EXPECT_DOUBLE_EQ(cloud.device_gpu_seconds(0), 6.0);
-    EXPECT_DOUBLE_EQ(cloud.busy_seconds(), 6.0);
+    EXPECT_EQ(cloud.job_latencies()[0], Sim_duration{6.0});
+    EXPECT_EQ(cloud.device_gpu_seconds(0), Gpu_seconds{6.0});
+    EXPECT_EQ(cloud.busy_seconds(), Gpu_seconds{6.0});
 }
 
 // ---------------------------------------------------------------------------
@@ -75,17 +76,17 @@ TEST(Reliability, SpeedAwareRoutesLabelsFastAndTrainsSlow) {
     Cloud_config config;
     config.gpu_count = 2;
     config.placement = Placement_kind::speed_aware;
-    config.gpu_profiles = {Gpu_profile{0.25, never, 10.0}, Gpu_profile{}};
+    config.gpu_profiles = {Gpu_profile{0.25, never, Sim_duration{10.0}}, Gpu_profile{}};
     Cloud_runtime cloud{queue, config};
     // Both servers free: the train must soak the straggler (server 0), the
     // label must take the fast server (server 1).
-    cloud.submit(0, 4.0, {}, Cloud_job_kind::train);
-    cloud.submit(1, 1.0, {}, Cloud_job_kind::label);
-    (void)queue.run_until(100.0);
+    cloud.submit(0, Sim_duration{4.0}, {}, Cloud_job_kind::train);
+    cloud.submit(1, Sim_duration{1.0}, {}, Cloud_job_kind::label);
+    (void)queue.run_until(Sim_time{100.0});
     ASSERT_EQ(cloud.jobs_completed(), 2u);
-    const std::vector<Seconds> per_gpu = cloud.per_gpu_busy_within(100.0);
-    EXPECT_DOUBLE_EQ(per_gpu[0], 16.0); // train: 4 s nominal at speed 0.25
-    EXPECT_DOUBLE_EQ(per_gpu[1], 1.0);  // label: fast server, full speed
+    const std::vector<Gpu_seconds> per_gpu = cloud.per_gpu_busy_within(Sim_time{100.0});
+    EXPECT_EQ(per_gpu[0], Gpu_seconds{16.0}); // train: 4 s nominal at speed 0.25
+    EXPECT_EQ(per_gpu[1], Gpu_seconds{1.0});  // label: fast server, full speed
 }
 
 TEST(Reliability, SpeedAwareTieBreaksToTheWarmServer) {
@@ -98,15 +99,15 @@ TEST(Reliability, SpeedAwareTieBreaksToTheWarmServer) {
     // Warm server 1 with device 7, then let both servers free up. Device
     // 7's next label must return to server 1 (equal speeds, warm beats
     // lower index) at the warm discount.
-    cloud.submit(3, 1.0, {});
-    cloud.submit(7, 1.0, {});
-    queue.schedule(5.0, [&] { cloud.submit(7, 1.0, {}); });
-    (void)queue.run_until(100.0);
+    cloud.submit(3, Sim_duration{1.0}, {});
+    cloud.submit(7, Sim_duration{1.0}, {});
+    queue.schedule(Sim_time{5.0}, [&] { cloud.submit(7, Sim_duration{1.0}, {}); });
+    (void)queue.run_until(Sim_time{100.0});
     ASSERT_EQ(cloud.jobs_completed(), 3u);
-    EXPECT_DOUBLE_EQ(cloud.job_latencies()[2], 0.8);
+    EXPECT_DOUBLE_EQ(cloud.job_latencies()[2].value(), 0.8); // raw seconds: discount carries ulp residue
     EXPECT_EQ(cloud.warm_dispatches(), 1u);
-    const std::vector<Seconds> per_gpu = cloud.per_gpu_busy_within(100.0);
-    EXPECT_DOUBLE_EQ(per_gpu[1], 1.8);
+    const std::vector<Gpu_seconds> per_gpu = cloud.per_gpu_busy_within(Sim_time{100.0});
+    EXPECT_DOUBLE_EQ(per_gpu[1].value(), 1.8); // raw seconds: discount carries ulp residue
 }
 
 TEST(Reliability, AllPlacementsSkipFailedServers) {
@@ -137,22 +138,23 @@ TEST(Reliability, AllPlacementsSkipFailedServers) {
 TEST(Reliability, FailureCheckpointsInFlightWorkAndConservesBilling) {
     Event_queue queue;
     Cloud_config config;
-    config.gpu_profiles = {Gpu_profile{1.0, 6.0, 2.0}}; // fails every ~6 s
+    config.gpu_profiles = {Gpu_profile{1.0, Sim_duration{6.0}, Sim_duration{2.0}}}; // fails every ~6 s
     Cloud_runtime cloud{queue, config};
-    Seconds done_at = -1.0;
-    const Seconds service = 30.0; // long enough to be interrupted
+    Sim_time done_at{-1.0};
+    const Sim_duration service{30.0}; // long enough to be interrupted
     cloud.submit(0, service, [&] { done_at = queue.now(); });
-    (void)queue.run_until(2000.0);
+    (void)queue.run_until(Sim_time{2000.0});
     ASSERT_EQ(cloud.jobs_completed(), 1u);
     EXPECT_GE(cloud.failures(), 1u);
     // Downtime stretches the latency past the service time...
-    EXPECT_GT(done_at, service);
+    EXPECT_GT(done_at.since_start(), service);
     // ...but the bill is conserved exactly: every checkpoint refunds the
     // unexecuted share, every resume re-bills it, and the executed pieces
     // sum back to the full service.
-    EXPECT_NEAR(cloud.device_gpu_seconds(0), service, 1e-9);
-    EXPECT_NEAR(cloud.busy_seconds(), service, 1e-9);
-    EXPECT_NEAR(cloud.busy_seconds_within(2000.0), service, 1e-9);
+    EXPECT_NEAR(cloud.device_gpu_seconds(0).value(), service.value(), 1e-9); // raw seconds for the tolerance check
+    EXPECT_NEAR(cloud.busy_seconds().value(), service.value(), 1e-9); // raw seconds for the tolerance check
+    EXPECT_NEAR(cloud.busy_seconds_within(Sim_time{2000.0}).value(), // raw seconds for the tolerance check
+                service.value(), 1e-9); // raw seconds for the tolerance check
 }
 
 TEST(Reliability, FailureProcessIsDeterministicAcrossReruns) {
@@ -162,21 +164,21 @@ TEST(Reliability, FailureProcessIsDeterministicAcrossReruns) {
         config.gpu_count = 2;
         config.placement = Placement_kind::speed_aware;
         config.policy = Policy_kind::priority;
-        config.gpu_profiles = {Gpu_profile{0.5, 15.0, 3.0}, Gpu_profile{1.0, 25.0, 5.0}};
+        config.gpu_profiles = {Gpu_profile{0.5, Sim_duration{15.0}, Sim_duration{3.0}}, Gpu_profile{1.0, Sim_duration{25.0}, Sim_duration{5.0}}};
         config.straggler_requeue_factor = 2.0;
-        config.preempt_label_wait = 2.0;
+        config.preempt_label_wait = Sim_duration{2.0};
         Cloud_runtime cloud{queue, config};
         for (int i = 0; i < 12; ++i) {
-            queue.schedule(1.5 * i, [&cloud, i] {
-                cloud.submit(static_cast<std::size_t>(i % 4), 1.0,
+            queue.schedule(Sim_time{1.5 * i}, [&cloud, i] {
+                cloud.submit(static_cast<std::size_t>(i % 4), Sim_duration{1.0},
                              {}, Cloud_job_kind::label, 0.1 * i);
                 if (i % 3 == 0) {
-                    cloud.submit(static_cast<std::size_t>(i % 4), 6.0, {},
+                    cloud.submit(static_cast<std::size_t>(i % 4), Sim_duration{6.0}, {},
                                  Cloud_job_kind::train);
                 }
             });
         }
-        (void)queue.run_until(400.0);
+        (void)queue.run_until(Sim_time{400.0});
         return std::tuple{cloud.job_latencies(), cloud.failures(),
                           cloud.straggler_requeues(), cloud.busy_seconds()};
     };
@@ -184,11 +186,11 @@ TEST(Reliability, FailureProcessIsDeterministicAcrossReruns) {
     const auto b = run_script();
     ASSERT_EQ(std::get<0>(a).size(), std::get<0>(b).size());
     for (std::size_t i = 0; i < std::get<0>(a).size(); ++i) {
-        EXPECT_DOUBLE_EQ(std::get<0>(a)[i], std::get<0>(b)[i]) << "job " << i;
+        EXPECT_EQ(std::get<0>(a)[i], std::get<0>(b)[i]) << "job " << i;
     }
     EXPECT_EQ(std::get<1>(a), std::get<1>(b));
     EXPECT_EQ(std::get<2>(a), std::get<2>(b));
-    EXPECT_DOUBLE_EQ(std::get<3>(a), std::get<3>(b));
+    EXPECT_EQ(std::get<3>(a), std::get<3>(b));
     EXPECT_GE(std::get<1>(a), 1u); // the scenario actually exercises failures
 }
 
@@ -201,21 +203,21 @@ TEST(Reliability, KindPartitionServesLabelsWhenEveryReservedServerFails) {
     config.gpu_count = 2;
     config.placement = Placement_kind::kind_partition;
     config.label_reserved_gpus = 1;
-    config.gpu_profiles = {Gpu_profile{1.0, 0.001, 1.0e9}, // fails instantly, stays down
+    config.gpu_profiles = {Gpu_profile{1.0, Sim_duration{0.001}, Sim_duration{1.0e9}}, // fails instantly, stays down
                            Gpu_profile{}};
     Cloud_runtime cloud{queue, config};
     std::size_t labels_done = 0;
-    queue.schedule(1.0, [&] {
-        cloud.submit(0, 5.0, {}, Cloud_job_kind::train);
-        cloud.submit(1, 1.0, [&] { ++labels_done; });
-        cloud.submit(2, 1.0, [&] { ++labels_done; });
+    queue.schedule(Sim_time{1.0}, [&] {
+        cloud.submit(0, Sim_duration{5.0}, {}, Cloud_job_kind::train);
+        cloud.submit(1, Sim_duration{1.0}, [&] { ++labels_done; });
+        cloud.submit(2, Sim_duration{1.0}, [&] { ++labels_done; });
     });
-    (void)queue.run_until(100.0);
+    (void)queue.run_until(Sim_time{100.0});
     EXPECT_EQ(cloud.failures(), 1u);
     EXPECT_EQ(labels_done, 2u); // served on the unreserved server
     EXPECT_EQ(cloud.jobs_completed(), 3u);
-    const std::vector<Seconds> per_gpu = cloud.per_gpu_busy_within(100.0);
-    EXPECT_DOUBLE_EQ(per_gpu[0], 0.0); // the dead reserved server ran nothing
+    const std::vector<Gpu_seconds> per_gpu = cloud.per_gpu_busy_within(Sim_time{100.0});
+    EXPECT_EQ(per_gpu[0], Gpu_seconds{0.0}); // the dead reserved server ran nothing
 }
 
 // ---------------------------------------------------------------------------
@@ -227,28 +229,28 @@ TEST(Reliability, OverdueLabelMovesOffTheStragglerWhenAFasterServerFrees) {
     Cloud_config config;
     config.gpu_count = 2;
     config.placement = Placement_kind::speed_aware;
-    config.gpu_profiles = {Gpu_profile{}, Gpu_profile{0.25, never, 10.0}};
+    config.gpu_profiles = {Gpu_profile{}, Gpu_profile{0.25, never, Sim_duration{10.0}}};
     config.straggler_requeue_factor = 2.0;
     Cloud_runtime cloud{queue, config};
-    Seconds slow_label_done = -1.0;
+    Sim_time slow_label_done{-1.0};
     // Label A occupies the fast server until t=8; label B must settle for
     // the straggler (nominal 3 s -> wall 12). Its bound fires at
     // 0.1 + 2 x 3 = 6.1 with the fast server still busy, so it is marked;
     // when A completes at t=8 the mark is honored: B checkpoints (7.9 of 12
     // wall seconds executed -> remainder 3 x (1 - 7.9/12) nominal) and
     // finishes on the fast server instead of grinding to t=12.1.
-    cloud.submit(0, 8.0, {});
-    queue.schedule(0.1, [&] {
-        cloud.submit(1, 3.0, [&] { slow_label_done = queue.now(); });
+    cloud.submit(0, Sim_duration{8.0}, {});
+    queue.schedule(Sim_time{0.1}, [&] {
+        cloud.submit(1, Sim_duration{3.0}, [&] { slow_label_done = queue.now(); });
     });
-    (void)queue.run_until(100.0);
+    (void)queue.run_until(Sim_time{100.0});
     ASSERT_EQ(cloud.jobs_completed(), 2u);
     EXPECT_EQ(cloud.straggler_requeues(), 1u);
-    const Seconds remainder = 3.0 * (1.0 - 7.9 / 12.0);
-    EXPECT_NEAR(slow_label_done, 8.0 + remainder, 1e-9);
+    const double remainder = 3.0 * (1.0 - 7.9 / 12.0);
+    EXPECT_NEAR(slow_label_done.value(), 8.0 + remainder, 1e-9); // raw seconds for the tolerance check
     // Billing follows occupancy: 7.9 wall seconds on the straggler plus the
     // remainder on the fast server.
-    EXPECT_NEAR(cloud.device_gpu_seconds(1), 7.9 + remainder, 1e-9);
+    EXPECT_NEAR(cloud.device_gpu_seconds(1).value(), 7.9 + remainder, 1e-9); // raw seconds for the tolerance check
 }
 
 TEST(Reliability, StragglerRequeueIsOffByDefaultAndBoundedToStragglers) {
@@ -260,12 +262,12 @@ TEST(Reliability, StragglerRequeueIsOffByDefaultAndBoundedToStragglers) {
     config.placement = Placement_kind::speed_aware;
     config.straggler_requeue_factor = 3.0;
     Cloud_runtime cloud{queue, config};
-    cloud.submit(0, 2.0, {});
-    cloud.submit(1, 2.0, {});
-    (void)queue.run_until(50.0);
+    cloud.submit(0, Sim_duration{2.0}, {});
+    cloud.submit(1, Sim_duration{2.0}, {});
+    (void)queue.run_until(Sim_time{50.0});
     EXPECT_EQ(cloud.straggler_requeues(), 0u);
-    EXPECT_DOUBLE_EQ(cloud.job_latencies()[0], 2.0);
-    EXPECT_DOUBLE_EQ(cloud.job_latencies()[1], 2.0);
+    EXPECT_EQ(cloud.job_latencies()[0], Sim_duration{2.0});
+    EXPECT_EQ(cloud.job_latencies()[1], Sim_duration{2.0});
 }
 
 TEST(Reliability, RequeuedLabelKeepsItsPreemptionBound) {
@@ -278,20 +280,20 @@ TEST(Reliability, RequeuedLabelKeepsItsPreemptionBound) {
     Event_queue queue;
     Cloud_config config;
     config.gpu_count = 2;
-    config.preempt_label_wait = 2.0;
-    config.gpu_profiles = {Gpu_profile{1.0, 0.5, 1.0e9}, Gpu_profile{}};
+    config.preempt_label_wait = Sim_duration{2.0};
+    config.gpu_profiles = {Gpu_profile{1.0, Sim_duration{0.5}, Sim_duration{1.0e9}}, Gpu_profile{}};
     Cloud_runtime cloud{queue, config};
-    Seconds label_done = -1.0;
-    cloud.submit(0, 1000.0, [&] { label_done = queue.now(); }); // server 0
-    cloud.submit(1, 2000.0, {}, Cloud_job_kind::train);         // server 1
-    (void)queue.run_until(3000.0);
+    Sim_time label_done{-1.0};
+    cloud.submit(0, Sim_duration{1000.0}, [&] { label_done = queue.now(); }); // server 0
+    cloud.submit(1, Sim_duration{2000.0}, {}, Cloud_job_kind::train);         // server 1
+    (void)queue.run_until(Sim_time{3000.0});
     ASSERT_GE(cloud.failures(), 1u); // the label really was checkpointed
     EXPECT_EQ(cloud.preemptions(), 1u);
-    ASSERT_GE(label_done, 0.0);
+    ASSERT_GE(label_done, Sim_time{});
     // The re-armed bound evicted the train within ~preempt_label_wait of
     // the failure, so the label finishes around its service time — not
     // after the train's 2000 s.
-    EXPECT_LT(label_done, 1100.0);
+    EXPECT_LT(label_done, Sim_time{1100.0});
 }
 
 TEST(Reliability, OneFreedServerRescuesOneStragglerAtATime) {
@@ -305,31 +307,31 @@ TEST(Reliability, OneFreedServerRescuesOneStragglerAtATime) {
     Cloud_config config;
     config.gpu_count = 3;
     config.placement = Placement_kind::speed_aware;
-    config.gpu_profiles = {Gpu_profile{0.25, never, 10.0}, Gpu_profile{0.25, never, 10.0},
+    config.gpu_profiles = {Gpu_profile{0.25, never, Sim_duration{10.0}}, Gpu_profile{0.25, never, Sim_duration{10.0}},
                            Gpu_profile{}};
     config.straggler_requeue_factor = 2.0;
     Cloud_runtime cloud{queue, config};
-    Seconds a_done = -1.0;
-    Seconds b_done = -1.0;
-    cloud.submit(9, 8.0, {}); // fast server (gpu 2) busy until t=8
-    queue.schedule(0.1, [&] {
-        cloud.submit(0, 3.0, [&] { a_done = queue.now(); }); // gpu 0, wall 12
+    Sim_time a_done{-1.0};
+    Sim_time b_done{-1.0};
+    cloud.submit(9, Sim_duration{8.0}, {}); // fast server (gpu 2) busy until t=8
+    queue.schedule(Sim_time{0.1}, [&] {
+        cloud.submit(0, Sim_duration{3.0}, [&] { a_done = queue.now(); }); // gpu 0, wall 12
     });
-    queue.schedule(0.2, [&] {
-        cloud.submit(1, 3.0, [&] { b_done = queue.now(); }); // gpu 1, wall 12
+    queue.schedule(Sim_time{0.2}, [&] {
+        cloud.submit(1, Sim_duration{3.0}, [&] { b_done = queue.now(); }); // gpu 1, wall 12
     });
-    (void)queue.run_until(100.0);
+    (void)queue.run_until(Sim_time{100.0});
     ASSERT_EQ(cloud.jobs_completed(), 3u);
     EXPECT_EQ(cloud.straggler_requeues(), 2u);
     // A checkpoints at t=8 (7.9 of 12 wall executed) and finishes on the
     // fast server; B checkpoints only when A's remainder completes.
-    const Seconds a_remainder = 3.0 * (1.0 - 7.9 / 12.0);
-    EXPECT_NEAR(a_done, 8.0 + a_remainder, 1e-9);
-    const Seconds b_elapsed = 8.0 + a_remainder - 0.2;
-    const Seconds b_remainder = 3.0 * (1.0 - b_elapsed / 12.0);
-    EXPECT_NEAR(b_done, 8.0 + a_remainder + b_remainder, 1e-9);
+    const double a_remainder = 3.0 * (1.0 - 7.9 / 12.0);
+    EXPECT_NEAR(a_done.value(), 8.0 + a_remainder, 1e-9); // raw seconds for the tolerance check
+    const double b_elapsed = 8.0 + a_remainder - 0.2;
+    const double b_remainder = 3.0 * (1.0 - b_elapsed / 12.0);
+    EXPECT_NEAR(b_done.value(), 8.0 + a_remainder + b_remainder, 1e-9); // raw seconds for the tolerance check
     // Both beat grinding out the straggler walls (t=12.1 / t=12.2).
-    EXPECT_LT(b_done, 12.0);
+    EXPECT_LT(b_done, Sim_time{12.0});
 }
 
 TEST(Reliability, StragglerRequeueSkipsADispatchCompletingThisInstant) {
@@ -342,16 +344,16 @@ TEST(Reliability, StragglerRequeueSkipsADispatchCompletingThisInstant) {
     Cloud_config config;
     config.gpu_count = 2;
     config.placement = Placement_kind::speed_aware;
-    config.gpu_profiles = {Gpu_profile{}, Gpu_profile{0.5, never, 10.0}};
+    config.gpu_profiles = {Gpu_profile{}, Gpu_profile{0.5, never, Sim_duration{10.0}}};
     config.straggler_requeue_factor = 1.5;
     Cloud_runtime cloud{queue, config};
-    cloud.submit(0, 2.0, {}); // fastest first: server 0, done t=2
-    cloud.submit(1, 1.0, {}); // straggler: wall 2, bound at t=1.5, done t=2
-    (void)queue.run_until(50.0);
+    cloud.submit(0, Sim_duration{2.0}, {}); // fastest first: server 0, done t=2
+    cloud.submit(1, Sim_duration{1.0}, {}); // straggler: wall 2, bound at t=1.5, done t=2
+    (void)queue.run_until(Sim_time{50.0});
     ASSERT_EQ(cloud.jobs_completed(), 2u);
     EXPECT_EQ(cloud.straggler_requeues(), 0u);
-    EXPECT_DOUBLE_EQ(cloud.job_latencies()[0], 2.0);
-    EXPECT_DOUBLE_EQ(cloud.job_latencies()[1], 2.0);
+    EXPECT_EQ(cloud.job_latencies()[0], Sim_duration{2.0});
+    EXPECT_EQ(cloud.job_latencies()[1], Sim_duration{2.0});
 }
 
 TEST(Reliability, CoalescedFreshLabelIsNotStrandedByARequeuedBatchMate) {
@@ -364,32 +366,32 @@ TEST(Reliability, CoalescedFreshLabelIsNotStrandedByARequeuedBatchMate) {
     Cloud_config config;
     config.gpu_count = 2;
     config.placement = Placement_kind::speed_aware;
-    config.gpu_profiles = {Gpu_profile{0.25, never, 10.0}, Gpu_profile{}};
+    config.gpu_profiles = {Gpu_profile{0.25, never, Sim_duration{10.0}}, Gpu_profile{}};
     config.straggler_requeue_factor = 2.0;
     config.max_batch = 2;
     config.batch_efficiency = 1.0; // keep the service arithmetic exact
     Cloud_runtime cloud{queue, config};
-    Seconds b_done = -1.0;
-    cloud.submit(9, 30.0, {}); // fast server busy until t=30
-    queue.schedule(0.1, [&] {
-        cloud.submit(0, 8.0, {}); // A -> straggler, wall 32; marked at t=16.1
+    Sim_time b_done{-1.0};
+    cloud.submit(9, Sim_duration{30.0}, {}); // fast server busy until t=30
+    queue.schedule(Sim_time{0.1}, [&] {
+        cloud.submit(0, Sim_duration{8.0}, {}); // A -> straggler, wall 32; marked at t=16.1
     });
-    queue.schedule(25.0, [&] { cloud.submit(8, 6.0, {}); });  // L1, queued
-    queue.schedule(26.0, [&] {
-        cloud.submit(1, 2.0, [&] { b_done = queue.now(); }); // B, queued
+    queue.schedule(Sim_time{25.0}, [&] { cloud.submit(8, Sim_duration{6.0}, {}); });  // L1, queued
+    queue.schedule(Sim_time{26.0}, [&] {
+        cloud.submit(1, Sim_duration{2.0}, [&] { b_done = queue.now(); }); // B, queued
     });
     // t=30: A is rescued onto nothing yet — L1 takes the fast server, so
     // B coalesces with A's remainder on the straggler (batch wall 10.1 s).
     // The batch is marked at t=35.05 (fast busy); when L1 completes at
     // t=36 the batch checkpoints and B finishes on the fast server.
-    (void)queue.run_until(200.0);
+    (void)queue.run_until(Sim_time{200.0});
     ASSERT_EQ(cloud.jobs_completed(), 4u);
     EXPECT_EQ(cloud.straggler_requeues(), 2u); // A at t=30, the batch at t=36
-    const Seconds a_remainder = 8.0 * (1.0 - 29.9 / 32.0);      // 0.525
-    const Seconds batch_wall = (2.0 + a_remainder) / 0.25;      // 10.1
-    const Seconds b_remainder = 2.0 * (1.0 - 6.0 / batch_wall); // post-checkpoint
-    EXPECT_NEAR(b_done, 36.0 + b_remainder, 1e-9);
-    EXPECT_LT(b_done, 40.0); // not the batch's full straggler wall (t=40.1)
+    const double a_remainder = 8.0 * (1.0 - 29.9 / 32.0);      // 0.525
+    const double batch_wall = (2.0 + a_remainder) / 0.25;      // 10.1
+    const double b_remainder = 2.0 * (1.0 - 6.0 / batch_wall); // post-checkpoint
+    EXPECT_NEAR(b_done.value(), 36.0 + b_remainder, 1e-9); // raw seconds for the tolerance check
+    EXPECT_LT(b_done, Sim_time{40.0}); // not the batch's full straggler wall (t=40.1)
 }
 
 // ---------------------------------------------------------------------------
@@ -432,14 +434,15 @@ TEST(Reliability, ReplanDropsStaleWorkUnderRepeatedPreemption) {
     const auto run_session = [](bool replanning) {
         Event_queue queue;
         Cloud_config config;
-        config.preempt_label_wait = 1.0;
+        config.preempt_label_wait = Sim_duration{1.0};
         Cloud_runtime cloud{queue, config};
-        Seconds train_done = -1.0;
+        Sim_time train_done{-1.0};
         Cloud_runtime::Resume_replan replan;
         if (replanning) {
-            replan = [sample_at = std::vector<Seconds>(10, 0.0), per_sample = 1.0,
-                      horizon = 4.0,
-                      begin = std::size_t{0}](Seconds remaining, Seconds now) mutable {
+            replan = [sample_at = std::vector<Sim_time>(10, Sim_time{}),
+                      per_sample = Sim_duration{1.0}, horizon = Sim_duration{4.0},
+                      begin = std::size_t{0}](Sim_duration remaining,
+                                              Sim_time now) mutable {
                 const std::size_t n = sample_at.size();
                 const std::size_t pending = std::min(
                     n - begin,
@@ -451,26 +454,26 @@ TEST(Reliability, ReplanDropsStaleWorkUnderRepeatedPreemption) {
                 return static_cast<double>(n - begin) * per_sample;
             };
         }
-        cloud.submit(0, 10.0, [&] { train_done = queue.now(); },
+        cloud.submit(0, Sim_duration{10.0}, [&] { train_done = queue.now(); },
                      Cloud_job_kind::train, 0.0, std::move(replan));
         for (int i = 0; i < 4; ++i) {
-            queue.schedule(0.5 + 2.0 * i, [&cloud] {
-                cloud.submit(1, 0.2, {}, Cloud_job_kind::label);
+            queue.schedule(Sim_time{0.5 + 2.0 * i}, [&cloud] {
+                cloud.submit(1, Sim_duration{0.2}, {}, Cloud_job_kind::label);
             });
         }
-        (void)queue.run_until(200.0);
+        (void)queue.run_until(Sim_time{200.0});
         EXPECT_EQ(cloud.jobs_completed(), 5u);
         return std::pair{cloud.device_gpu_seconds(0), train_done};
     };
     const auto [replay_gpu_s, replay_done] = run_session(false);
     const auto [replan_gpu_s, replan_done] = run_session(true);
     // Replaying the remainder grinds through the full 10 GPU seconds.
-    EXPECT_NEAR(replay_gpu_s, 10.0, 1e-9);
+    EXPECT_NEAR(replay_gpu_s.value(), 10.0, 1e-9); // raw seconds for the tolerance check
     // Re-planning prices out the stale tail: strictly fewer GPU seconds and
     // an earlier weight update.
-    EXPECT_LT(replan_gpu_s, replay_gpu_s - 2.0);
+    EXPECT_LT(replan_gpu_s, replay_gpu_s - Gpu_seconds{2.0});
     EXPECT_LT(replan_done, replay_done);
-    EXPECT_GE(replan_gpu_s, 1.0); // the executed shares stay billed
+    EXPECT_GE(replan_gpu_s, Gpu_seconds{1.0}); // the executed shares stay billed
 }
 
 // ---------------------------------------------------------------------------
@@ -509,6 +512,79 @@ TEST(Reliability, DefaultProfilesReproduceShardingCellBitIdentically) {
     EXPECT_EQ(a.cloud_jobs, b.cloud_jobs);
     EXPECT_EQ(b.failures, 0u);
     EXPECT_EQ(b.straggler_requeues, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Strong-type refactor bit-identity: the billing sums and the streaming
+// p95 estimator must produce exactly the doubles the raw-double pipeline
+// would — the unit wrappers add algebra, never arithmetic.
+// ---------------------------------------------------------------------------
+
+TEST(Reliability, TypedLatencyPipelineMatchesRawDoubleQuantileBitForBit) {
+    // A contended mixed workload with preemption and coalescing, so the
+    // latency stream is irregular. Mirror every completed label latency
+    // into a raw-double Streaming_quantile in the same order the scheduler
+    // sees them; the typed p95 accessor must agree to the last bit.
+    Cloud_config config;
+    config.preempt_label_wait = Sim_duration{1.5};
+    config.max_batch = 2;
+    config.batch_efficiency = 0.7;
+    Streaming_quantile mirror{0.95};
+    double mirror_sum = 0.0; // raw-double reference accumulation
+    std::size_t labels = 0;
+    Event_queue queue2;
+    Cloud_runtime cloud2{queue2, config};
+    for (int i = 0; i < 9; ++i) {
+        queue2.schedule(Sim_time{0.7 * i}, [&queue2, &cloud2, &mirror, &mirror_sum,
+                                            &labels, i] {
+            const Sim_time submitted = queue2.now();
+            cloud2.submit(static_cast<std::size_t>(i % 3), Sim_duration{0.9},
+                          [&queue2, &mirror, &mirror_sum, &labels, submitted] {
+                              const double raw =
+                                  (queue2.now() - submitted).value(); // raw mirror feed
+                              mirror.add(raw);
+                              mirror_sum += raw;
+                              ++labels;
+                          },
+                          Cloud_job_kind::label);
+            if (i % 2 == 0) {
+                cloud2.submit(static_cast<std::size_t>(i % 3), Sim_duration{3.0}, {},
+                              Cloud_job_kind::train);
+            }
+        });
+    }
+    (void)queue2.run_until(Sim_time{200.0});
+    ASSERT_GT(labels, 0u);
+    // Bit-identical, not approximately equal: EXPECT_EQ on the raw bits.
+    EXPECT_EQ(cloud2.p95_label_latency().value(), mirror.value()); // raw bit compare
+    EXPECT_EQ(cloud2.mean_label_latency().value(),                 // raw bit compare
+              mirror_sum / static_cast<double>(labels));
+}
+
+TEST(Reliability, TypedBillingSumsMatchRawDoubleAccumulationBitForBit) {
+    // The Gpu_seconds ledger must accumulate exactly like a plain double:
+    // same additions, same order, same rounding. Drive a coalesced +
+    // preempted + straggler workload and mirror the per-device ledger from
+    // the typed accessors' own feed (account_direct) plus scripted jobs.
+    Event_queue queue;
+    Cloud_config config;
+    config.gpu_profiles = {Gpu_profile{0.5, never, Sim_duration{10.0}}};
+    Cloud_runtime cloud{queue, config};
+    // Direct accounting: the classic non-representable residue chain.
+    const double spans[] = {0.1, 0.2, 0.3, 1.0 / 3.0, 0.7};
+    double raw_ledger = 0.0; // raw-double reference accumulation
+    for (const double s : spans) {
+        cloud.account_direct(0, Gpu_seconds{s});
+        raw_ledger += s;
+    }
+    EXPECT_EQ(cloud.device_gpu_seconds(0).value(), raw_ledger); // raw bit compare
+    // Queued service on the half-speed server stacks on the same ledger.
+    cloud.submit(0, Sim_duration{0.3}, {});
+    (void)queue.run_until(Sim_time{50.0});
+    raw_ledger += 0.3 / 0.5; // nominal service / straggler speed, as billed
+    EXPECT_EQ(cloud.device_gpu_seconds(0).value(), raw_ledger); // raw bit compare
+    EXPECT_EQ(cloud.busy_seconds().value(),                     // raw bit compare
+              raw_ledger);
 }
 
 } // namespace

@@ -85,7 +85,7 @@ TEST_F(Sim_fixture, WindowedSeriesCoverStream) {
     const Run_result r = run_strategy(strategy, *stream, config);
     ASSERT_FALSE(r.windowed_map.empty());
     EXPECT_NEAR(static_cast<double>(r.windowed_map.size()),
-                stream->duration() / config.map_window, 1.0);
+                stream->duration() / config.map_window.value(), 1.0); // raw window count
     for (const auto& [start, value] : r.windowed_map) {
         EXPECT_GE(value, 0.0);
         EXPECT_LE(value, 1.0);

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Bit-identity gate for the simulation kernel.
+#
+# Runs a short default-config fleet cell (30 sim-seconds, seed 19, 2
+# devices, sequential sweep) and compares the SHA-256 of the emitted JSON
+# against the committed golden hash. The engine is contractually
+# deterministic, so the stream must be byte-identical run over run and
+# commit over commit: any numeric drift — a reordered floating-point
+# reduction, an eager unit conversion, an "innocent" refactor of the event
+# loop — flips the hash and fails the gate. Lines carrying "wall_ms" are
+# the one sanctioned nondeterminism (host wall-clock measurements) and are
+# stripped before hashing.
+#
+# The golden hash is tied to IEEE-754 double arithmetic on the default CI
+# toolchain (x86-64 gcc, no -ffast-math); regenerate with --update after an
+# *intentional* behaviour change and say why in the commit message.
+#
+# Usage:
+#   tools/check_bit_identity.sh [path/to/bench_fleet]   verify (default gate)
+#   tools/check_bit_identity.sh --update [bench]        rewrite the golden hash
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+golden="$root/tools/bit_identity.sha256"
+
+update=0
+if [ "${1:-}" = "--update" ]; then
+    update=1
+    shift
+fi
+bench="${1:-$root/build/bench_fleet}"
+
+if [ ! -x "$bench" ]; then
+    echo "check_bit_identity: bench binary not found at '$bench'" >&2
+    echo "build it first: cmake --build build --target bench_fleet" >&2
+    exit 2
+fi
+
+# Short default-config cell: full scaling/policy/sharding/reliability
+# sweeps at 2 devices, scale section off, one worker. Keep these arguments
+# in lockstep with the golden hash.
+actual="$("$bench" 30 19 2 0 1 2>/dev/null | grep -v '"wall_ms"' | sha256sum | cut -d' ' -f1)"
+
+if [ "$update" -eq 1 ]; then
+    printf '%s\n' "$actual" > "$golden"
+    echo "check_bit_identity: golden hash updated: $actual"
+    exit 0
+fi
+
+if [ ! -f "$golden" ]; then
+    echo "check_bit_identity: missing golden hash '$golden'" >&2
+    echo "seed it with: tools/check_bit_identity.sh --update" >&2
+    exit 2
+fi
+
+expected="$(tr -d '[:space:]' < "$golden")"
+if [ "$actual" != "$expected" ]; then
+    echo "check_bit_identity: FAIL — simulation output drifted" >&2
+    echo "  expected: $expected" >&2
+    echo "  actual:   $actual" >&2
+    echo "If the change is intentional, rerun with --update and justify the" >&2
+    echo "new golden hash in the commit message." >&2
+    exit 1
+fi
+
+echo "check_bit_identity: OK ($actual)"

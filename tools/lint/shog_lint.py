@@ -35,6 +35,18 @@ this lint bans them at CI time instead of hoping a pin test notices:
                     SHOG_GUARDED_BY it — and a shog::Mutex that guards
                     nothing (no SHOG_GUARDED_BY / SHOG_REQUIRES referencing
                     it in its file) is flagged too.
+  raw-seconds       a `double` parameter or member named *_seconds, *_s,
+                    *_bytes or *_kbps inside the typed kernel (src/sim,
+                    src/netsim, src/common). These quantities have strong
+                    types now (Sim_time/Sim_duration/Gpu_seconds/Bytes/Kbps
+                    in common/units.hpp); a raw double re-opens the silent
+                    unit-mixing bug class. Serialization-boundary fields
+                    annotate `// shog-lint: allow(raw-seconds)`.
+  unit-escape       a `.value()` unit-unwrap outside units.hpp (bench/ and
+                    tools/ are out of scan scope) without a same-line
+                    justification comment. The escape hatch exists for
+                    serialization and tolerance checks; every use must say
+                    which it is, where the next reader can see it.
 
 Annotation grammar (docs/ANALYSIS.md):
   // shog-lint: membership-only   container used only for insert/erase/
@@ -47,6 +59,12 @@ Annotation grammar (docs/ANALYSIS.md):
 
 Usage:
   tools/lint/shog_lint.py [--root REPO] [files...]   lint the tree (or files)
+  tools/lint/shog_lint.py --github [files...]        additionally emit GitHub
+                                                     Actions `::error` workflow
+                                                     annotations (auto-enabled
+                                                     when $GITHUB_ACTIONS is
+                                                     "true"); exit codes are
+                                                     unchanged
   tools/lint/shog_lint.py --self-test                inject one violation per
                                                      rule into a temp tree and
                                                      assert the lint fails on
@@ -74,6 +92,11 @@ SRC_ONLY_ROOTS = ("src",)
 # The annotated wrapper is allowed to hold the one real std::mutex.
 BARE_MUTEX_EXEMPT = ("src/common/thread_annotations.hpp",)
 
+# The dimensional kernel: raw seconds/bytes/kbps doubles are banned here.
+UNIT_ROOTS = ("src/sim", "src/netsim", "src/common")
+# The strong types themselves may unwrap freely.
+UNIT_ESCAPE_EXEMPT = ("src/common/units.hpp",)
+
 DIRECTIVE_RE = re.compile(r"//\s*shog-lint:\s*([a-z()_,\- ]+)")
 ALLOW_RE = re.compile(r"allow\(([a-z\-]+)\)")
 
@@ -90,6 +113,10 @@ WALL_CLOCK_PATTERNS = (
     (re.compile(r"(?<![\w.>:])time\s*\("), "time()"),
     (re.compile(r"\b\w*_clock\s*::\s*now\b"), "std::chrono::*_clock::now"),
 )
+
+RAW_SECONDS_RE = re.compile(
+    r"\bdouble\s+(\w*(?:_seconds|_s|_bytes|_kbps))\b(?!\s*\()")
+UNIT_ESCAPE_RE = re.compile(r"\.\s*value\s*\(\s*\)")
 
 BARE_MUTEX_RE = re.compile(
     r"\bstd\s*::\s*(?:recursive_|shared_|timed_|recursive_timed_)?mutex\s+(\w+)\s*;")
@@ -109,6 +136,13 @@ RULES = {
     "ptr-key": "pointer-valued keys must never feed ordering or iteration",
     "bare-mutex": "use shog::Mutex + SHOG_GUARDED_BY "
                   "(common/thread_annotations.hpp) so clang's analysis sees it",
+    "raw-seconds": "raw double for a dimensioned quantity in the typed kernel; "
+                   "use Sim_time/Sim_duration/Gpu_seconds/Bytes/Kbps "
+                   "(common/units.hpp) or annotate the serialization boundary "
+                   "with '// shog-lint: allow(raw-seconds)'",
+    "unit-escape": ".value() unit-unwrap without a same-line justification "
+                   "comment; say why the raw double is needed (serialization, "
+                   "printf, tolerance check) where the reader can see it",
 }
 
 
@@ -284,6 +318,25 @@ def scan_file(scan: File_scan, unordered_names: dict[str, str]) -> list[Finding]
                     scan.rel, lineno, "wall-clock",
                     f"{label}: {RULES['wall-clock']}"))
 
+        # ---- raw dimensioned doubles in the typed kernel ------------------
+        if scan.under(UNIT_ROOTS):
+            for rm in RAW_SECONDS_RE.finditer(code):
+                if not scan.allowed(lineno, "raw-seconds"):
+                    findings.append(Finding(
+                        scan.rel, lineno, "raw-seconds",
+                        f"'{rm.group(1)}': {RULES['raw-seconds']}"))
+
+        # ---- .value() escapes must justify themselves ---------------------
+        if scan.rel not in UNIT_ESCAPE_EXEMPT and UNIT_ESCAPE_RE.search(code):
+            # A justification is any comment on the same physical line (the
+            # allow-directive is itself a comment, so it also satisfies this).
+            raw = strip_strings(scan.raw_lines[idx])
+            if "//" not in raw and "/*" not in raw \
+                    and not scan.allowed(lineno, "unit-escape"):
+                findings.append(Finding(
+                    scan.rel, lineno, "unit-escape",
+                    RULES["unit-escape"]))
+
         # ---- bare std::mutex members --------------------------------------
         if scan.rel not in BARE_MUTEX_EXEMPT and scan.under(SRC_ONLY_ROOTS):
             bm = BARE_MUTEX_RE.search(code)
@@ -440,6 +493,22 @@ SELF_TEST_CASES = [
      "    int x = 0;\n"
      "};\n",
      "bare-mutex"),
+    ("src/sim/bad_raw_seconds.hpp",
+     "struct Checkpoint {\n"
+     "    double remaining_seconds = 0.0;\n"
+     "};\n",
+     "raw-seconds"),
+    ("src/netsim/bad_raw_param.hpp",
+     "namespace shog::netsim {\n"
+     "double transmit(double payload_bytes, double uplink_kbps);\n"
+     "}\n",
+     "raw-seconds"),
+    ("src/sim/bad_escape.cpp",
+     "#include \"common/units.hpp\"\n"
+     "double leak(shog::Sim_time t) {\n"
+     "    return t.value();\n"
+     "}\n",
+     "unit-escape"),
     ("src/sim/good.hpp",
      "#include <unordered_set>\n"
      "#include \"common/thread_annotations.hpp\"\n"
@@ -448,6 +517,15 @@ SELF_TEST_CASES = [
      "    shog::Mutex mutex_;\n"
      "    int completed_ SHOG_GUARDED_BY(mutex_) = 0;\n"
      "    bool has(int id) const { return ids_.count(id) != 0; }\n"
+     "};\n",
+     None),
+    ("src/sim/good_units.hpp",
+     "#include \"common/units.hpp\"\n"
+     "struct Metrics {\n"
+     "    double up_kbps = 0.0; // shog-lint: allow(raw-seconds) serialized metric\n"
+     "    double raw(shog::Sim_duration d) {\n"
+     "        return d.value(); // JSON serialization boundary\n"
+     "    }\n"
      "};\n",
      None),
 ]
@@ -486,6 +564,9 @@ def main(argv: list[str]) -> int:
                         help="repo root (default: two levels above this script)")
     parser.add_argument("--self-test", action="store_true",
                         help="inject known violations and assert the lint catches them")
+    parser.add_argument("--github", action="store_true",
+                        help="also emit GitHub Actions ::error annotations "
+                             "(auto-enabled when $GITHUB_ACTIONS is 'true')")
     parser.add_argument("--list-rules", action="store_true", help="print rule ids and exit")
     parser.add_argument("files", nargs="*", help="lint only these files (default: whole tree)")
     args = parser.parse_args(argv)
@@ -502,6 +583,12 @@ def main(argv: list[str]) -> int:
     findings = run_lint(root, args.files)
     for finding in findings:
         print(finding)
+    if args.github or os.environ.get("GITHUB_ACTIONS") == "true":
+        for finding in findings:
+            # Workflow-command annotations render inline on the PR diff. They
+            # ride alongside the human report; exit codes are unchanged.
+            print(f"::error file={finding.path},line={finding.line},"
+                  f"title=shog-lint {finding.rule}::{finding.message}")
     if findings:
         print(f"shog_lint: {len(findings)} finding(s).", file=sys.stderr)
         return 1
