@@ -2,16 +2,22 @@
 // devices-per-GPU scaling curve and the policy/latency knee over time.
 //
 //   ./bench_fleet [duration_seconds] [seed] [max_devices] [scale_max_devices] [workers]
-//                 [scale_stride]
+//                 [scale_stride] [--shards K]
 //
 // `workers` feeds sim::run_sweep: the parameter sweeps (sections 1-4) are
 // independent cells fanned across a worker pool, and because run_sweep
 // merges results in cell order the emitted JSON is byte-identical for any
 // worker count (workers=0 means one per hardware thread). The timed
-// sections (5 and 6) always run sequentially: wall-clock and peak-RSS
+// sections (5-7) always run sequentially: wall-clock and peak-RSS
 // samples would be polluted by concurrent cells.
 //
-// Six sections:
+// `--shards K` routes every fleet run in sections 1-4 through
+// sim::run_cluster_sharded with K device shards instead of the sequential
+// engine (0, the default, keeps run_cluster). The sharded engine is
+// byte-identical by contract, so stdout must not change — which is exactly
+// what tools/check_bit_identity.sh pins against the golden hash.
+//
+// Seven sections:
 //  1. the homogeneous FIFO scaling sweep (strategy x fleet size), the PR 1
 //     curve:
 //       {"bench":"fleet","strategy":"Shoggoth","devices":4,...}
@@ -54,6 +60,14 @@
 //     because peak_rss_mb() is a process-wide high-water mark:
 //       {"bench":"fleet_scale","devices":1000,"eval_stride":27,
 //        "wall_ms":...,"peak_rss_mb":...,...}
+//  7. the sharded-engine speedup curve: wall-clock of ONE mixed-strategy
+//     run at N in {256, 1000, 4000} (clamped to scale_max_devices) through
+//     the sequential engine and through run_cluster_sharded at K in
+//     {2, 4, 8} device shards. Every row carries wall_ms (and is therefore
+//     excluded from the bit-identity hash); cloud_jobs and fleet_map ride
+//     along so a broken sharded run is visible at a glance:
+//       {"bench":"fleet_shard","devices":4000,"shards":4,"hw_threads":...,
+//        "wall_ms":...,"base_wall_ms":...,"speedup":...,...}
 #include <chrono>
 #include <cmath>
 #include <cstdarg>
@@ -61,10 +75,13 @@
 #include <cstdlib>
 #include <limits>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "fleet/testbed.hpp"
+#include "sim/shard.hpp"
 #include "sim/sweep.hpp"
 
 using namespace shog;
@@ -162,9 +179,19 @@ void print_merged(const std::vector<std::string>& lines) {
     std::fflush(stdout);
 }
 
+/// Engine selector the --shards flag feeds: 0 = sequential run_cluster,
+/// K > 0 = run_cluster_sharded with K device shards (byte-identical output).
+sim::Cluster_result run_engine(const std::vector<sim::Device_spec>& specs,
+                               const sim::Cluster_config& config, std::size_t shards) {
+    if (shards == 0) {
+        return sim::run_cluster(specs, config);
+    }
+    return sim::run_cluster_sharded(specs, config, sim::Shard_options{shards});
+}
+
 void run_scaling_sweep(const fleet::Testbed& testbed, std::size_t max_devices,
                        const sim::Cluster_config& config,
-                       const sim::Sweep_options& sweep) {
+                       const sim::Sweep_options& sweep, std::size_t shards) {
     struct Cell {
         const char* strategy;
         std::size_t devices;
@@ -183,14 +210,14 @@ void run_scaling_sweep(const fleet::Testbed& testbed, std::size_t max_devices,
                     ? fleet::make_shoggoth_fleet(testbed, cell.devices)
                     : fleet::make_ams_fleet(testbed, cell.devices);
             return format_scaling_json(cell.strategy, cell.devices,
-                                       sim::run_cluster(fleet.specs, config));
+                                       run_engine(fleet.specs, config, shards));
         },
         sweep));
 }
 
 void run_policy_sweep(const fleet::Testbed& testbed, const char* scenario,
                       std::size_t devices, std::uint64_t seed,
-                      const sim::Sweep_options& sweep) {
+                      const sim::Sweep_options& sweep, std::size_t shards) {
     const std::size_t ams_devices = devices / 2;
     const std::size_t shoggoth_devices = devices - ams_devices;
     struct Cell {
@@ -212,13 +239,15 @@ void run_policy_sweep(const fleet::Testbed& testbed, const char* scenario,
                 cell.setup.label, cell.setup.preempt_label_wait.value(), // raw s
                 cell.mix, scenario,
                 shoggoth_devices, ams_devices,
-                fleet::run_policy_cell(testbed, devices, heterogeneous, cell.setup, seed));
+                fleet::run_policy_cell(testbed, devices, heterogeneous, cell.setup, seed,
+                                       shards));
         },
         sweep));
 }
 
 void run_sharding_sweep(const fleet::Testbed& testbed, std::size_t devices,
-                        std::uint64_t seed, const sim::Sweep_options& sweep) {
+                        std::uint64_t seed, const sim::Sweep_options& sweep,
+                        std::size_t shards) {
     // Full cross of the sharding knobs: the knee is where adding GPUs or
     // batch depth stops buying p95 label latency. kind_partition needs a
     // server left for trains, so it only appears at gpu_count >= 2.
@@ -261,13 +290,14 @@ void run_sharding_sweep(const fleet::Testbed& testbed, std::size_t devices,
             return format_sharding_json(cells[i], devices,
                                         fleet::run_sharding_cell(testbed, devices,
                                                                  /*heterogeneous=*/true,
-                                                                 cells[i], seed));
+                                                                 cells[i], seed, shards));
         },
         sweep));
 }
 
 void run_reliability_sweep(const fleet::Testbed& testbed, std::size_t devices,
-                           std::uint64_t seed, const sim::Sweep_options& sweep) {
+                           std::uint64_t seed, const sim::Sweep_options& sweep,
+                           std::size_t shards) {
     // Straggler slowdown x failure rate x placement at the contended 2-GPU
     // share: does placement dodge the slow shard, and does label latency
     // survive servers flapping? The straggler re-queue bound only matters
@@ -308,7 +338,7 @@ void run_reliability_sweep(const fleet::Testbed& testbed, std::size_t devices,
             return format_reliability_json(
                 cells[i], devices,
                 fleet::run_reliability_cell(testbed, devices, /*heterogeneous=*/true,
-                                            cells[i], seed));
+                                            cells[i], seed, shards));
         },
         sweep));
 }
@@ -428,29 +458,99 @@ void run_fleet_scale(double duration, std::uint64_t seed, std::size_t scale_max_
     }
 }
 
+void run_fleet_shard(double duration, std::uint64_t seed, std::size_t scale_max_devices,
+                     std::size_t stride_override) {
+    // Speedup curve of the sharded engine on the same operating points as
+    // fleet_scale: for each N, one sequential baseline run, then the same
+    // fleet through run_cluster_sharded at K in {2, 4, 8}. Fresh fleets per
+    // run (strategies are stateful); identical config, so the results are
+    // byte-identical by contract — cloud_jobs and fleet_map are printed so
+    // a divergence would be visible in the artifact even though every row
+    // carries wall_ms and is excluded from the bit-identity hash.
+    // hw_threads is printed on every row because speedup saturates at
+    // min(K, hw_threads): on a single-core host the section measures pure
+    // protocol overhead and ~1.0 is the expected reading, not a regression.
+    const std::size_t hw_threads =
+        std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    const std::size_t cameras = std::min<std::size_t>(scale_max_devices, 64);
+    const fleet::Testbed testbed = fleet::make_testbed("waymo", cameras, seed, duration);
+    for (std::size_t devices :
+         {std::size_t{256}, std::size_t{1000}, std::size_t{4000}}) {
+        if (devices > scale_max_devices) {
+            break;
+        }
+        sim::Cluster_config config;
+        config.harness.seed = seed ^ 0x8888;
+        config.harness.eval_stride =
+            stride_override > 0 ? stride_override : scale_eval_stride(devices);
+        config.cloud.gpu_count = std::max<std::size_t>(1, devices / 256);
+        config.cloud.policy = sim::Policy_kind::priority;
+
+        const auto timed_run = [&](std::size_t shards) {
+            fleet::Fleet fleet =
+                fleet::make_scale_fleet(testbed, devices, /*heterogeneous=*/true);
+            const auto start = std::chrono::steady_clock::now();
+            const sim::Cluster_result r = run_engine(fleet.specs, config, shards);
+            const auto stop = std::chrono::steady_clock::now();
+            return std::pair<double, sim::Cluster_result>{
+                std::chrono::duration<double, std::milli>(stop - start).count(), r};
+        };
+
+        const auto [base_ms, base] = timed_run(0);
+        std::printf("{\"bench\":\"fleet_shard\",\"devices\":%zu,\"shards\":0,"
+                    "\"hw_threads\":%zu,\"wall_ms\":%.1f,\"cloud_jobs\":%zu,"
+                    "\"fleet_map\":%.4f}\n",
+                    devices, hw_threads, base_ms, base.cloud_jobs, base.fleet_map);
+        std::fflush(stdout);
+        for (std::size_t shards : {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+            const auto [wall_ms, r] = timed_run(shards);
+            std::printf("{\"bench\":\"fleet_shard\",\"devices\":%zu,\"shards\":%zu,"
+                        "\"hw_threads\":%zu,\"wall_ms\":%.1f,\"base_wall_ms\":%.1f,"
+                        "\"speedup\":%.2f,\"cloud_jobs\":%zu,\"fleet_map\":%.4f}\n",
+                        devices, shards, hw_threads, wall_ms, base_ms,
+                        wall_ms > 0.0 ? base_ms / wall_ms : 0.0, r.cloud_jobs,
+                        r.fleet_map);
+            std::fflush(stdout);
+        }
+    }
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
-    const double duration = argc > 1 ? std::atof(argv[1]) : 180.0;
-    const std::uint64_t seed = argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 19;
+    // --shards K may trail the positional arguments anywhere; strip it
+    // first so the positional indices below stay stable.
+    std::size_t shards = 0;
+    std::vector<const char*> positional;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string{argv[i]} == "--shards" && i + 1 < argc) {
+            shards = static_cast<std::size_t>(std::atoll(argv[++i]));
+            continue;
+        }
+        positional.push_back(argv[i]);
+    }
+    const std::size_t nargs = positional.size();
+    const double duration = nargs > 0 ? std::atof(positional[0]) : 180.0;
+    const std::uint64_t seed =
+        nargs > 1 ? static_cast<std::uint64_t>(std::atoll(positional[1])) : 19;
     const std::size_t max_devices =
-        argc > 3 ? static_cast<std::size_t>(std::atoll(argv[3])) : 8;
+        nargs > 2 ? static_cast<std::size_t>(std::atoll(positional[2])) : 8;
     const std::size_t scale_max_devices =
-        argc > 4 ? static_cast<std::size_t>(std::atoll(argv[4])) : 0;
+        nargs > 3 ? static_cast<std::size_t>(std::atoll(positional[3])) : 0;
     sim::Sweep_options sweep;
-    sweep.workers = argc > 5 ? static_cast<std::size_t>(std::atoll(argv[5])) : 1;
+    sweep.workers = nargs > 4 ? static_cast<std::size_t>(std::atoll(positional[4])) : 1;
     // Progress to stderr only: the JSON contract (stdout byte-identical for
     // any worker count) must not see the nondeterministic completion order.
     sweep.on_cell_done = [](std::size_t done, std::size_t cell_index) {
         std::fprintf(stderr, "[sweep] %zu cells done (last: #%zu)\n", done, cell_index);
     };
     const std::size_t scale_stride =
-        argc > 6 ? static_cast<std::size_t>(std::atoll(argv[6])) : 0;
+        nargs > 5 ? static_cast<std::size_t>(std::atoll(positional[5])) : 0;
     if (duration <= 0.0 || max_devices < 1) {
         std::fprintf(stderr,
                      "usage: bench_fleet [duration_seconds>0] [seed] [max_devices>=1] "
                      "[scale_max_devices] [workers (0=auto)] "
-                     "[scale_stride (0=per-N schedule)]\n");
+                     "[scale_stride (0=per-N schedule)] [--shards K]\n");
         return 1;
     }
 
@@ -458,19 +558,22 @@ int main(int argc, char** argv) {
     sim::Cluster_config config;
     config.harness.seed = seed ^ 0x8888;
 
-    run_scaling_sweep(testbed, max_devices, config, sweep);
+    run_scaling_sweep(testbed, max_devices, config, sweep, shards);
 
-    run_policy_sweep(testbed, "steady", max_devices, seed, sweep);
+    run_policy_sweep(testbed, "steady", max_devices, seed, sweep, shards);
 
     const fleet::Testbed correlated =
         fleet::make_correlated_drift_testbed("waymo", max_devices, seed, duration);
-    run_policy_sweep(correlated, "correlated_drift", max_devices, seed, sweep);
+    run_policy_sweep(correlated, "correlated_drift", max_devices, seed, sweep, shards);
 
-    run_sharding_sweep(testbed, max_devices, seed, sweep);
-    run_reliability_sweep(testbed, max_devices, seed, sweep);
+    run_sharding_sweep(testbed, max_devices, seed, sweep, shards);
+    run_reliability_sweep(testbed, max_devices, seed, sweep, shards);
     run_sched_micro();
     if (scale_max_devices >= 64) {
         run_fleet_scale(duration, seed, scale_max_devices, scale_stride);
+    }
+    if (scale_max_devices >= 256) {
+        run_fleet_shard(duration, seed, scale_max_devices, scale_stride);
     }
     return 0;
 }

@@ -98,6 +98,17 @@ public:
         return executed;
     }
 
+    /// Advance the clock to `to` without executing anything. Only legal when
+    /// no pending event precedes `to` — the sharded engine uses this to align
+    /// a queue's clock with an externally ordered interaction (a cloud op
+    /// applied at its recorded time) without firing same-time events, which
+    /// by the (time, seq) contract come after the op.
+    void advance_to(Sim_time to) {
+        SHOG_REQUIRE(size_ == 0 || !(next_time() < to),
+                     "advance_to would skip a pending event");
+        now_ = std::max(now_, to);
+    }
+
 private:
     struct Entry {
         Sim_time at;
@@ -279,6 +290,14 @@ public:
         }
         now_ = std::max(now_, until);
         return executed;
+    }
+
+    /// Advance the clock to `to` without executing anything (see
+    /// Event_queue::advance_to).
+    void advance_to(Sim_time to) {
+        SHOG_REQUIRE(heap_.empty() || !(heap_.top().at < to),
+                     "advance_to would skip a pending event");
+        now_ = std::max(now_, to);
     }
 
 private:

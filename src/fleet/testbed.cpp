@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "models/pretrain.hpp"
+#include "sim/shard.hpp"
 #include "video/presets.hpp"
 
 namespace shog::fleet {
@@ -244,15 +245,30 @@ Fleet make_scale_fleet(const Testbed& testbed, std::size_t devices, bool heterog
 // own Cluster_config/engine; the only thing cells share is the const
 // Testbed&, which they read through const, stateless accessors. Nothing in
 // a cell may write through the testbed or touch process-global state.
+namespace {
+
+/// shards == 0 keeps the sequential engine (the bit-identical default);
+/// shards > 0 runs the same specs through the device-sharded engine.
+sim::Cluster_result run_cell_engine(const std::vector<sim::Device_spec>& specs,
+                                    const sim::Cluster_config& config,
+                                    std::size_t shards) {
+    if (shards == 0) {
+        return sim::run_cluster(specs, config);
+    }
+    return sim::run_cluster_sharded(specs, config, sim::Shard_options{shards});
+}
+
+} // namespace
+
 sim::Cluster_result run_policy_cell(const Testbed& testbed, std::size_t devices,
                                     bool heterogeneous, const Policy_setup& setup,
-                                    std::uint64_t seed) {
+                                    std::uint64_t seed, std::size_t shards) {
     Fleet fleet = make_policy_sweep_fleet(testbed, devices, heterogeneous);
     sim::Cluster_config config;
     config.harness.seed = seed ^ 0x8888;
     config.cloud.policy = setup.kind;
     config.cloud.preempt_label_wait = setup.preempt_label_wait;
-    return sim::run_cluster(fleet.specs, config);
+    return run_cell_engine(fleet.specs, config, shards);
 }
 
 std::vector<Sharding_setup> default_sharding_setups() {
@@ -285,7 +301,7 @@ std::vector<Sharding_setup> default_sharding_setups() {
 
 sim::Cluster_result run_sharding_cell(const Testbed& testbed, std::size_t devices,
                                       bool heterogeneous, const Sharding_setup& setup,
-                                      std::uint64_t seed) {
+                                      std::uint64_t seed, std::size_t shards) {
     Fleet fleet = make_policy_sweep_fleet(testbed, devices, heterogeneous);
     sim::Cluster_config config;
     config.harness.seed = seed ^ 0x8888;
@@ -295,7 +311,7 @@ sim::Cluster_result run_sharding_cell(const Testbed& testbed, std::size_t device
     config.cloud.preempt_label_wait = setup.preempt_label_wait;
     config.cloud.max_batch = setup.max_batch;
     config.cloud.label_reserved_gpus = setup.label_reserved_gpus;
-    return sim::run_cluster(fleet.specs, config);
+    return run_cell_engine(fleet.specs, config, shards);
 }
 
 std::vector<sim::Gpu_profile> make_straggler_profiles(std::size_t gpu_count,
@@ -347,7 +363,7 @@ std::vector<Reliability_setup> default_reliability_setups() {
 sim::Cluster_result run_reliability_cell(const Testbed& testbed, std::size_t devices,
                                          bool heterogeneous,
                                          const Reliability_setup& setup,
-                                         std::uint64_t seed) {
+                                         std::uint64_t seed, std::size_t shards) {
     Fleet fleet = make_policy_sweep_fleet(testbed, devices, heterogeneous);
     sim::Cluster_config config;
     config.harness.seed = seed ^ 0x8888;
@@ -360,7 +376,7 @@ sim::Cluster_result run_reliability_cell(const Testbed& testbed, std::size_t dev
         setup.gpu_count, setup.straggler_speed, setup.mtbf, setup.mttr);
     config.cloud.reliability_seed = seed ^ 0xf417;
     config.cloud.straggler_requeue_factor = setup.straggler_requeue_factor;
-    return sim::run_cluster(fleet.specs, config);
+    return run_cell_engine(fleet.specs, config, shards);
 }
 
 } // namespace shog::fleet

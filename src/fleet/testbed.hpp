@@ -142,10 +142,14 @@ struct Sharding_setup {
 /// Run one sharding cell on the same contended operating point (and seed)
 /// as run_policy_cell: the half-Shoggoth half-AMS sweep fleet against the
 /// scaled-down cloud share, now split into `setup.gpu_count` servers.
+/// `shards` > 0 routes the cell through sim::run_cluster_sharded with that
+/// many device shards (byte-identical output); 0 — the default, a no-op —
+/// keeps the sequential engine.
 [[nodiscard]] sim::Cluster_result run_sharding_cell(const Testbed& testbed,
                                                     std::size_t devices, bool heterogeneous,
                                                     const Sharding_setup& setup,
-                                                    std::uint64_t seed);
+                                                    std::uint64_t seed,
+                                                    std::size_t shards = 0);
 
 /// One cell of the cloud-reliability sweep: the sharded cloud with
 /// heterogeneous, unreliable servers. `straggler_speed` < 1 makes the
@@ -187,12 +191,13 @@ struct Reliability_setup {
 
 /// Run one reliability cell on the same contended operating point (and
 /// seed) as run_sharding_cell; the failure process seeds off `seed` so
-/// cells replay bit-identically.
+/// cells replay bit-identically. `shards` as in run_sharding_cell.
 [[nodiscard]] sim::Cluster_result run_reliability_cell(const Testbed& testbed,
                                                        std::size_t devices,
                                                        bool heterogeneous,
                                                        const Reliability_setup& setup,
-                                                       std::uint64_t seed);
+                                                       std::uint64_t seed,
+                                                       std::size_t shards = 0);
 
 /// The contended operating point the policy sweep runs on: a half-Shoggoth
 /// half-AMS fleet (fine-tune cadence halved so train jobs land within short
@@ -212,10 +217,11 @@ struct Reliability_setup {
 
 /// Run one sweep cell: the sweep fleet under `setup`, seeded like the
 /// scaling runs (bench_fleet and fleet_scaling share this so their numbers
-/// stay comparable).
+/// stay comparable). `shards` as in run_sharding_cell.
 [[nodiscard]] sim::Cluster_result run_policy_cell(const Testbed& testbed,
                                                   std::size_t devices, bool heterogeneous,
                                                   const Policy_setup& setup,
-                                                  std::uint64_t seed);
+                                                  std::uint64_t seed,
+                                                  std::size_t shards = 0);
 
 } // namespace shog::fleet

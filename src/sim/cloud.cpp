@@ -294,13 +294,34 @@ void Cloud_runtime::complete(const std::shared_ptr<Active_dispatch>& active) {
     }
     // Completions may submit follow-up work (AMS chains a training job
     // after labeling); run them before refilling the servers so queue
-    // order is preserved across the whole fleet.
+    // order is preserved across the whole fleet. With a completion sink
+    // installed, callbacks are handed off instead (in the same job order)
+    // and the trailing dispatch() is deferred to resume_dispatch(), so an
+    // externally-run callback still submits before the servers refill.
+    std::size_t handed_off = 0;
     for (Sched_job& job : active->jobs) {
-        if (job.done) {
+        if (!job.done) {
+            continue;
+        }
+        if (sink_) {
+            sink_(job.device, std::move(job.done));
+            ++handed_off;
+        } else {
             job.done();
         }
     }
+    if (handed_off > 0) {
+        dispatch_deferred_ = true;
+        return;
+    }
     dispatch();
+}
+
+void Cloud_runtime::resume_dispatch() {
+    if (dispatch_deferred_) {
+        dispatch_deferred_ = false;
+        dispatch();
+    }
 }
 
 bool Cloud_runtime::is_overdue(const Sched_job& job) const {

@@ -122,6 +122,12 @@ public:
 
     Cloud_runtime(Event_queue& queue, Cloud_config config = {});
 
+    /// Virtual so the sharded engine's per-device proxy (sim/shard.cpp) can
+    /// interpose on the three calls an Edge_runtime makes: submit,
+    /// account_direct and device_gpu_seconds. Everything else (dispatch,
+    /// completion, statistics) only ever runs on the real instance.
+    virtual ~Cloud_runtime() = default;
+
     /// Queue `service` seconds of GPU work on behalf of `device_id`; `done`
     /// fires on the shared clock once a server has executed the job (after
     /// any queueing delay behind other devices' jobs). `drift_rate` is the
@@ -129,13 +135,29 @@ public:
     /// policy uses it to label the fastest-rotting device first. `replan`,
     /// if set, re-prices the job's remainder whenever a checkpoint re-queues
     /// it (see Sched_job::replan).
-    void submit(std::size_t device_id, Sim_duration service, Completion done,
-                Cloud_job_kind kind = Cloud_job_kind::label, double drift_rate = 0.0,
-                Resume_replan replan = {});
+    virtual void submit(std::size_t device_id, Sim_duration service, Completion done,
+                        Cloud_job_kind kind = Cloud_job_kind::label,
+                        double drift_rate = 0.0, Resume_replan replan = {});
 
     /// Account GPU time for analytically-modeled work that bypasses the
     /// queue (Cloud-Only's synchronous per-frame pipeline).
-    void account_direct(std::size_t device_id, Gpu_seconds gpu_seconds);
+    virtual void account_direct(std::size_t device_id, Gpu_seconds gpu_seconds);
+
+    /// Hand completion callbacks to an external coordinator instead of
+    /// running them inline. When set, complete() forwards each finished
+    /// job's non-empty `done` to the sink (in job order within the
+    /// dispatch) and defers its own trailing dispatch() until
+    /// resume_dispatch() — the coordinator runs every callback (each may
+    /// submit follow-up work, and submit()'s internal dispatch must see the
+    /// servers still unfilled, exactly as an inline callback would) and
+    /// then resumes. The sharded engine uses this to route callbacks onto
+    /// the owning device's shard thread while keeping fleet-wide queue
+    /// order.
+    using Completion_sink = std::function<void(std::size_t device_id, Completion done)>;
+    void set_completion_sink(Completion_sink sink) { sink_ = std::move(sink); }
+    /// Run the dispatch() deferred by a sink handoff. No-op when nothing
+    /// was deferred.
+    void resume_dispatch();
 
     [[nodiscard]] const Cloud_config& config() const noexcept { return config_; }
     [[nodiscard]] const char* policy_name() const noexcept { return policy_->name(); }
@@ -159,7 +181,7 @@ public:
     /// Same horizon contract as busy_seconds_within().
     [[nodiscard]] std::vector<Gpu_seconds> per_gpu_busy_within(Sim_time horizon) const;
     /// GPU seconds attributed to one device.
-    [[nodiscard]] Gpu_seconds device_gpu_seconds(std::size_t device_id) const;
+    [[nodiscard]] virtual Gpu_seconds device_gpu_seconds(std::size_t device_id) const;
     /// busy_seconds_within(horizon) / (horizon * gpu_count). > 1 means
     /// oversubscribed direct work.
     [[nodiscard]] double utilization(Sim_time horizon) const;
@@ -354,6 +376,10 @@ private:
     Sim_duration label_latency_sum_;
     Sim_duration label_wait_sum_;
     Streaming_quantile label_latency_p95_{0.95};
+    Completion_sink sink_;
+    /// complete() handed >= 1 callback to the sink and skipped its trailing
+    /// dispatch(); resume_dispatch() clears it.
+    bool dispatch_deferred_ = false;
 };
 
 } // namespace shog::sim

@@ -5,7 +5,7 @@
 #include <map>
 
 #include "common/arena.hpp"
-#include "device/monitor.hpp"
+#include "sim/run_internal.hpp"
 
 namespace shog::sim {
 
@@ -15,51 +15,9 @@ std::uint64_t device_seed(std::uint64_t seed, std::size_t device_index) noexcept
     return seed + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(device_index);
 }
 
-namespace {
-
-/// The hardware a device actually runs on: its override if set, otherwise
-/// the cluster-wide harness defaults (identical to the homogeneous path).
-Device_hardware effective_hardware(const Device_spec& spec, const Harness_config& config) {
-    if (spec.hardware) {
-        return *spec.hardware;
-    }
-    return Device_hardware{config.link, device::jetson_tx2(), config.contention,
-                           config.edge_inference_gflops};
-}
-
-/// Everything the harness tracks for one device of the cluster.
-struct Device_state {
-    Device_state(std::size_t device_id, const Device_spec& spec, Event_queue& queue,
-                 Cloud_runtime& cloud, const Harness_config& config,
-                 const Device_hardware& hardware)
-        : spec{spec},
-          runtime{device_id,
-                  *spec.stream,
-                  queue,
-                  cloud,
-                  hardware.link,
-                  config.h264,
-                  device::Edge_compute{hardware.edge_device, hardware.contention,
-                                       hardware.edge_inference_gflops},
-                  device_seed(config.seed, device_id)},
-          evaluator{spec.stream->num_classes(), config.iou_threshold} {}
-
-    Device_spec spec;
-    Edge_runtime runtime;
-    detect::Stream_evaluator evaluator;
-    device::Fps_tracker fps_tracker;
-};
-
-} // namespace
-
 Cluster_result run_cluster(const std::vector<Device_spec>& devices,
                            const Cluster_config& config) {
-    SHOG_REQUIRE(!devices.empty(), "cluster needs at least one device");
-    SHOG_REQUIRE(config.harness.eval_stride >= 1, "eval stride must be >= 1");
-    for (const Device_spec& spec : devices) {
-        SHOG_REQUIRE(spec.strategy != nullptr, "device needs a strategy");
-        SHOG_REQUIRE(spec.stream != nullptr, "device needs a stream");
-    }
+    detail::validate_cluster(devices, config);
 
     Event_queue queue;
     Cloud_runtime cloud{queue, config.cloud};
@@ -67,59 +25,16 @@ Cluster_result run_cluster(const std::vector<Device_spec>& devices,
     // Device state lives in a chunked arena: event closures capture &state
     // for the whole run, so addresses must be stable, and adjacent devices
     // sharing chunks keeps the per-event working set tight at fleet scale.
-    Stable_arena<Device_state> states;
+    Stable_arena<detail::Device_state> states;
     Sim_time horizon;
     for (std::size_t i = 0; i < devices.size(); ++i) {
         states.emplace_back(i, devices[i], queue, cloud, config.harness,
-                            effective_hardware(devices[i], config.harness));
+                            detail::effective_hardware(devices[i], config.harness));
         horizon = std::max(horizon, Sim_time{devices[i].stream->duration()});
     }
 
-    // Per device: evaluation events (stride over frames, query the strategy,
-    // score) and fps sampling ticks. Scheduling order matters only for the
-    // FIFO tiebreak of simultaneous events and is deterministic.
     for (std::size_t i = 0; i < states.size(); ++i) {
-        Device_state& state = states[i];
-        const video::Video_stream& stream = *state.spec.stream;
-        for (std::size_t idx = 0; idx < stream.frame_count();
-             idx += config.harness.eval_stride) {
-            const Sim_time at{static_cast<double>(idx) / stream.fps()};
-            queue.schedule(at, [&state, idx] {
-                const video::Frame frame = state.runtime.stream().frame_at(idx);
-                std::vector<detect::Detection> detections =
-                    state.spec.strategy->infer(state.runtime, frame);
-                state.spec.strategy->on_inference(state.runtime, frame, detections);
-                state.evaluator.add_frame(
-                    frame.timestamp,
-                    detect::Frame_eval{std::move(detections),
-                                       video::Video_stream::ground_truth(frame)});
-            });
-        }
-        const double video_fps = stream.fps();
-        const Sim_duration duration{stream.duration()};
-        const auto sample_fps = [&state, video_fps] {
-            const double fps =
-                state.runtime.fps_override() >= 0.0
-                    ? state.runtime.fps_override()
-                    : state.runtime.edge_compute().achieved_fps(
-                          video_fps, state.runtime.training_active());
-            state.fps_tracker.record_until(state.runtime.now(), fps);
-        };
-        // Tick times are computed from an integer tick index: accumulating
-        // `t += fps_tick` drifts in floating point and can skip the final
-        // tick, leaving the fps timeline short of the stream duration.
-        const Sim_duration fps_tick = config.harness.fps_tick;
-        const auto tick_count = static_cast<std::size_t>(duration / fps_tick + 1e-9);
-        for (std::size_t k = 1; k <= tick_count; ++k) {
-            queue.schedule(
-                Sim_time{} + std::min(static_cast<double>(k) * fps_tick, duration),
-                sample_fps);
-        }
-        // Cover the tail segment up to `duration` when the ticks don't land
-        // exactly on it (duration not a multiple of fps_tick).
-        if (static_cast<double>(tick_count) * fps_tick < duration) {
-            queue.schedule(Sim_time{} + duration, sample_fps);
-        }
+        detail::schedule_device_events(states[i], queue, config.harness);
     }
 
     for (std::size_t i = 0; i < states.size(); ++i) {
@@ -131,57 +46,13 @@ Cluster_result run_cluster(const std::vector<Device_spec>& devices,
     cluster.duration = horizon.value(); // serialized metric
     cluster.devices.reserve(states.size());
     for (std::size_t i = 0; i < states.size(); ++i) {
-        Device_state& state = states[i];
-        const double duration = state.spec.stream->duration();
-
-        Run_result result;
-        result.strategy = state.spec.strategy->name();
-        result.duration = duration;
-        result.map_pooled = state.evaluator.map();
-        result.average_iou = state.evaluator.average_iou();
-        result.evaluated_frames = state.evaluator.frame_count();
-        const Sim_duration span{duration};
-        result.up_kbps =
-            state.runtime.link().up_meter().average_kbps(span).value(); // serialized metric
-        result.down_kbps =
-            state.runtime.link().down_meter().average_kbps(span).value(); // serialized metric
-        result.average_fps = state.fps_tracker.average_fps();
-        result.training_sessions = state.runtime.training_sessions();
-        result.cloud_gpu_seconds = state.runtime.cloud_gpu_seconds().value(); // serialized
-        for (const auto& s : state.fps_tracker.samples()) {
-            result.fps_timeline.emplace_back(s.from.value(), s.fps); // serialized
-        }
-        result.windowed_map = state.evaluator.windowed_map(
-            config.harness.map_window.value()); // detect layer keys windows by raw start
-        result.map_window = config.harness.map_window.value(); // serialized
-        if (!result.windowed_map.empty()) {
-            double total = 0.0;
-            for (const auto& [start, value] : result.windowed_map) {
-                total += value;
-            }
-            result.map = total / static_cast<double>(result.windowed_map.size());
-        } else {
-            result.map = result.map_pooled;
-        }
-        cluster.fleet_map += result.map;
-        cluster.devices.push_back(std::move(result));
+        cluster.devices.push_back(
+            detail::assemble_device_result(states[i], config.harness));
+        cluster.fleet_map += cluster.devices.back().map;
     }
     cluster.fleet_map /= static_cast<double>(cluster.devices.size());
 
-    cluster.gpu_busy_seconds =
-        (horizon > Sim_time{} ? cloud.busy_seconds_within(horizon) : cloud.busy_seconds())
-            .value(); // serialized metric
-    cluster.gpu_utilization = horizon > Sim_time{} ? cloud.utilization(horizon) : 0.0;
-    cluster.cloud_jobs = cloud.jobs_completed();
-    cluster.label_jobs = cloud.labels_completed();
-    cluster.mean_label_latency = cloud.mean_label_latency().value(); // serialized
-    cluster.p95_label_latency = cloud.p95_label_latency().value();   // serialized
-    cluster.mean_label_wait = cloud.mean_label_wait().value();       // serialized
-    cluster.peak_queue_depth = cloud.peak_queue_depth();
-    cluster.preemptions = cloud.preemptions();
-    cluster.warm_dispatches = cloud.warm_dispatches();
-    cluster.failures = cloud.failures();
-    cluster.straggler_requeues = cloud.straggler_requeues();
+    detail::assemble_cloud_metrics(cluster, cloud, horizon);
     return cluster;
 }
 

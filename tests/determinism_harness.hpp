@@ -1,0 +1,81 @@
+// Differential determinism harness: run one testbed through two engines (or
+// two configurations that must be observationally equivalent) and require
+// BYTE-identical results. Field-by-field EXPECT_DOUBLE_EQ pins rot as
+// fields are added; this serializes *every* field of a Cluster_result —
+// including the full fps timeline and windowed-mAP series, whose fold
+// order is part of the contract — with %.17g (round-trip exact for IEEE
+// doubles), so two runs agree iff every emitted bit agrees. Every engine
+// variant (run_sweep worker counts, run_cluster_sharded shard counts,
+// future engines) gets the same check by passing two closures.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "sim/harness.hpp"
+
+namespace shog::testing {
+
+/// Exact textual image of a Cluster_result. Two results serialize equally
+/// iff they are bit-identical in every serialized metric.
+[[nodiscard]] inline std::string serialize_cluster(const sim::Cluster_result& cluster) {
+    std::string out;
+    char buf[512];
+    const auto line = [&](const char* fmt, auto... args) {
+        std::snprintf(buf, sizeof buf, fmt, args...);
+        out += buf;
+    };
+    line("cluster duration=%.17g fleet_map=%.17g gpu_busy=%.17g util=%.17g\n",
+         cluster.duration, cluster.fleet_map, cluster.gpu_busy_seconds,
+         cluster.gpu_utilization);
+    line("cluster jobs=%zu labels=%zu mean_lat=%.17g p95_lat=%.17g mean_wait=%.17g\n",
+         cluster.cloud_jobs, cluster.label_jobs, cluster.mean_label_latency,
+         cluster.p95_label_latency, cluster.mean_label_wait);
+    line("cluster depth=%zu preempt=%zu warm=%zu fail=%zu requeue=%zu\n",
+         cluster.peak_queue_depth, cluster.preemptions, cluster.warm_dispatches,
+         cluster.failures, cluster.straggler_requeues);
+    for (std::size_t i = 0; i < cluster.devices.size(); ++i) {
+        const sim::Run_result& r = cluster.devices[i];
+        line("device %zu %s map=%.17g pooled=%.17g iou=%.17g\n", i, r.strategy.c_str(),
+             r.map, r.map_pooled, r.average_iou);
+        line("device %zu up=%.17g down=%.17g fps=%.17g dur=%.17g frames=%zu\n", i,
+             r.up_kbps, r.down_kbps, r.average_fps, r.duration, r.evaluated_frames);
+        line("device %zu train=%zu gpu=%.17g window=%.17g\n", i, r.training_sessions,
+             r.cloud_gpu_seconds, r.map_window);
+        for (const auto& [at, fps] : r.fps_timeline) {
+            line("device %zu fps %.17g %.17g\n", i, at, fps);
+        }
+        for (const auto& [start, value] : r.windowed_map) {
+            line("device %zu wmap %.17g %.17g\n", i, start, value);
+        }
+    }
+    return out;
+}
+
+/// Run the reference and candidate engines and require byte-identical
+/// serialized Cluster_results.
+inline void expect_identical_cluster(
+    const std::function<sim::Cluster_result()>& reference,
+    const std::function<sim::Cluster_result()>& candidate, const std::string& label) {
+    const std::string expected = serialize_cluster(reference());
+    const std::string actual = serialize_cluster(candidate());
+    EXPECT_EQ(expected, actual) << label;
+    // An empty serialization would make the comparison vacuous.
+    EXPECT_NE(expected.find("device 0"), std::string::npos) << label;
+}
+
+/// String-payload variant for engines whose output is already a merged text
+/// artifact (run_sweep's cell lines).
+inline void expect_identical_lines(const std::function<std::string()>& reference,
+                                   const std::function<std::string()>& candidate,
+                                   const std::string& label) {
+    const std::string expected = reference();
+    const std::string actual = candidate();
+    EXPECT_EQ(expected, actual) << label;
+    EXPECT_FALSE(expected.empty()) << label;
+}
+
+} // namespace shog::testing

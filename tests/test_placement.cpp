@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "determinism_harness.hpp"
 #include "fleet/testbed.hpp"
 #include "sim/cloud.hpp"
 #include "sim/harness.hpp"
@@ -237,7 +238,9 @@ TEST(Sharding, DefaultKnobsReproducePolicyCellBitIdentically) {
     // run_policy_cell is the PR 2 sweep path (no sharding knobs);
     // run_sharding_cell with {1 GPU, any_free, max_batch 1} must produce the
     // same cluster result to the last bit, for a policy with and without
-    // preemption.
+    // preemption. Ported onto the differential determinism harness: every
+    // serialized field (fps timelines and windowed-mAP series included) is
+    // compared byte for byte, not a hand-picked subset.
     const fleet::Testbed testbed = fleet::make_testbed("ua_detrac", 4, 23, 40.0);
     const struct {
         fleet::Policy_setup policy;
@@ -251,23 +254,16 @@ TEST(Sharding, DefaultKnobsReproducePolicyCellBitIdentically) {
           Sim_duration{2.0}, 1, 0}},
     };
     for (const auto& cell : cells) {
-        const Cluster_result a =
-            fleet::run_policy_cell(testbed, 4, /*heterogeneous=*/true, cell.policy, 23);
-        const Cluster_result b = fleet::run_sharding_cell(testbed, 4,
-                                                          /*heterogeneous=*/true,
-                                                          cell.sharding, 23);
-        ASSERT_EQ(a.devices.size(), b.devices.size()) << cell.policy.label;
-        for (std::size_t i = 0; i < a.devices.size(); ++i) {
-            EXPECT_DOUBLE_EQ(a.devices[i].map, b.devices[i].map) << cell.policy.label;
-            EXPECT_DOUBLE_EQ(a.devices[i].up_kbps, b.devices[i].up_kbps);
-            EXPECT_DOUBLE_EQ(a.devices[i].cloud_gpu_seconds,
-                             b.devices[i].cloud_gpu_seconds);
-        }
-        EXPECT_DOUBLE_EQ(a.gpu_busy_seconds, b.gpu_busy_seconds) << cell.policy.label;
-        EXPECT_DOUBLE_EQ(a.mean_label_latency, b.mean_label_latency);
-        EXPECT_DOUBLE_EQ(a.p95_label_latency, b.p95_label_latency);
-        EXPECT_EQ(a.cloud_jobs, b.cloud_jobs);
-        EXPECT_EQ(a.preemptions, b.preemptions);
+        shog::testing::expect_identical_cluster(
+            [&] {
+                return fleet::run_policy_cell(testbed, 4, /*heterogeneous=*/true,
+                                              cell.policy, 23);
+            },
+            [&] {
+                return fleet::run_sharding_cell(testbed, 4, /*heterogeneous=*/true,
+                                                cell.sharding, 23);
+            },
+            cell.policy.label);
     }
 }
 

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "determinism_harness.hpp"
 #include "fleet/testbed.hpp"
 #include "sim/sweep.hpp"
 
@@ -123,7 +124,8 @@ TEST(RunSweep, FleetPolicySweepIsByteIdenticalAcrossWorkerCounts) {
     // The real thing, end to end: four policy cells on a small fleet, run
     // sequentially and on a pool. Every cell builds its own fleet (own
     // teacher clone — see fleet::Fleet) and the merged JSON-ish payload
-    // must match byte for byte.
+    // must match byte for byte. Ported onto the differential determinism
+    // harness (tests/determinism_harness.hpp).
     const fleet::Testbed testbed = fleet::make_testbed("ua_detrac", 4, 23, 30.0);
     const std::vector<fleet::Policy_setup> setups = fleet::default_policy_setups();
     const auto cell = [&](std::size_t i) {
@@ -135,16 +137,14 @@ TEST(RunSweep, FleetPolicySweepIsByteIdenticalAcrossWorkerCounts) {
                       r.gpu_busy_seconds, r.p95_label_latency, r.fleet_map, r.cloud_jobs);
         return std::string{line};
     };
-    sim::Sweep_options sequential;
-    sequential.workers = 1;
-    sim::Sweep_options pool;
-    pool.workers = 8;
-    const std::string merged_sequential =
-        sim::merge_sweep_lines(sim::run_sweep(setups.size(), cell, sequential));
-    const std::string merged_pool =
-        sim::merge_sweep_lines(sim::run_sweep(setups.size(), cell, pool));
-    EXPECT_EQ(merged_sequential, merged_pool);
-    EXPECT_NE(merged_sequential.find("fifo"), std::string::npos);
+    const auto merged_with = [&](std::size_t workers) {
+        sim::Sweep_options options;
+        options.workers = workers;
+        return sim::merge_sweep_lines(sim::run_sweep(setups.size(), cell, options));
+    };
+    shog::testing::expect_identical_lines([&] { return merged_with(1); },
+                                          [&] { return merged_with(8); },
+                                          "policy sweep workers 1 vs 8");
 }
 
 } // namespace

@@ -41,9 +41,20 @@ fi
 # in lockstep with the golden hash.
 actual="$("$bench" 30 19 2 0 1 2>/dev/null | grep -v '"wall_ms"' | sha256sum | cut -d' ' -f1)"
 
+# The same cell through the device-sharded engine (sim::run_cluster_sharded
+# with 4 shards): byte-identity across engines is part of the determinism
+# contract, so it is hashed against the SAME golden — no second hash file
+# to drift out of sync.
+sharded="$("$bench" 30 19 2 0 1 --shards 4 2>/dev/null | grep -v '"wall_ms"' | sha256sum | cut -d' ' -f1)"
+
 if [ "$update" -eq 1 ]; then
     printf '%s\n' "$actual" > "$golden"
     echo "check_bit_identity: golden hash updated: $actual"
+    if [ "$sharded" != "$actual" ]; then
+        echo "check_bit_identity: WARNING — sharded engine output differs from" >&2
+        echo "the sequential engine; the gate will fail until that is fixed." >&2
+        exit 1
+    fi
     exit 0
 fi
 
@@ -63,4 +74,12 @@ if [ "$actual" != "$expected" ]; then
     exit 1
 fi
 
-echo "check_bit_identity: OK ($actual)"
+if [ "$sharded" != "$expected" ]; then
+    echo "check_bit_identity: FAIL — sharded engine (--shards 4) drifted from" >&2
+    echo "the sequential golden" >&2
+    echo "  expected: $expected" >&2
+    echo "  sharded:  $sharded" >&2
+    exit 1
+fi
+
+echo "check_bit_identity: OK ($actual, sharded engine identical)"

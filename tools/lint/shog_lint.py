@@ -493,6 +493,16 @@ SELF_TEST_CASES = [
      "    int x = 0;\n"
      "};\n",
      "bare-mutex"),
+    # The exact shape a hand-rolled shard barrier would take: shared round
+    # state next to a std::mutex, no annotations. run_cluster_sharded's real
+    # Shard_pool must use shog::Mutex + SHOG_GUARDED_BY instead (and does).
+    ("src/sim/bad_shard_pool.hpp",
+     "#include <mutex>\n"
+     "struct Shard_pool {\n"
+     "    std::mutex mutex_;\n"
+     "    unsigned round = 0;\n"
+     "};\n",
+     "bare-mutex"),
     ("src/sim/bad_raw_seconds.hpp",
      "struct Checkpoint {\n"
      "    double remaining_seconds = 0.0;\n"
