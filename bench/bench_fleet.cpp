@@ -2,7 +2,7 @@
 // devices-per-GPU scaling curve and the policy/latency knee over time.
 //
 //   ./bench_fleet [duration_seconds] [seed] [max_devices] [scale_max_devices] [workers]
-//                 [scale_stride] [--shards K]
+//                 [scale_stride] [--shards K] [--trace path.json]
 //
 // `workers` feeds sim::run_sweep: the parameter sweeps (sections 1-4) are
 // independent cells fanned across a worker pool, and because run_sweep
@@ -16,6 +16,14 @@
 // engine (0, the default, keeps run_cluster). The sharded engine is
 // byte-identical by contract, so stdout must not change — which is exactly
 // what tools/check_bit_identity.sh pins against the golden hash.
+//
+// `--trace path.json` appends one fully traced fleet_reliability cell (a
+// straggling, flapping 2-GPU cloud, so the trace shows occupancy spans, a
+// preemption and a straggler re-queue) after the sweeps and writes a
+// Chrome-trace/Perfetto JSON to `path.json` plus the sampled metrics to
+// `path.json.metrics.csv` (see docs/OBSERVABILITY.md). All trace output
+// goes to those files and stderr; stdout is untouched, so the bit-identity
+// golden holds with or without the flag.
 //
 // Seven sections:
 //  1. the homogeneous FIFO scaling sweep (strategy x fleet size), the PR 1
@@ -81,6 +89,7 @@
 
 #include "bench_util.hpp"
 #include "fleet/testbed.hpp"
+#include "obs/trace_export.hpp"
 #include "sim/shard.hpp"
 #include "sim/sweep.hpp"
 
@@ -515,16 +524,65 @@ void run_fleet_shard(double duration, std::uint64_t seed, std::size_t scale_max_
     }
 }
 
+void run_traced_cell(const fleet::Testbed& testbed, std::size_t devices,
+                     std::uint64_t seed, const std::string& trace_path) {
+    // One fully traced reliability cell: a 4x straggler at the low index
+    // under index-blind placement (so work lands on it and the re-queue
+    // bound arms), flapping servers, and a 2 s label-wait preemption bound —
+    // the run that exercises every span kind the trace taxonomy defines.
+    // Status goes to stderr; stdout stays byte-identical to a flagless run.
+    fleet::Reliability_setup setup;
+    setup.label = "traced";
+    setup.gpu_count = 2;
+    setup.placement = sim::Placement_kind::any_free;
+    setup.policy = sim::Policy_kind::priority;
+    setup.straggler_speed = 0.25;
+    setup.mtbf = Sim_duration{45.0};
+    setup.mttr = Sim_duration{10.0};
+    setup.straggler_requeue_factor = 2.0;
+    setup.preempt_label_wait = Sim_duration{2.0};
+
+    obs::Trace_sink sink;
+    obs::Metrics_registry metrics;
+    sim::Obs_options obs;
+    obs.sink = &sink;
+    obs.metrics = &metrics;
+    const sim::Cluster_result r = fleet::run_reliability_cell(
+        testbed, devices, /*heterogeneous=*/true, setup, seed, /*shards=*/0, obs);
+
+    const std::string csv_path = trace_path + ".metrics.csv";
+    const bool trace_ok = obs::write_text_file(trace_path, obs::chrome_trace_json(sink));
+    const bool csv_ok = obs::write_text_file(csv_path, obs::serialize_metrics_csv(r.metrics));
+    std::fprintf(stderr,
+                 "[trace] %s: %zu events, %zu buffers (preemptions=%zu "
+                 "straggler_requeues=%zu failures=%zu)\n",
+                 trace_path.c_str(), sink.event_count(), sink.buffer_count(),
+                 r.preemptions, r.straggler_requeues, r.failures);
+    std::fprintf(stderr, "[trace] %s: %zu metric series\n", csv_path.c_str(),
+                 r.metrics.series.size());
+    if (!trace_ok || !csv_ok) {
+        std::fprintf(stderr, "[trace] ERROR: failed to write %s\n",
+                     trace_ok ? csv_path.c_str() : trace_path.c_str());
+        std::exit(1);
+    }
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
-    // --shards K may trail the positional arguments anywhere; strip it
-    // first so the positional indices below stay stable.
+    // --shards K / --trace path may trail the positional arguments
+    // anywhere; strip them first so the positional indices below stay
+    // stable.
     std::size_t shards = 0;
+    std::string trace_path;
     std::vector<const char*> positional;
     for (int i = 1; i < argc; ++i) {
         if (std::string{argv[i]} == "--shards" && i + 1 < argc) {
             shards = static_cast<std::size_t>(std::atoll(argv[++i]));
+            continue;
+        }
+        if (std::string{argv[i]} == "--trace" && i + 1 < argc) {
+            trace_path = argv[++i];
             continue;
         }
         positional.push_back(argv[i]);
@@ -550,7 +608,8 @@ int main(int argc, char** argv) {
         std::fprintf(stderr,
                      "usage: bench_fleet [duration_seconds>0] [seed] [max_devices>=1] "
                      "[scale_max_devices] [workers (0=auto)] "
-                     "[scale_stride (0=per-N schedule)] [--shards K]\n");
+                     "[scale_stride (0=per-N schedule)] [--shards K] "
+                     "[--trace path.json]\n");
         return 1;
     }
 
@@ -574,6 +633,9 @@ int main(int argc, char** argv) {
     }
     if (scale_max_devices >= 256) {
         run_fleet_shard(duration, seed, scale_max_devices, scale_stride);
+    }
+    if (!trace_path.empty()) {
+        run_traced_cell(testbed, max_devices, seed, trace_path);
     }
     return 0;
 }

@@ -7,13 +7,20 @@
 // own video stream, strategy state and RNG substream, and GPU utilization,
 // queueing delay and label latency emerge from the shared scheduler.
 //
-//   ./fleet_scaling [duration_seconds] [seed] [max_devices]
+//   ./fleet_scaling [duration_seconds] [seed] [max_devices] [--trace path.json]
+//
+// `--trace path.json` re-runs the last reliability cell with the trace sink
+// and metrics registry installed and writes a Chrome-trace/Perfetto JSON
+// plus `path.json.metrics.csv` (see docs/OBSERVABILITY.md). The traced run
+// reports to stderr; the stdout tables are unchanged.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "fleet/testbed.hpp"
+#include "obs/trace_export.hpp"
 
 using namespace shog;
 
@@ -35,13 +42,25 @@ void print_run(const char* name, const Fleet_run& run) {
 } // namespace
 
 int main(int argc, char** argv) {
-    const double duration = argc > 1 ? std::atof(argv[1]) : 240.0;
-    const std::uint64_t seed = argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 19;
+    std::string trace_path;
+    std::vector<const char*> positional;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string{argv[i]} == "--trace" && i + 1 < argc) {
+            trace_path = argv[++i];
+            continue;
+        }
+        positional.push_back(argv[i]);
+    }
+    const std::size_t nargs = positional.size();
+    const double duration = nargs > 0 ? std::atof(positional[0]) : 240.0;
+    const std::uint64_t seed =
+        nargs > 1 ? static_cast<std::uint64_t>(std::atoll(positional[1])) : 19;
     const std::size_t max_devices =
-        argc > 3 ? static_cast<std::size_t>(std::atoll(argv[3])) : 8;
+        nargs > 2 ? static_cast<std::size_t>(std::atoll(positional[2])) : 8;
     if (duration <= 0.0 || max_devices < 1) {
         std::fprintf(stderr,
-                     "usage: fleet_scaling [duration_seconds>0] [seed] [max_devices>=1]\n");
+                     "usage: fleet_scaling [duration_seconds>0] [seed] [max_devices>=1] "
+                     "[--trace path.json]\n");
         return 1;
     }
 
@@ -137,13 +156,37 @@ int main(int argc, char** argv) {
     // still caught onto a faster server once one frees up.
     std::printf("\nCloud reliability, same fleet (stragglers and MTBF/MTTR "
                 "failures at 2 GPUs):\n");
-    for (const fleet::Reliability_setup& setup : fleet::default_reliability_setups()) {
+    const std::vector<fleet::Reliability_setup> reliability_setups =
+        fleet::default_reliability_setups();
+    for (const fleet::Reliability_setup& setup : reliability_setups) {
         const sim::Cluster_result r = fleet::run_reliability_cell(
             testbed, max_devices, /*heterogeneous=*/true, setup, seed);
         std::printf("  %-27s  label_lat mean=%6.2fs p95=%6.2fs  gpu_util=%5.1f%%  "
                     "failures=%zu  requeues=%zu\n",
                     setup.label, r.mean_label_latency, r.p95_label_latency,
                     100.0 * r.gpu_utilization, r.failures, r.straggler_requeues);
+    }
+
+    if (!trace_path.empty()) {
+        // Re-run the last reliability cell with observability installed
+        // (bit-identical to the untraced run above) and export the trace.
+        obs::Trace_sink sink;
+        obs::Metrics_registry metrics;
+        sim::Obs_options obs;
+        obs.sink = &sink;
+        obs.metrics = &metrics;
+        const sim::Cluster_result r = fleet::run_reliability_cell(
+            testbed, max_devices, /*heterogeneous=*/true, reliability_setups.back(), seed,
+            /*shards=*/0, obs);
+        const std::string csv_path = trace_path + ".metrics.csv";
+        if (!obs::write_text_file(trace_path, obs::chrome_trace_json(sink)) ||
+            !obs::write_text_file(csv_path, obs::serialize_metrics_csv(r.metrics))) {
+            std::fprintf(stderr, "error: failed to write %s\n", trace_path.c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "[trace] wrote %s (%zu events) and %s (%zu series)\n",
+                     trace_path.c_str(), sink.event_count(), csv_path.c_str(),
+                     r.metrics.series.size());
     }
     return 0;
 }

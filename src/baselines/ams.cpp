@@ -81,15 +81,24 @@ void Ams_strategy::upload_buffer(sim::Edge_runtime& rt) {
                                                 gap);
     const Sim_duration encode = rt.h264().encode_seconds(frames.size(), res, res);
     const Sim_duration up_delay = rt.link().send_up(rt.now(), payload);
-    rt.schedule(encode + up_delay, [this, &rt, frames = std::move(frames)]() mutable {
+    const std::uint64_t generation = upload_generation_;
+    ++upload_generation_;
+    SHOG_TRACE_ASYNC_BEGIN(rt.trace(), rt.now(), rt.trace_track(), "upload", generation);
+    rt.schedule(encode + up_delay,
+                [this, &rt, frames = std::move(frames), generation]() mutable {
+        SHOG_TRACE_ASYNC_END(rt.trace(), rt.now(), rt.trace_track(), "upload", generation);
         // Labeling queues on the shared cloud GPU pool like Shoggoth's; the
         // difference shows up later, when AMS also submits fine-tune jobs.
         const Sim_duration service =
             static_cast<double>(frames.size()) *
             cloud_device_.seconds_for_gflops(teacher_infer_gflops_);
+        SHOG_TRACE_ASYNC_BEGIN(rt.trace(), rt.now(), rt.trace_track(), "await_labels",
+                               generation);
         rt.cloud().submit(
             rt.device_id(), service,
-            [this, &rt, frames = std::move(frames)]() mutable {
+            [this, &rt, frames = std::move(frames), generation]() mutable {
+                SHOG_TRACE_ASYNC_END(rt.trace(), rt.now(), rt.trace_track(),
+                                     "await_labels", generation);
                 cloud_label_batch(rt, std::move(frames));
             },
             sim::Cloud_job_kind::label, drift_.rate());
@@ -154,6 +163,10 @@ void Ams_strategy::maybe_train_in_cloud(sim::Edge_runtime& rt) {
     }
     cloud_training_busy_ = true;
     rt.count_training_session();
+    // Async, not sync: the fine-tune queues/runs in the cloud while other
+    // device-track phases (uploads in flight) keep opening and closing.
+    const std::uint64_t session = rt.training_sessions();
+    SHOG_TRACE_ASYNC_BEGIN(rt.trace(), rt.now(), rt.trace_track(), "cloud_train", session);
 
     // The fine-tune is a cloud GPU job contending with every device's
     // labeling traffic; its service time is the session cost on the cloud
@@ -193,15 +206,22 @@ void Ams_strategy::maybe_train_in_cloud(sim::Edge_runtime& rt) {
     }
     rt.cloud().submit(
         rt.device_id(), service,
-        [this, &rt, batch = std::move(batch)]() mutable {
+        [this, &rt, batch = std::move(batch), session]() mutable {
+            SHOG_TRACE_ASYNC_END(rt.trace(), rt.now(), rt.trace_track(), "cloud_train",
+                                 session);
             (void)cloud_trainer_->train(batch);
             const Bytes update{profile_.update_bytes()};
             const Sim_duration down_delay = rt.link().send_down(rt.now(), update);
             std::vector<double> state = cloud_copy_->net().state_vector();
             ++updates_sent_;
-            rt.schedule(down_delay, [this, &rt, state = std::move(state)] {
+            SHOG_TRACE_ASYNC_BEGIN(rt.trace(), rt.now(), rt.trace_track(), "download",
+                                   session);
+            rt.schedule(down_delay, [this, &rt, state = std::move(state), session] {
+                SHOG_TRACE_ASYNC_END(rt.trace(), rt.now(), rt.trace_track(), "download",
+                                     session);
                 // Edge installs the update: brief inference stall.
                 student_.net().load_state_vector(state);
+                SHOG_TRACE_INSTANT(rt.trace(), rt.now(), rt.trace_track(), "apply", session);
                 rt.set_training_active(true);
                 rt.schedule(config_.swap_seconds, [this, &rt] {
                     rt.set_training_active(false);

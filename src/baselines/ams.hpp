@@ -14,6 +14,7 @@
 //    fine-tune on small correlated batches).
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <memory>
 
@@ -96,6 +97,9 @@ private:
     std::size_t pending_frames_ = 0;
     bool cloud_training_busy_ = false;
     std::size_t updates_sent_ = 0;
+    /// Trace key tying one batch's upload/await_labels phases together
+    /// (async spans on the device track; concurrent batches overlap).
+    std::uint64_t upload_generation_ = 0;
 
     std::size_t predictions_seen_ = 0;
     std::size_t predictions_accurate_ = 0;

@@ -57,6 +57,10 @@ void Shoggoth_strategy::on_sample_tick(sim::Edge_runtime& rt) {
     const std::size_t index = rt.stream().index_at(rt.now().value()); // frame-domain lookup
     if (sample_buffer_.empty()) {
         first_buffered_at_ = rt.now();
+        // The buffer phase of generation `upload_generation_` opens with its
+        // first sample and closes when upload_buffer ships it.
+        SHOG_TRACE_ASYNC_BEGIN(rt.trace(), rt.now(), rt.trace_track(), "buffer",
+                               upload_generation_);
         schedule_flush_timer(rt);
     }
     last_buffered_at_ = rt.now();
@@ -88,6 +92,9 @@ void Shoggoth_strategy::upload_buffer(sim::Edge_runtime& rt) {
     if (sample_buffer_.empty()) {
         return;
     }
+    SHOG_TRACE_ASYNC_END(rt.trace(), rt.now(), rt.trace_track(), "buffer",
+                         upload_generation_);
+    const std::uint64_t generation = upload_generation_;
     ++upload_generation_; // invalidate any pending flush timer
     std::vector<std::size_t> frames = std::move(sample_buffer_);
     sample_buffer_.clear();
@@ -115,23 +122,31 @@ void Shoggoth_strategy::upload_buffer(sim::Edge_runtime& rt) {
     // Paper: compressing the buffered samples takes 1-3 seconds.
     const Sim_duration encode = rt.h264().encode_seconds(frames.size(), res, res);
     const Sim_duration up_delay = rt.link().send_up(rt.now(), payload);
-    rt.schedule(encode + up_delay, [this, &rt, frames = std::move(frames)]() mutable {
+    SHOG_TRACE_ASYNC_BEGIN(rt.trace(), rt.now(), rt.trace_track(), "upload", generation);
+    rt.schedule(encode + up_delay, [this, &rt, frames = std::move(frames),
+                                    generation]() mutable {
         // The batch has reached the cloud: labeling now queues on the shared
         // GPU pool behind every other device's work. Teacher inference cost
         // is the service time; the downlink leaves once the job completes.
+        SHOG_TRACE_ASYNC_END(rt.trace(), rt.now(), rt.trace_track(), "upload", generation);
+        SHOG_TRACE_ASYNC_BEGIN(rt.trace(), rt.now(), rt.trace_track(), "await_labels",
+                               generation);
         const Sim_duration service =
             static_cast<double>(frames.size()) *
             cloud_device_.seconds_for_gflops(teacher_infer_gflops_);
         rt.cloud().submit(
             rt.device_id(), service,
-            [this, &rt, frames = std::move(frames)]() mutable {
-                cloud_label_batch(rt, std::move(frames));
+            [this, &rt, frames = std::move(frames), generation]() mutable {
+                SHOG_TRACE_ASYNC_END(rt.trace(), rt.now(), rt.trace_track(), "await_labels",
+                                     generation);
+                cloud_label_batch(rt, std::move(frames), generation);
             },
             sim::Cloud_job_kind::label, drift_.rate());
     });
 }
 
-void Shoggoth_strategy::cloud_label_batch(sim::Edge_runtime& rt, std::vector<std::size_t> frames) {
+void Shoggoth_strategy::cloud_label_batch(sim::Edge_runtime& rt, std::vector<std::size_t> frames,
+                                          std::uint64_t generation) {
     const video::World_model& world = rt.stream().world();
     std::vector<models::Labeled_sample> samples;
     Bytes label_payload;
@@ -196,10 +211,12 @@ void Shoggoth_strategy::cloud_label_batch(sim::Edge_runtime& rt, std::vector<std
 
     const Sim_duration down_delay = rt.link().send_down(rt.now(), label_payload);
     const std::size_t frame_count = frames.size();
-    rt.schedule(down_delay,
-                [this, &rt, samples = std::move(samples), frame_count, flush_stale]() mutable {
-                    edge_receive_labels(rt, std::move(samples), frame_count, flush_stale);
-                });
+    SHOG_TRACE_ASYNC_BEGIN(rt.trace(), rt.now(), rt.trace_track(), "download", generation);
+    rt.schedule(down_delay, [this, &rt, samples = std::move(samples), frame_count,
+                             flush_stale, generation]() mutable {
+        SHOG_TRACE_ASYNC_END(rt.trace(), rt.now(), rt.trace_track(), "download", generation);
+        edge_receive_labels(rt, std::move(samples), frame_count, flush_stale);
+    });
 }
 
 void Shoggoth_strategy::edge_receive_labels(sim::Edge_runtime& rt,
@@ -211,9 +228,12 @@ void Shoggoth_strategy::edge_receive_labels(sim::Edge_runtime& rt,
         pending_.clear();
         pending_frames_ = 0;
         ++stale_flushes_;
+        SHOG_TRACE_INSTANT(rt.trace(), rt.now(), rt.trace_track(), "flush_stale",
+                           stale_flushes_);
     }
     pending_.push_back(Pending_batch{std::move(samples), frames, rt.now()});
     pending_frames_ += frames;
+    SHOG_TRACE_INSTANT(rt.trace(), rt.now(), rt.trace_track(), "apply", frames);
     maybe_start_training(rt);
 }
 
@@ -244,7 +264,13 @@ void Shoggoth_strategy::maybe_start_training(sim::Edge_runtime& rt) {
     training_busy_ = true;
     rt.set_training_active(true);
     rt.count_training_session();
-    rt.schedule(wall, [this, &rt, batch = std::move(batch)]() mutable {
+    // Edge training is serialized by training_busy_, so the span is a plain
+    // sync span on the device track (never overlaps itself).
+    SHOG_TRACE_SPAN_BEGIN(rt.trace(), rt.now(), rt.trace_track(), "train",
+                          rt.training_sessions());
+    rt.schedule(wall, [this, &rt, batch = std::move(batch),
+                       session = rt.training_sessions()]() mutable {
+        SHOG_TRACE_SPAN_END(rt.trace(), rt.now(), rt.trace_track(), "train", session);
         (void)trainer_.train(batch);
         rt.set_training_active(false);
         training_busy_ = false;

@@ -159,7 +159,12 @@ private:
     void on_sample_tick(sim::Edge_runtime& rt);
     void schedule_flush_timer(sim::Edge_runtime& rt);
     void upload_buffer(sim::Edge_runtime& rt);
-    void cloud_label_batch(sim::Edge_runtime& rt, std::vector<std::size_t> frames);
+    /// `generation` is the upload generation this batch belongs to — the id
+    /// threading the buffer/upload/await_labels/download trace phases of
+    /// one batch together (concurrent generations overlap on the device
+    /// track, so the spans are async and need a stable key).
+    void cloud_label_batch(sim::Edge_runtime& rt, std::vector<std::size_t> frames,
+                           std::uint64_t generation);
     void edge_receive_labels(sim::Edge_runtime& rt, std::vector<models::Labeled_sample> samples,
                              std::size_t frames, bool flush_stale);
     void maybe_start_training(sim::Edge_runtime& rt);

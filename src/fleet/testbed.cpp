@@ -363,9 +363,11 @@ std::vector<Reliability_setup> default_reliability_setups() {
 sim::Cluster_result run_reliability_cell(const Testbed& testbed, std::size_t devices,
                                          bool heterogeneous,
                                          const Reliability_setup& setup,
-                                         std::uint64_t seed, std::size_t shards) {
+                                         std::uint64_t seed, std::size_t shards,
+                                         sim::Obs_options obs) {
     Fleet fleet = make_policy_sweep_fleet(testbed, devices, heterogeneous);
     sim::Cluster_config config;
+    config.obs = obs;
     config.harness.seed = seed ^ 0x8888;
     config.cloud.gpu_count = setup.gpu_count;
     config.cloud.placement = setup.placement;

@@ -191,13 +191,16 @@ struct Reliability_setup {
 
 /// Run one reliability cell on the same contended operating point (and
 /// seed) as run_sharding_cell; the failure process seeds off `seed` so
-/// cells replay bit-identically. `shards` as in run_sharding_cell.
+/// cells replay bit-identically. `shards` as in run_sharding_cell. `obs`
+/// passes a trace sink / metrics registry into the cell's Cluster_config
+/// (the default — all null — is the zero-overhead dark path).
 [[nodiscard]] sim::Cluster_result run_reliability_cell(const Testbed& testbed,
                                                        std::size_t devices,
                                                        bool heterogeneous,
                                                        const Reliability_setup& setup,
                                                        std::uint64_t seed,
-                                                       std::size_t shards = 0);
+                                                       std::size_t shards = 0,
+                                                       sim::Obs_options obs = {});
 
 /// The contended operating point the policy sweep runs on: a half-Shoggoth
 /// half-AMS fleet (fine-tune cadence halved so train jobs land within short

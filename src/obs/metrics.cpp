@@ -1,0 +1,71 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace shog::obs {
+
+const char* metric_kind_name(Metric_kind kind) noexcept {
+    switch (kind) {
+    case Metric_kind::counter: return "counter";
+    case Metric_kind::gauge: return "gauge";
+    }
+    return "?";
+}
+
+void Counter::add(Sim_time at, std::uint64_t delta) {
+    total_ += delta;
+    const double at_raw = at.value(); // serialization boundary: points store raw seconds
+    if (!points_.empty() && points_.back().at_seconds == at_raw) {
+        points_.back().value = static_cast<double>(total_);
+        return;
+    }
+    points_.push_back(Metric_point{at_raw, static_cast<double>(total_)});
+}
+
+void Gauge::set(Sim_time at, double value) {
+    if (has_value_ && value == last_) {
+        return;
+    }
+    has_value_ = true;
+    last_ = value;
+    const double at_raw = at.value(); // serialization boundary: points store raw seconds
+    if (!points_.empty() && points_.back().at_seconds == at_raw) {
+        points_.back().value = value;
+        return;
+    }
+    points_.push_back(Metric_point{at_raw, value});
+}
+
+void Histogram::observe(double value) {
+    ++observations_;
+    ++buckets_[static_cast<long long>(std::floor(value))];
+}
+
+Metrics_snapshot Metrics_registry::snapshot() const {
+    Metrics_snapshot snap;
+    snap.series.reserve(counters_.size() + gauges_.size());
+    for (const auto& [name, counter] : counters_) {
+        snap.series.push_back(Metric_series{name, Metric_kind::counter, counter.points()});
+    }
+    for (const auto& [name, gauge] : gauges_) {
+        snap.series.push_back(Metric_series{name, Metric_kind::gauge, gauge.points()});
+    }
+    // Counters land before gauges above; restore global name order so the
+    // snapshot layout does not depend on instrument kind.
+    std::stable_sort(snap.series.begin(), snap.series.end(),
+                     [](const Metric_series& a, const Metric_series& b) {
+                         return a.name < b.name;
+                     });
+    snap.histograms.reserve(histograms_.size());
+    for (const auto& [name, histogram] : histograms_) {
+        Metric_histogram h;
+        h.name = name;
+        h.observations = histogram.observations();
+        h.buckets.assign(histogram.buckets().begin(), histogram.buckets().end());
+        snap.histograms.push_back(std::move(h));
+    }
+    return snap;
+}
+
+} // namespace shog::obs

@@ -1,0 +1,117 @@
+// Named counters / gauges / histograms sampled on engine events into
+// compact sim-time series.
+//
+// Determinism: every metric is written by the engine that owns the emitting
+// context (the event loop in run_cluster, the coordinator replay in
+// run_cluster_sharded) at replayed sim times, so the series are
+// byte-identical across engines and shard counts just like the trace
+// stream. Storage is std::map keyed by name — snapshots iterate in sorted
+// name order, never insertion or hash order.
+//
+// Threading: a registry is phase-owned like a Trace_sink — created before
+// the run, written only by the single thread driving cloud events, read
+// (snapshotted) after the run completes. No locks by design.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace shog::obs {
+
+/// One point of a serialized series. Raw doubles are deliberate: this is a
+/// serialization product (CSV/JSON boundary), mirroring Run_result.
+struct Metric_point {
+    double at_seconds = 0.0; // shog-lint: allow(raw-seconds) serialized metric
+    double value = 0.0;
+};
+
+enum class Metric_kind : std::uint8_t { counter, gauge };
+
+[[nodiscard]] const char* metric_kind_name(Metric_kind kind) noexcept;
+
+/// Monotone cumulative series: add() appends the new running total,
+/// coalescing same-timestamp deltas into one point.
+class Counter {
+public:
+    void add(Sim_time at, std::uint64_t delta = 1);
+    [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+    [[nodiscard]] const std::vector<Metric_point>& points() const noexcept { return points_; }
+
+private:
+    std::uint64_t total_ = 0;
+    std::vector<Metric_point> points_;
+};
+
+/// Level series: set() records on change only, coalescing same-timestamp
+/// writes (the last value at a timestamp wins — matches the state the
+/// engine settles on before time advances).
+class Gauge {
+public:
+    void set(Sim_time at, double value);
+    [[nodiscard]] const std::vector<Metric_point>& points() const noexcept { return points_; }
+
+private:
+    bool has_value_ = false;
+    double last_ = 0.0;
+    std::vector<Metric_point> points_;
+};
+
+/// Integer-bucketed distribution (floor of the observed value). Buckets
+/// live in an ordered map so the snapshot is deterministic.
+class Histogram {
+public:
+    void observe(double value);
+    [[nodiscard]] std::uint64_t observations() const noexcept { return observations_; }
+    [[nodiscard]] const std::map<long long, std::uint64_t>& buckets() const noexcept {
+        return buckets_;
+    }
+
+private:
+    std::uint64_t observations_ = 0;
+    std::map<long long, std::uint64_t> buckets_;
+};
+
+/// Snapshot of a whole registry, ready for Cluster_result / CSV export.
+/// Series and histograms are in sorted name order.
+struct Metric_series {
+    std::string name;
+    Metric_kind kind = Metric_kind::counter;
+    std::vector<Metric_point> points;
+};
+
+struct Metric_histogram {
+    std::string name;
+    std::uint64_t observations = 0;
+    std::vector<std::pair<long long, std::uint64_t>> buckets;
+};
+
+struct Metrics_snapshot {
+    std::vector<Metric_series> series;
+    std::vector<Metric_histogram> histograms;
+    [[nodiscard]] bool empty() const noexcept { return series.empty() && histograms.empty(); }
+};
+
+/// Find-or-create registry of named instruments. References returned are
+/// stable for the registry's lifetime (std::map nodes never move), so
+/// emitters cache them once at install time instead of re-resolving names
+/// on the hot path.
+class Metrics_registry {
+public:
+    [[nodiscard]] Counter& counter(const std::string& name) { return counters_[name]; }
+    [[nodiscard]] Gauge& gauge(const std::string& name) { return gauges_[name]; }
+    [[nodiscard]] Histogram& histogram(const std::string& name) { return histograms_[name]; }
+
+    [[nodiscard]] Metrics_snapshot snapshot() const;
+
+private:
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Gauge> gauges_;
+    std::map<std::string, Histogram> histograms_;
+};
+
+} // namespace shog::obs

@@ -1,0 +1,32 @@
+// Exporters for the trace/metrics subsystem:
+//
+//  * chrome_trace_json — Chrome trace-event JSON (loads in Perfetto /
+//    chrome://tracing): sync spans as B/E pairs, async phases as nestable
+//    b/e pairs keyed by (cat, id), instants, counters, plus metadata
+//    events naming the process/thread rows derived from the track
+//    encoding in obs/trace.hpp.
+//  * serialize_trace — canonical one-line-per-event text of the merged
+//    stream at %.17g. The determinism tests compare these byte-for-byte
+//    across engines and shard counts.
+//  * serialize_metrics_csv — flat CSV of a Metrics_snapshot (series points
+//    and histogram buckets).
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace shog::obs {
+
+[[nodiscard]] std::string chrome_trace_json(const Trace_sink& sink);
+
+[[nodiscard]] std::string serialize_trace(const Trace_sink& sink);
+
+[[nodiscard]] std::string serialize_metrics_csv(const Metrics_snapshot& snapshot);
+
+/// Write `text` to `path`, returning false (no throw) on I/O failure so
+/// bench/example CLIs can report and move on.
+[[nodiscard]] bool write_text_file(const std::string& path, const std::string& text);
+
+} // namespace shog::obs

@@ -61,6 +61,34 @@ Cloud_runtime::Cloud_runtime(Event_queue& queue, Cloud_config config)
     }
 }
 
+void Cloud_runtime::set_observability(obs::Trace_channel trace,
+                                      obs::Metrics_registry* metrics) {
+    trace_ = trace;
+    metrics_ = metrics;
+    if (metrics_ == nullptr) {
+        return;
+    }
+    depth_gauge_ = &metrics_->gauge("cloud.queue_depth");
+    busy_gauge_ = &metrics_->gauge("cloud.busy_gpus");
+    submit_counter_ = &metrics_->counter("cloud.submits");
+    dispatch_counter_ = &metrics_->counter("cloud.dispatches");
+    warm_counter_ = &metrics_->counter("cloud.warm_dispatches");
+    completion_counter_ = &metrics_->counter("cloud.jobs_completed");
+    preempt_counter_ = &metrics_->counter("cloud.preemptions");
+    requeue_counter_ = &metrics_->counter("cloud.requeued_jobs");
+    straggler_counter_ = &metrics_->counter("cloud.straggler_requeues");
+    failure_counter_ = &metrics_->counter("cloud.failures");
+    batch_histogram_ = &metrics_->histogram("cloud.batch_occupancy");
+}
+
+void Cloud_runtime::sample_gauges() {
+    if (metrics_ == nullptr) {
+        return;
+    }
+    depth_gauge_->set(queue_.now(), static_cast<double>(queue_depth()));
+    busy_gauge_->set(queue_.now(), static_cast<double>(busy_gpu_count()));
+}
+
 void Cloud_runtime::ensure_device(std::size_t device_id) {
     if (device_id >= per_device_seconds_.size()) {
         per_device_seconds_.resize(device_id + 1, Gpu_seconds{});
@@ -98,6 +126,14 @@ void Cloud_runtime::submit(std::size_t device_id, Sim_duration service, Completi
     job.drift_rate = drift_rate;
     job.replan = std::move(replan);
     enqueue(std::move(job));
+    // The job's whole cloud lifetime is one async span on the scheduler
+    // track, bracketed submit -> complete; instants mark the edges within.
+    SHOG_TRACE_ASYNC_BEGIN(trace_, queue_.now(), obs::track_cloud,
+                           kind_label(kind == Cloud_job_kind::train), id);
+    SHOG_TRACE_INSTANT(trace_, queue_.now(), obs::track_cloud, "submit", id);
+    if (submit_counter_ != nullptr) {
+        submit_counter_->add(queue_.now());
+    }
     dispatch();
     if (config_.preempt_label_wait > Sim_duration{} && kind == Cloud_job_kind::label &&
         is_waiting(id)) {
@@ -108,6 +144,7 @@ void Cloud_runtime::submit(std::size_t device_id, Sim_duration service, Completi
     // Depth is what is *left* waiting behind busy servers (0 when the job
     // started immediately).
     peak_depth_ = std::max(peak_depth_, waiting_.size());
+    sample_gauges();
 }
 
 void Cloud_runtime::account_direct(std::size_t device_id, Gpu_seconds gpu_seconds) {
@@ -181,6 +218,9 @@ void Cloud_runtime::dispatch() {
             placement_->eligible_free(waiting_[pick].kind, gpus_) == 1 ? config_.max_batch
                                                                        : 1;
         auto active = std::make_shared<Active_dispatch>();
+        // Assigned whether or not tracing is on, so traced and dark runs
+        // transition through identical state.
+        active->trace_id = next_dispatch_id_++;
         active->all_train = true;
         active->jobs.push_back(take_waiting(pick));
         while (active->jobs.size() < batch_limit && !waiting_.empty()) {
@@ -234,6 +274,26 @@ void Cloud_runtime::dispatch() {
         gpus_[where.gpu].resident_device = active->jobs.front().device;
         active->started = queue_.now();
         active_.push_back(active);
+        // Occupancy span on the server's track (dispatches never overlap on
+        // one server: each sets busy until complete/checkpoint clears it, so
+        // B/E pairs nest trivially); per-member instants on the scheduler
+        // track tie the queue picture back to each job id.
+        SHOG_TRACE_SPAN_BEGIN(trace_, queue_.now(), obs::track_gpu(where.gpu),
+                              kind_label(active->all_train), active->trace_id);
+        if (where.warm) {
+            SHOG_TRACE_INSTANT(trace_, queue_.now(), obs::track_gpu(where.gpu), "warm",
+                               active->trace_id);
+        }
+        for (const Sched_job& job : active->jobs) {
+            SHOG_TRACE_INSTANT(trace_, queue_.now(), obs::track_cloud, "dispatch", job.id);
+        }
+        if (dispatch_counter_ != nullptr) {
+            dispatch_counter_->add(queue_.now());
+            batch_histogram_->observe(static_cast<double>(active->jobs.size()));
+            if (where.warm) {
+                warm_counter_->add(queue_.now());
+            }
+        }
         queue_.schedule_in(active->service, [this, active] { complete(active); });
         // Straggler bound: only a server too slow to finish this label
         // dispatch within factor x nominal service is ever checked (on a
@@ -272,6 +332,7 @@ void Cloud_runtime::dispatch() {
             }
         }
     }
+    sample_gauges();
 }
 
 void Cloud_runtime::complete(const std::shared_ptr<Active_dispatch>& active) {
@@ -282,7 +343,14 @@ void Cloud_runtime::complete(const std::shared_ptr<Active_dispatch>& active) {
     active_.erase(std::find(active_.begin(), active_.end(), active));
     gpus_[active->gpu].busy = false;
     finalize_occupancy(active->gpu, active->service);
+    SHOG_TRACE_SPAN_END(trace_, completed, obs::track_gpu(active->gpu),
+                        kind_label(active->all_train), active->trace_id);
+    if (completion_counter_ != nullptr) {
+        completion_counter_->add(completed, active->jobs.size());
+    }
     for (const Sched_job& job : active->jobs) {
+        SHOG_TRACE_ASYNC_END(trace_, completed, obs::track_cloud,
+                             kind_label(job.kind == Cloud_job_kind::train), job.id);
         waits_.push_back(active->started - job.submitted);
         latencies_.push_back(completed - job.submitted);
         if (job.kind == Cloud_job_kind::label) {
@@ -292,6 +360,7 @@ void Cloud_runtime::complete(const std::shared_ptr<Active_dispatch>& active) {
             label_latency_p95_.add((completed - job.submitted).value()); // quantile over raw seconds
         }
     }
+    sample_gauges();
     // Completions may submit follow-up work (AMS chains a training job
     // after labeling); run them before refilling the servers so queue
     // order is preserved across the whole fleet. With a completion sink
@@ -387,6 +456,7 @@ void Cloud_runtime::preempt_check(std::uint64_t job_id) {
     // the overdue override in select_next sees it from now on (the clock
     // test alone can round an ulp short at exactly the timer's firing time).
     overdue_ids_.insert(job_id);
+    SHOG_TRACE_INSTANT(trace_, queue_.now(), obs::track_cloud, "overdue", job_id);
     // Evict the all-train dispatch with the most remaining service; ties
     // fall to the earliest-started dispatch (deterministic).
     std::shared_ptr<Active_dispatch> victim;
@@ -418,6 +488,10 @@ void Cloud_runtime::preempt_check(std::uint64_t job_id) {
 
 void Cloud_runtime::preempt(const std::shared_ptr<Active_dispatch>& active) {
     ++preemptions_;
+    SHOG_TRACE_INSTANT(trace_, queue_.now(), obs::track_cloud, "preempt", active->trace_id);
+    if (preempt_counter_ != nullptr) {
+        preempt_counter_->add(queue_.now());
+    }
     checkpoint(active);
 }
 
@@ -439,6 +513,12 @@ void Cloud_runtime::checkpoint(std::shared_ptr<Active_dispatch> active) {
     active->cancelled = true;
     active_.erase(std::find(active_.begin(), active_.end(), active));
     gpus_[active->gpu].busy = false;
+    // The occupancy span ends truncated at the checkpoint; the cancelled
+    // completion event emits nothing, so the track stays well-nested.
+    SHOG_TRACE_SPAN_END(trace_, queue_.now(), obs::track_gpu(active->gpu),
+                        kind_label(active->all_train), active->trace_id);
+    SHOG_TRACE_INSTANT(trace_, queue_.now(), obs::track_cloud, "checkpoint",
+                       active->trace_id);
     // Checkpoint/resume: the unexecuted remainder goes back in the queue as
     // the same jobs with proportionally reduced service; `submitted` stays
     // at first submission so latency covers the interruption. The warm
@@ -458,6 +538,10 @@ void Cloud_runtime::checkpoint(std::shared_ptr<Active_dispatch> active) {
         const Sim_time submitted = job.submitted;
         job.service = remainder;
         enqueue(std::move(job));
+        SHOG_TRACE_INSTANT(trace_, queue_.now(), obs::track_cloud, "requeue", id);
+        if (requeue_counter_ != nullptr) {
+            requeue_counter_->add(queue_.now());
+        }
         // Re-arm the wait bound for re-queued *labels* (failure and
         // straggler checkpoints re-queue them; pre-reliability only train
         // remainders were ever re-enqueued): the submit-time one-shot timer
@@ -479,6 +563,7 @@ void Cloud_runtime::checkpoint(std::shared_ptr<Active_dispatch> active) {
         }
     }
     peak_depth_ = std::max(peak_depth_, waiting_.size());
+    sample_gauges();
 }
 
 void Cloud_runtime::schedule_failure(std::size_t g) {
@@ -493,6 +578,14 @@ void Cloud_runtime::schedule_failure(std::size_t g) {
 void Cloud_runtime::fail_server(std::size_t g) {
     gpus_[g].failed = true;
     ++failures_;
+    // Outage span on the server's *health* track (separate from occupancy,
+    // so a failure mid-dispatch never interleaves with the dispatch span's
+    // B/E nesting).
+    SHOG_TRACE_INSTANT(trace_, queue_.now(), obs::track_cloud, "server_fail", g);
+    SHOG_TRACE_SPAN_BEGIN(trace_, queue_.now(), obs::track_gpu_health(g), "down", g);
+    if (failure_counter_ != nullptr) {
+        failure_counter_->add(queue_.now());
+    }
     if (gpus_[g].busy) {
         // Checkpoint the in-flight dispatch exactly like a preemption: the
         // executed share stays billed, the remainder re-queues at the
@@ -517,6 +610,8 @@ void Cloud_runtime::fail_server(std::size_t g) {
 
 void Cloud_runtime::repair_server(std::size_t g) {
     gpus_[g].failed = false;
+    SHOG_TRACE_SPAN_END(trace_, queue_.now(), obs::track_gpu_health(g), "down", g);
+    SHOG_TRACE_INSTANT(trace_, queue_.now(), obs::track_cloud, "server_repair", g);
     schedule_failure(g); // next failure clock starts at repair
     dispatch();
 }
@@ -541,6 +636,11 @@ void Cloud_runtime::straggler_check(const std::shared_ptr<Active_dispatch>& acti
     }
     if (faster_server_free(gpus_[active->gpu].speed)) {
         ++straggler_requeues_;
+        SHOG_TRACE_INSTANT(trace_, queue_.now(), obs::track_cloud, "straggler_requeue",
+                           active->trace_id);
+        if (straggler_counter_ != nullptr) {
+            straggler_counter_->add(queue_.now());
+        }
         for (Sched_job& job : active->jobs) {
             job.straggler_requeued = true;
         }
@@ -594,6 +694,11 @@ void Cloud_runtime::requeue_overdue_stragglers() {
     }
     for (const auto& victim : victims) {
         ++straggler_requeues_;
+        SHOG_TRACE_INSTANT(trace_, queue_.now(), obs::track_cloud, "straggler_requeue",
+                           victim->trace_id);
+        if (straggler_counter_ != nullptr) {
+            straggler_counter_->add(queue_.now());
+        }
         for (Sched_job& job : victim->jobs) {
             job.straggler_requeued = true;
         }

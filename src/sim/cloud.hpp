@@ -29,6 +29,8 @@
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/units.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/placement.hpp"
 #include "sim/policy.hpp"
 
@@ -159,6 +161,27 @@ public:
     /// was deferred.
     void resume_dispatch();
 
+    /// Install the trace channel and metrics registry (both may be null /
+    /// dark — the default, a true no-op). Called once by the engines before
+    /// any event runs, and only on the REAL cloud: the sharded engine's
+    /// per-device proxies must never emit (their calls replay here, through
+    /// the coordinator, in the sequential engine's order — which is exactly
+    /// what makes the trace shard-count-invariant). Threading: mutator,
+    /// owner-thread only, like every other non-const member.
+    void set_observability(obs::Trace_channel trace, obs::Metrics_registry* metrics);
+
+    /// Jobs currently waiting behind busy servers (the queue-depth gauge
+    /// reads this instead of reaching into waiting_). Threading: reads
+    /// engine-owned state — call only from the thread driving this
+    /// runtime's event queue (the coordinator in sharded runs); no locking,
+    /// per the phase-ownership discipline in docs/ANALYSIS.md.
+    [[nodiscard]] std::size_t queue_depth() const noexcept { return waiting_.size(); }
+    /// Dispatches currently occupying a server (busy-GPU gauge). Same
+    /// threading contract as queue_depth().
+    [[nodiscard]] std::size_t active_dispatch_count() const noexcept {
+        return active_.size();
+    }
+
     [[nodiscard]] const Cloud_config& config() const noexcept { return config_; }
     [[nodiscard]] const char* policy_name() const noexcept { return policy_->name(); }
     [[nodiscard]] const char* placement_name() const noexcept { return placement_->name(); }
@@ -246,6 +269,10 @@ private:
         /// Label dispatch past its straggler bound with no faster server
         /// free at check time; the next capacity change re-examines it.
         bool straggler_overdue = false;
+        /// Stable id linking this dispatch's trace span begin/end/instants
+        /// (assigned unconditionally so traced and dark runs transition
+        /// through identical state).
+        std::uint64_t trace_id = 0;
     };
 
     /// Start dispatches while an eligible server is idle and jobs wait.
@@ -329,6 +356,15 @@ private:
         static constexpr Gpu_profile default_profile{};
         return g < config_.gpu_profiles.size() ? config_.gpu_profiles[g] : default_profile;
     }
+    /// Short name of a dispatch/job for trace span labels.
+    [[nodiscard]] static const char* kind_label(bool all_train) noexcept {
+        return all_train ? "train" : "label";
+    }
+    /// Sample the queue-depth / busy-GPU gauges at the current sim time
+    /// (no-op when no registry is installed; the gauges coalesce repeated
+    /// same-time samples, so callers fire this after every state change
+    /// without worrying about duplicates).
+    void sample_gauges();
 
     Event_queue& queue_;
     Cloud_config config_;
@@ -380,6 +416,26 @@ private:
     /// complete() handed >= 1 callback to the sink and skipped its trailing
     /// dispatch(); resume_dispatch() clears it.
     bool dispatch_deferred_ = false;
+
+    // Observability (all dark/null by default; see set_observability).
+    obs::Trace_channel trace_;
+    obs::Metrics_registry* metrics_ = nullptr; ///< borrowed; null = metrics off
+    /// Cached instrument handles (stable for the registry's lifetime), so
+    /// the hot path never does a name lookup.
+    obs::Gauge* depth_gauge_ = nullptr;
+    obs::Gauge* busy_gauge_ = nullptr;
+    obs::Counter* submit_counter_ = nullptr;
+    obs::Counter* dispatch_counter_ = nullptr;
+    obs::Counter* warm_counter_ = nullptr;
+    obs::Counter* completion_counter_ = nullptr;
+    obs::Counter* preempt_counter_ = nullptr;
+    obs::Counter* requeue_counter_ = nullptr;
+    obs::Counter* straggler_counter_ = nullptr;
+    obs::Counter* failure_counter_ = nullptr;
+    obs::Histogram* batch_histogram_ = nullptr;
+    /// Monotone dispatch id (see Active_dispatch::trace_id); incremented
+    /// whether or not tracing is on.
+    std::uint64_t next_dispatch_id_ = 0;
 };
 
 } // namespace shog::sim

@@ -16,6 +16,7 @@
 #include "netsim/h264.hpp"
 #include "netsim/link.hpp"
 #include "netsim/messages.hpp"
+#include "obs/trace.hpp"
 #include "sim/cloud.hpp"
 #include "video/stream.hpp"
 
@@ -71,6 +72,17 @@ public:
 
     [[nodiscard]] Event_queue& queue() noexcept { return queue_; }
 
+    /// Install this device's trace channel (dark by default; the engines
+    /// create one buffer per device when a sink is configured). Strategy
+    /// phases emit through trace()/trace_track() via the SHOG_TRACE_*
+    /// macros — a dark channel makes them free.
+    void set_trace(obs::Trace_channel trace) noexcept { trace_ = trace; }
+    [[nodiscard]] obs::Trace_channel trace() const noexcept { return trace_; }
+    /// This device's phase track id (obs::track_device(device_id())).
+    [[nodiscard]] std::uint32_t trace_track() const noexcept {
+        return obs::track_device(device_id_);
+    }
+
 private:
     std::size_t device_id_;
     const video::Video_stream& stream_;
@@ -81,6 +93,7 @@ private:
     netsim::Message_size_config message_sizes_;
     device::Edge_compute edge_compute_;
     Rng rng_;
+    obs::Trace_channel trace_;
     bool training_active_ = false;
     double fps_override_ = -1.0;
     std::size_t training_sessions_ = 0;

@@ -21,6 +21,8 @@ Cluster_result run_cluster(const std::vector<Device_spec>& devices,
 
     Event_queue queue;
     Cloud_runtime cloud{queue, config.cloud};
+    cloud.set_observability(detail::make_trace_channel(config.obs.sink),
+                            config.obs.metrics);
 
     // Device state lives in a chunked arena: event closures capture &state
     // for the whole run, so addresses must be stable, and adjacent devices
@@ -30,6 +32,7 @@ Cluster_result run_cluster(const std::vector<Device_spec>& devices,
     for (std::size_t i = 0; i < devices.size(); ++i) {
         states.emplace_back(i, devices[i], queue, cloud, config.harness,
                             detail::effective_hardware(devices[i], config.harness));
+        states[i].runtime.set_trace(detail::make_trace_channel(config.obs.sink));
         horizon = std::max(horizon, Sim_time{devices[i].stream->duration()});
     }
 
@@ -53,6 +56,7 @@ Cluster_result run_cluster(const std::vector<Device_spec>& devices,
     cluster.fleet_map /= static_cast<double>(cluster.devices.size());
 
     detail::assemble_cloud_metrics(cluster, cloud, horizon);
+    detail::snapshot_metrics(cluster, config);
     return cluster;
 }
 

@@ -17,9 +17,14 @@
 #include "device/compute.hpp"
 #include "netsim/h264.hpp"
 #include "netsim/link.hpp"
+#include "obs/metrics.hpp"
 #include "sim/cloud.hpp"
 #include "sim/strategy.hpp"
 #include "video/stream.hpp"
+
+namespace shog::obs {
+class Trace_sink; // obs/trace.hpp — the engines only pass the pointer through
+} // namespace shog::obs
 
 namespace shog::sim {
 
@@ -84,6 +89,24 @@ struct Device_spec {
     std::optional<Device_hardware> hardware;
 };
 
+/// Observability hooks for a cluster run. Both pointers are borrows owned
+/// by the caller and default to null, which makes tracing/metrics a true
+/// no-op: macros short-circuit on a dark channel without evaluating their
+/// arguments, so default runs stay bit-identical to pre-observability
+/// builds (pinned by tools/check_bit_identity.sh and tests/test_obs.cpp).
+struct Obs_options {
+    /// Trace destination. The engine creates one buffer per emitting
+    /// context (cloud + each device); merged (time, track, seq) streams
+    /// are byte-identical across engines and shard counts.
+    obs::Trace_sink* sink = nullptr;
+    /// Metrics destination, snapshotted into Cluster_result::metrics.
+    obs::Metrics_registry* metrics = nullptr;
+    /// Also emit engine-internal tracks (shard coordinator rounds). These
+    /// depend on the shard count by nature and are EXCLUDED from the
+    /// trace determinism contract — diagnostics only.
+    bool engine_tracks = false;
+};
+
 struct Cluster_config {
     /// Per-device edge/link/codec settings. Device i derives its RNG
     /// substream from `harness.seed` (device 0 uses it verbatim, so a
@@ -91,6 +114,8 @@ struct Cluster_config {
     Harness_config harness;
     /// The shared cloud GPU pool all devices contend on.
     Cloud_config cloud;
+    /// Tracing/metrics hooks (dark by default).
+    Obs_options obs;
 };
 
 struct Cluster_result {
@@ -125,6 +150,9 @@ struct Cluster_result {
     std::size_t straggler_requeues = 0;
     /// Mean of the per-device headline mAPs.
     double fleet_map = 0.0;
+    /// Sampled metric series/histograms when Obs_options::metrics was
+    /// installed (empty otherwise). Deterministic like every other field.
+    obs::Metrics_snapshot metrics;
 
     // shog-lint: allow(raw-seconds) serialized metric
     [[nodiscard]] double gpu_seconds_per_device() const noexcept {

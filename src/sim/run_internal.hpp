@@ -176,4 +176,22 @@ inline void assemble_cloud_metrics(Cluster_result& cluster, const Cloud_runtime&
     cluster.straggler_requeues = cloud.straggler_requeues();
 }
 
+/// One trace buffer for the next emitting context, or a dark channel when
+/// no sink is configured. Both engines call this in the same order (cloud
+/// first, then devices in index order) on the constructing/coordinating
+/// thread — buffer identity never matters for the merged stream (every
+/// track lives in exactly one buffer), only for ownership.
+[[nodiscard]] inline obs::Trace_channel make_trace_channel(obs::Trace_sink* sink) {
+    return sink != nullptr ? obs::Trace_channel{&sink->create_buffer()}
+                           : obs::Trace_channel{};
+}
+
+/// Snapshot the metrics registry (if any) onto the result. Runs after
+/// assemble_cloud_metrics in both engines.
+inline void snapshot_metrics(Cluster_result& cluster, const Cluster_config& config) {
+    if (config.obs.metrics != nullptr) {
+        cluster.metrics = config.obs.metrics->snapshot();
+    }
+}
+
 } // namespace shog::sim::detail

@@ -204,6 +204,12 @@ Cluster_result run_cluster_sharded(const std::vector<Device_spec>& devices,
 
     Event_queue cloud_queue;
     Cloud_runtime cloud{cloud_queue, config.cloud};
+    // Observability goes on the REAL cloud only (channel creation order —
+    // cloud, then devices — mirrors run_cluster; the proxies stay dark so
+    // buffered calls emit exactly once, at coordinator replay time, in the
+    // sequential engine's order).
+    cloud.set_observability(detail::make_trace_channel(config.obs.sink),
+                            config.obs.metrics);
 
     // Same stable-address arena rationale as run_cluster; the slot adds the
     // device-local queue and proxy the event closures are wired to.
@@ -212,6 +218,10 @@ Cluster_result run_cluster_sharded(const std::vector<Device_spec>& devices,
     for (std::size_t i = 0; i < devices.size(); ++i) {
         slots.emplace_back(i, devices[i], config);
         slots[i].proxy.real = &cloud;
+        // The device buffer is phase-owned like the rest of the slot: the
+        // shard worker writes it during rounds, the coordinator during
+        // completion delivery, barrier-separated.
+        slots[i].state.runtime.set_trace(detail::make_trace_channel(config.obs.sink));
         horizon = std::max(horizon, Sim_time{devices[i].stream->duration()});
     }
     for (std::size_t i = 0; i < slots.size(); ++i) {
@@ -436,6 +446,14 @@ Cluster_result run_cluster_sharded(const std::vector<Device_spec>& devices,
             }
         };
 
+        // Coordinator-round diagnostics (opt-in): round instants depend on
+        // the shard count by nature, so they live on an engine track that
+        // is excluded from the trace determinism contract.
+        obs::Trace_channel engine_trace =
+            config.obs.engine_tracks ? detail::make_trace_channel(config.obs.sink)
+                                     : obs::Trace_channel{};
+        std::uint64_t round_index = 0;
+
         for (std::size_t d = 0; d < slots.size(); ++d) {
             update_frontier(d);
         }
@@ -443,6 +461,9 @@ Cluster_result run_cluster_sharded(const std::vector<Device_spec>& devices,
         while (!finished) {
             const bool have_cloud =
                 cloud_queue.pending() > 0 && cloud_queue.next_time() <= horizon;
+            SHOG_TRACE_INSTANT(engine_trace,
+                               have_cloud ? cloud_queue.next_time() : horizon,
+                               obs::track_engine(0), "round", round_index++);
             run_round(have_cloud ? cloud_queue.next_time() : horizon);
             for (std::size_t s = 0; s < shards; ++s) {
                 for (const std::size_t d : dirty[s]) {
@@ -472,6 +493,7 @@ Cluster_result run_cluster_sharded(const std::vector<Device_spec>& devices,
     cluster.fleet_map /= static_cast<double>(cluster.devices.size());
 
     detail::assemble_cloud_metrics(cluster, cloud, horizon);
+    detail::snapshot_metrics(cluster, config);
     return cluster;
 }
 

@@ -52,6 +52,24 @@ namespace shog::testing {
             line("device %zu wmap %.17g %.17g\n", i, start, value);
         }
     }
+    // The sampled metrics snapshot is part of the contract too: a sink-less
+    // run serializes nothing here, a metered run must serialize identically
+    // across engines and shard counts.
+    for (const obs::Metric_series& s : cluster.metrics.series) {
+        line("metric %s %s points=%zu\n", s.name.c_str(), obs::metric_kind_name(s.kind),
+             s.points.size());
+        for (const obs::Metric_point& p : s.points) {
+            line("metric %s at=%.17g value=%.17g\n", s.name.c_str(), p.at_seconds, p.value);
+        }
+    }
+    for (const obs::Metric_histogram& h : cluster.metrics.histograms) {
+        line("histogram %s observations=%llu\n", h.name.c_str(),
+             static_cast<unsigned long long>(h.observations));
+        for (const auto& [bucket, count] : h.buckets) {
+            line("histogram %s bucket=%lld count=%llu\n", h.name.c_str(),
+                 static_cast<long long>(bucket), static_cast<unsigned long long>(count));
+        }
+    }
     return out;
 }
 

@@ -47,6 +47,14 @@ this lint bans them at CI time instead of hoping a pin test notices:
                     justification comment. The escape hatch exists for
                     serialization and tolerance checks; every use must say
                     which it is, where the next reader can see it.
+  trace-wall-clock  a SHOG_TRACE_* emission in src/ whose timestamp argument
+                    is a numeric literal, a literal-constructed Sim_time, or
+                    a chrono/wall-clock expression. Trace timestamps carry
+                    *simulation* time — pass Event_queue::now() / rt.now()
+                    (the bare sim epoch Sim_time{} is allowed for engine
+                    diagnostics that have no clock), or the exported trace
+                    silently loses the determinism contract it exists to
+                    witness.
 
 Annotation grammar (docs/ANALYSIS.md):
   // shog-lint: membership-only   container used only for insert/erase/
@@ -93,7 +101,7 @@ SRC_ONLY_ROOTS = ("src",)
 BARE_MUTEX_EXEMPT = ("src/common/thread_annotations.hpp",)
 
 # The dimensional kernel: raw seconds/bytes/kbps doubles are banned here.
-UNIT_ROOTS = ("src/sim", "src/netsim", "src/common")
+UNIT_ROOTS = ("src/sim", "src/netsim", "src/common", "src/obs")
 # The strong types themselves may unwrap freely.
 UNIT_ESCAPE_EXEMPT = ("src/common/units.hpp",)
 
@@ -122,6 +130,13 @@ BARE_MUTEX_RE = re.compile(
     r"\bstd\s*::\s*(?:recursive_|shared_|timed_|recursive_timed_)?mutex\s+(\w+)\s*;")
 SHOG_MUTEX_RE = re.compile(r"(?<![\w:])(?:shog\s*::\s*)?Mutex\s+(\w+)\s*;")
 
+TRACE_CALL_RE = re.compile(r"\bSHOG_TRACE_\w+\s*\(")
+# Timestamp-argument shapes that are NOT sim time. Sim_time{} (the epoch,
+# no digits inside the braces) stays legal for clock-less engine tracks.
+TRACE_NUMERIC_AT_RE = re.compile(r"^[+\-]?(?:\.\d|\d)")
+TRACE_LITERAL_SIM_TIME_RE = re.compile(r"\bSim_time\s*\{\s*[+\-]?(?:\.\d|\d)")
+TRACE_WALL_AT_RE = re.compile(r"\b(?:\w*_clock\b|std\s*::\s*chrono\b|chrono\s*::)")
+
 RANGE_FOR_RE = re.compile(r"\bfor\s*\(\s*[^;()]*?:\s*([\w.\->]+)\s*\)")
 BEGIN_CALL_RE = re.compile(r"\b([\w.\->]+?)\s*\.\s*c?r?begin\s*\(")
 STD_BEGIN_RE = re.compile(r"\bstd\s*::\s*c?r?begin\s*\(\s*([\w.\->]+)\s*\)")
@@ -143,6 +158,10 @@ RULES = {
     "unit-escape": ".value() unit-unwrap without a same-line justification "
                    "comment; say why the raw double is needed (serialization, "
                    "printf, tolerance check) where the reader can see it",
+    "trace-wall-clock": "trace/metric emission must be stamped with simulation "
+                        "time (Event_queue::now() / rt.now()), never a numeric "
+                        "literal, a literal-constructed Sim_time, or a "
+                        "chrono/wall-clock expression",
 }
 
 
@@ -269,6 +288,39 @@ def joined_declaration(scan: File_scan, start_idx: int, max_lines: int = 6) -> s
     return " ".join(parts)
 
 
+def macro_args(text: str, open_paren: int) -> list[str]:
+    """Top-level comma-split of the macro argument list whose '(' is at
+    `open_paren` (best effort; stops at the matching ')')."""
+    depth = 0
+    args = []
+    start = open_paren + 1
+    for i in range(open_paren, len(text)):
+        ch = text[i]
+        if ch in "([{":
+            depth += 1
+        elif ch in ")]}":
+            depth -= 1
+            if depth == 0:
+                args.append(text[start:i])
+                return args
+        elif ch == "," and depth == 1:
+            args.append(text[start:i])
+            start = i + 1
+    return args
+
+
+def trace_at_violation(at: str) -> str | None:
+    """Why a SHOG_TRACE_* timestamp argument is not sim time, or None."""
+    at = at.strip()
+    if TRACE_NUMERIC_AT_RE.match(at):
+        return f"timestamp is the numeric literal '{at}'"
+    if TRACE_LITERAL_SIM_TIME_RE.search(at):
+        return f"timestamp is a literal-constructed Sim_time ('{at}')"
+    if TRACE_WALL_AT_RE.search(at):
+        return f"timestamp derives from a wall clock ('{at}')"
+    return None
+
+
 def scan_file(scan: File_scan, unordered_names: dict[str, str]) -> list[Finding]:
     findings: list[Finding] = []
 
@@ -336,6 +388,22 @@ def scan_file(scan: File_scan, unordered_names: dict[str, str]) -> list[Finding]
                 findings.append(Finding(
                     scan.rel, lineno, "unit-escape",
                     RULES["unit-escape"]))
+
+        # ---- trace emissions must carry sim time --------------------------
+        if scan.under(SRC_ONLY_ROOTS):
+            tm = TRACE_CALL_RE.search(code)
+            if tm and not scan.allowed(lineno, "trace-wall-clock"):
+                stmt = joined_declaration(scan, idx)
+                args = macro_args(stmt, stmt.find("(", tm.start()))
+                # args[1] is the `at` timestamp in every SHOG_TRACE_* macro
+                # (macro definitions in obs/trace.hpp pass the bare `at`
+                # parameter through and stay clean by construction).
+                if len(args) >= 2:
+                    why = trace_at_violation(args[1])
+                    if why:
+                        findings.append(Finding(
+                            scan.rel, lineno, "trace-wall-clock",
+                            f"{why}: {RULES['trace-wall-clock']}"))
 
         # ---- bare std::mutex members --------------------------------------
         if scan.rel not in BARE_MUTEX_EXEMPT and scan.under(SRC_ONLY_ROOTS):
@@ -519,6 +587,46 @@ SELF_TEST_CASES = [
      "    return t.value();\n"
      "}\n",
      "unit-escape"),
+    ("src/sim/bad_trace_literal.cpp",
+     "#include \"obs/trace.hpp\"\n"
+     "void mark(shog::obs::Trace_channel trace) {\n"
+     "    SHOG_TRACE_INSTANT(trace, 1.5, 0, \"tick\", 0);\n"
+     "}\n",
+     "trace-wall-clock"),
+    ("src/sim/bad_trace_sim_time_literal.cpp",
+     "#include \"obs/trace.hpp\"\n"
+     "void mark(shog::obs::Trace_channel trace) {\n"
+     "    SHOG_TRACE_SPAN_BEGIN(trace, shog::Sim_time{2.0}, 0, \"span\", 1);\n"
+     "}\n",
+     "trace-wall-clock"),
+    # A wall-clock-derived timestamp smuggled through a Sim_time wrapper,
+    # split across lines the way clang-format would leave it.
+    ("src/sim/bad_trace_wall.cpp",
+     "#include <chrono>\n"
+     "#include \"obs/trace.hpp\"\n"
+     "void mark(shog::obs::Trace_channel trace) {\n"
+     "    SHOG_TRACE_INSTANT(trace,\n"
+     "                       shog::Sim_time{std::chrono::duration<double>(1).count()},\n"
+     "                       0, \"tick\", 0);\n"
+     "}\n",
+     "trace-wall-clock"),
+    ("src/sim/good_trace.cpp",
+     "#include \"obs/trace.hpp\"\n"
+     "void mark(shog::obs::Trace_channel trace, shog::Event_queue& queue) {\n"
+     "    SHOG_TRACE_INSTANT(trace, queue.now(), 0, \"tick\", 7);\n"
+     "    SHOG_TRACE_COUNTER(trace, queue.now(), 0, \"depth\", 4.0);\n"
+     "}\n",
+     None),
+    # The sim epoch (no digits in the braces) is legal for clock-less engine
+    # diagnostics; a literal epoch offset needs the targeted allow.
+    ("src/sim/good_trace_epoch.cpp",
+     "#include \"obs/trace.hpp\"\n"
+     "void mark(shog::obs::Trace_channel trace) {\n"
+     "    SHOG_TRACE_INSTANT(trace, shog::Sim_time{}, 0, \"cell\", 1);\n"
+     "    SHOG_TRACE_INSTANT(trace, shog::Sim_time{1.0}, 0, \"e\", 0);"
+     " // shog-lint: allow(trace-wall-clock) fixed epoch marker\n"
+     "}\n",
+     None),
     ("src/sim/good.hpp",
      "#include <unordered_set>\n"
      "#include \"common/thread_annotations.hpp\"\n"
